@@ -1,0 +1,52 @@
+#![forbid(unsafe_code)]
+//! Static analysis for retry detection: the CodeQL substitute.
+//!
+//! This crate implements the query side of WASABI (§3.1.1 first technique and
+//! §3.2.2 of the paper) over Javelin ASTs:
+//!
+//! - [`cfg`] — per-method control-flow graphs with deliberately
+//!   over-approximate, syntactic edges;
+//! - [`loops`] — the retry-loop query (catch-reaches-header + naming
+//!   conventions) and retry-location triplet extraction;
+//! - [`when`] — static missing-delay / missing-cap checks on retry loops;
+//! - [`ifratio`] — application-wide retry-ratio analysis flagging
+//!   inconsistent IF-retry policies;
+//! - [`resolve`] — approximate static callee resolution and project indexes.
+//!
+//! # Examples
+//!
+//! ```
+//! use wasabi_analysis::loops::{find_retry_loops, LoopQueryOptions};
+//! use wasabi_analysis::resolve::ProjectIndex;
+//! use wasabi_lang::project::Project;
+//!
+//! let src = r#"
+//! exception ConnectException;
+//! class Client {
+//!     method connect() throws ConnectException { return 1; }
+//!     method run() {
+//!         for (var retry = 0; retry < 3; retry = retry + 1) {
+//!             try { return this.connect(); } catch (ConnectException e) { sleep(100); }
+//!         }
+//!         return null;
+//!     }
+//! }
+//! "#;
+//! let project = Project::compile("demo", vec![("c.jav", src)]).unwrap();
+//! let index = ProjectIndex::build(&project);
+//! let loops = find_retry_loops(&index, &LoopQueryOptions::default());
+//! assert_eq!(loops.len(), 1);
+//! ```
+
+pub mod cfg;
+pub mod ifratio;
+pub mod loops;
+pub mod resolve;
+pub mod when;
+
+pub use ifratio::{if_ratio_reports, IfOptions, IfReport, OutlierKind};
+pub use loops::{
+    all_retry_locations, find_retry_loops, LoopQueryOptions, Mechanism, RetryLocation, RetryLoop,
+};
+pub use resolve::ProjectIndex;
+pub use when::{check_when, DelayScope, WhenVerdict};

@@ -1,0 +1,218 @@
+//! Callee resolution and project-wide indexes.
+//!
+//! Like the paper's CodeQL queries, resolution is *static and approximate*:
+//! calls on `this` resolve through the enclosing class hierarchy; calls on
+//! other receivers resolve only when the method name is unique across the
+//! project. Unresolvable calls are skipped, which is a (realistic) source of
+//! false negatives.
+
+use std::collections::HashMap;
+use wasabi_lang::ast::{Item, LoopId, MethodDecl, Stmt};
+use wasabi_lang::project::{FileId, MethodId, Project};
+
+/// Where a loop lives: file, enclosing class/method, and the loop statement.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopSite<'p> {
+    /// File the loop is in.
+    pub file: FileId,
+    /// Enclosing (coordinator) method.
+    pub method: &'p MethodDecl,
+    /// Enclosing class name.
+    pub class: &'p str,
+    /// The loop statement (`Stmt::While` or `Stmt::For`).
+    pub stmt: &'p Stmt,
+    /// The loop id.
+    pub loop_id: LoopId,
+}
+
+/// Precomputed project-wide lookup structures.
+pub struct ProjectIndex<'p> {
+    project: &'p Project,
+    /// Method name → declaring (class, decl) pairs.
+    by_name: HashMap<&'p str, Vec<(&'p str, &'p MethodDecl)>>,
+    /// All loops in the project.
+    loops: Vec<LoopSite<'p>>,
+}
+
+impl<'p> ProjectIndex<'p> {
+    /// Builds the index by walking every method in the project.
+    pub fn build(project: &'p Project) -> Self {
+        let mut by_name: HashMap<&str, Vec<(&str, &MethodDecl)>> = HashMap::new();
+        let mut loops = Vec::new();
+        for (fidx, file) in project.files.iter().enumerate() {
+            for item in &file.items {
+                let Item::Class(class) = item else { continue };
+                for method in &class.methods {
+                    by_name
+                        .entry(method.name.as_str())
+                        .or_default()
+                        .push((class.name.as_str(), method));
+                    wasabi_lang::ast::walk_stmts(&method.body, &mut |stmt| {
+                        match stmt {
+                            Stmt::While { id, .. } | Stmt::For { id, .. } => {
+                                loops.push(LoopSite {
+                                    file: FileId(fidx as u32),
+                                    method,
+                                    class: class.name.as_str(),
+                                    stmt,
+                                    loop_id: *id,
+                                });
+                            }
+                            _ => {}
+                        }
+                        true
+                    });
+                }
+            }
+        }
+        ProjectIndex {
+            project,
+            by_name,
+            loops,
+        }
+    }
+
+    /// The underlying project.
+    pub fn project(&self) -> &'p Project {
+        self.project
+    }
+
+    /// All loops in the project, in file/source order.
+    pub fn loops(&self) -> &[LoopSite<'p>] {
+        &self.loops
+    }
+
+    /// Resolves a called method statically.
+    ///
+    /// `recv_this` means the receiver is `this` (or implicit): resolve
+    /// through `enclosing_class`'s hierarchy. Otherwise the name must be
+    /// unique project-wide.
+    pub fn resolve_callee(
+        &self,
+        enclosing_class: &str,
+        method: &str,
+        recv_this: bool,
+    ) -> Option<(MethodId, &'p MethodDecl)> {
+        if recv_this {
+            return self
+                .project
+                .resolve_method(enclosing_class, method)
+                .map(|(owner, decl)| (MethodId::new(owner, method), decl));
+        }
+        match self.by_name.get(method) {
+            Some(candidates) if candidates.len() == 1 => {
+                let (class, decl) = candidates[0];
+                Some((MethodId::new(class, method), decl))
+            }
+            // Ambiguous or unknown: give up, like a purely syntactic query.
+            _ => None,
+        }
+    }
+
+    /// Methods invoked by `method` (resolved where possible) with their
+    /// declared `throws` — the CodeQL follow-up step WASABI runs after the
+    /// LLM flags a coordinator method (§3.1.1, second technique).
+    pub fn invoked_with_throws(
+        &self,
+        class: &str,
+        method: &MethodDecl,
+    ) -> Vec<(wasabi_lang::project::CallSite, MethodId, Vec<String>)> {
+        let file = match self.project.symbols.class(class) {
+            Some(info) => info.file,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        wasabi_lang::ast::walk_exprs(&method.body, &mut |expr| {
+            if let wasabi_lang::ast::Expr::Call {
+                id, recv, method, ..
+            } = expr
+            {
+                let recv_this = matches!(
+                    recv.as_deref(),
+                    None | Some(wasabi_lang::ast::Expr::This(_))
+                );
+                if let Some((callee, decl)) = self.resolve_callee(class, method, recv_this) {
+                    out.push((
+                        wasabi_lang::project::CallSite { file, call: *id },
+                        callee,
+                        decl.throws.clone(),
+                    ));
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn project(src: &str) -> Project {
+        Project::compile("t", vec![("t.jav", src)]).expect("compile")
+    }
+
+    #[test]
+    fn indexes_loops_across_methods() {
+        let p = project(
+            "class A { method m() { while (true) { break; } for (;;) { break; } } }\n\
+             class B { method n() { while (false) { } } }",
+        );
+        let index = ProjectIndex::build(&p);
+        assert_eq!(index.loops().len(), 3);
+        assert_eq!(index.loops()[0].class, "A");
+        assert_eq!(index.loops()[2].class, "B");
+    }
+
+    #[test]
+    fn resolves_this_calls_through_hierarchy() {
+        let p = project(
+            "class Base { method helper() { return 1; } }\n\
+             class Kid extends Base { method m() { this.helper(); } }",
+        );
+        let index = ProjectIndex::build(&p);
+        let (id, _) = index.resolve_callee("Kid", "helper", true).expect("resolved");
+        assert_eq!(id, MethodId::new("Base", "helper"));
+    }
+
+    #[test]
+    fn unique_name_resolution_for_foreign_receivers() {
+        let p = project(
+            "class Conn { method close() { return 1; } }\n\
+             class C { method m(conn) { conn.close(); } }",
+        );
+        let index = ProjectIndex::build(&p);
+        let (id, _) = index.resolve_callee("C", "close", false).expect("resolved");
+        assert_eq!(id, MethodId::new("Conn", "close"));
+    }
+
+    #[test]
+    fn ambiguous_names_are_unresolved() {
+        let p = project(
+            "class A { method go() { return 1; } }\n\
+             class B { method go() { return 2; } }\n\
+             class C { method m(x) { x.go(); } }",
+        );
+        let index = ProjectIndex::build(&p);
+        assert!(index.resolve_callee("C", "go", false).is_none());
+    }
+
+    #[test]
+    fn invoked_with_throws_lists_call_sites() {
+        let p = project(
+            "exception ConnectException;\nexception IOException;\n\
+             class C {\n\
+               method connect() throws ConnectException { return 1; }\n\
+               method fetch() throws IOException { return 2; }\n\
+               method run() { this.connect(); this.fetch(); this.fetch(); }\n\
+             }",
+        );
+        let index = ProjectIndex::build(&p);
+        let run = p.resolve_method("C", "run").unwrap().1;
+        let invoked = index.invoked_with_throws("C", run);
+        assert_eq!(invoked.len(), 3);
+        assert_eq!(invoked[0].1, MethodId::new("C", "connect"));
+        assert_eq!(invoked[0].2, vec!["ConnectException"]);
+        assert_eq!(invoked[1].2, vec!["IOException"]);
+    }
+}

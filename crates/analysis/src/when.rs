@@ -1,0 +1,254 @@
+//! Static WHEN-bug checks on retry loops: missing delay and missing cap.
+//!
+//! These are syntactic checks, faithful to what a query-based analysis can
+//! see. The delay check is intraprocedural by default — a loop that delegates
+//! sleeping to a helper method defined in another file is (wrongly) flagged,
+//! reproducing the paper's single-file false-positive mode — and can be run
+//! one level interprocedurally.
+
+use crate::cfg::{Atom, Cfg};
+use crate::loops::RetryLoop;
+use crate::resolve::ProjectIndex;
+use wasabi_lang::ast::{BinOp, Expr, Stmt};
+
+/// How the delay check resolves helper methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayScope {
+    /// Only `sleep` statements directly inside the loop count.
+    Intraprocedural,
+    /// Calls to methods that (transitively, one level) contain a `sleep`
+    /// also count.
+    OneLevelInterprocedural,
+}
+
+/// A static WHEN verdict for one retry loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WhenVerdict {
+    /// Whether a delay (sleep) was found on the loop's retry path.
+    pub has_delay: bool,
+    /// Whether a cap (bounded attempts / explicit exit comparison) was found.
+    pub has_cap: bool,
+}
+
+/// Checks one retry loop for delay and cap evidence.
+pub fn check_when(
+    index: &ProjectIndex<'_>,
+    retry_loop: &RetryLoop,
+    delay_scope: DelayScope,
+) -> Option<WhenVerdict> {
+    let loop_site = index
+        .loops()
+        .iter()
+        .find(|l| l.file == retry_loop.file && l.loop_id == retry_loop.loop_id)?;
+    let cfg = Cfg::build(&loop_site.method.body);
+    let mut has_delay = false;
+    for block in cfg.blocks_in_loop(retry_loop.loop_id) {
+        for atom in &cfg.blocks[block.0 as usize].atoms {
+            match atom {
+                Atom::Sleep { .. } => has_delay = true,
+                Atom::Call {
+                    method, recv_this, ..
+                } if delay_scope == DelayScope::OneLevelInterprocedural => {
+                    if let Some((_, decl)) =
+                        index.resolve_callee(loop_site.class, method, *recv_this)
+                    {
+                        if body_contains_sleep(&decl.body) {
+                            has_delay = true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let has_cap = loop_has_cap(loop_site.stmt);
+    Some(WhenVerdict { has_delay, has_cap })
+}
+
+/// Whether a method body contains a `sleep` statement anywhere.
+pub fn body_contains_sleep(body: &wasabi_lang::ast::Block) -> bool {
+    let mut found = false;
+    wasabi_lang::ast::walk_stmts(body, &mut |stmt| {
+        if matches!(stmt, Stmt::Sleep { .. }) {
+            found = true;
+        }
+        true
+    });
+    found
+}
+
+/// Whether the loop is syntactically bounded: a comparison in its condition,
+/// or an in-body comparison guarding an exit (`break`/`return`/`throw`).
+pub fn loop_has_cap(loop_stmt: &Stmt) -> bool {
+    let (cond, body) = match loop_stmt {
+        Stmt::While { cond, body, .. } => (Some(cond), body),
+        Stmt::For { cond, body, .. } => (cond.as_ref(), body),
+        _ => return false,
+    };
+    if let Some(cond) = cond {
+        if expr_has_comparison(cond) {
+            return true;
+        }
+    }
+    // Look for `if (<comparison>) { ...exit... }` inside the body.
+    let mut capped = false;
+    wasabi_lang::ast::walk_stmts(body, &mut |stmt| {
+        if let Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+            ..
+        } = stmt
+        {
+            if expr_has_comparison(cond)
+                && (block_exits(then_blk)
+                    || else_blk.as_ref().map(block_exits).unwrap_or(false))
+            {
+                capped = true;
+            }
+        }
+        true
+    });
+    capped
+}
+
+fn expr_has_comparison(expr: &Expr) -> bool {
+    let mut found = false;
+    wasabi_lang::ast::walk_expr(expr, &mut |e| {
+        if let Expr::Binary { op, .. } = e {
+            if matches!(op, BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+fn block_exits(block: &wasabi_lang::ast::Block) -> bool {
+    let mut exits = false;
+    wasabi_lang::ast::walk_stmts(block, &mut |stmt| {
+        if matches!(
+            stmt,
+            Stmt::Break { .. } | Stmt::Return { .. } | Stmt::Throw { .. }
+        ) {
+            exits = true;
+        }
+        true
+    });
+    exits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loops::{find_retry_loops, LoopQueryOptions};
+    use wasabi_lang::project::Project;
+
+    fn verdicts(src: &str, scope: DelayScope) -> Vec<WhenVerdict> {
+        let p = Project::compile("t", vec![("t.jav", src)]).expect("compile");
+        let idx = ProjectIndex::build(&p);
+        let loops = find_retry_loops(&idx, &LoopQueryOptions::default());
+        loops
+            .iter()
+            .map(|l| check_when(&idx, l, scope).expect("loop found"))
+            .collect()
+    }
+
+    #[test]
+    fn capped_and_delayed_loop_is_clean() {
+        let v = verdicts(
+            "exception E;\n\
+             class C {\n\
+               method op() throws E { return 1; }\n\
+               method run() {\n\
+                 for (var retry = 0; retry < 5; retry = retry + 1) {\n\
+                   try { return this.op(); } catch (E e) { sleep(100); }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+             }",
+            DelayScope::Intraprocedural,
+        );
+        assert_eq!(v, vec![WhenVerdict { has_delay: true, has_cap: true }]);
+    }
+
+    #[test]
+    fn uncapped_undelayed_loop_is_flagged() {
+        let v = verdicts(
+            "exception E;\n\
+             class C {\n\
+               method op() throws E { return 1; }\n\
+               method run() {\n\
+                 while (true) {\n\
+                   try { return this.op(); } catch (E e) { log(\"retry\"); }\n\
+                 }\n\
+               }\n\
+             }",
+            DelayScope::Intraprocedural,
+        );
+        assert_eq!(v, vec![WhenVerdict { has_delay: false, has_cap: false }]);
+    }
+
+    #[test]
+    fn in_body_attempt_check_counts_as_cap() {
+        let v = verdicts(
+            "exception E;\n\
+             class C {\n\
+               method op() throws E { return 1; }\n\
+               method run(maxRetries) {\n\
+                 var attempts = 0;\n\
+                 while (true) {\n\
+                   try { return this.op(); } catch (E e) {\n\
+                     attempts = attempts + 1;\n\
+                     if (attempts > maxRetries) { throw new E(\"gave up\"); }\n\
+                     sleep(50);\n\
+                   }\n\
+                 }\n\
+               }\n\
+             }",
+            DelayScope::Intraprocedural,
+        );
+        assert_eq!(v, vec![WhenVerdict { has_delay: true, has_cap: true }]);
+    }
+
+    #[test]
+    fn helper_sleep_is_missed_intraprocedurally_but_found_one_level() {
+        let src = "exception E;\n\
+             class C {\n\
+               method op() throws E { return 1; }\n\
+               method backoff(retryCount) { sleep(100 * retryCount); }\n\
+               method run() {\n\
+                 for (var retry = 0; retry < 5; retry = retry + 1) {\n\
+                   try { return this.op(); } catch (E e) { this.backoff(retry); }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+             }";
+        let intra = verdicts(src, DelayScope::Intraprocedural);
+        assert!(!intra[0].has_delay, "single-file view misses the helper sleep");
+        let inter = verdicts(src, DelayScope::OneLevelInterprocedural);
+        assert!(inter[0].has_delay, "one-level resolution finds it");
+    }
+
+    #[test]
+    fn negative_config_cap_shape_still_counts_as_capped() {
+        // The HDFS-15439 shape: the comparison exists, so static analysis
+        // sees a cap; the bug (negative config ⇒ never equal) only manifests
+        // dynamically.
+        let v = verdicts(
+            "exception E;\n\
+             class C {\n\
+               method op() throws E { return 1; }\n\
+               method run() {\n\
+                 var max = getConfig(\"mover.retry.max\");\n\
+                 for (var retry = 0; retry < max; retry = retry + 1) {\n\
+                   try { return this.op(); } catch (E e) { sleep(10); }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+             }",
+            DelayScope::Intraprocedural,
+        );
+        assert!(v[0].has_cap);
+    }
+}

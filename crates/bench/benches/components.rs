@@ -1,0 +1,109 @@
+//! Component microbenchmarks: parser, CFG construction, retry-loop query,
+//! interpreter, and injection overhead.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use wasabi_analysis::cfg::Cfg;
+use wasabi_analysis::loops::{find_retry_loops, LoopQueryOptions};
+use wasabi_analysis::resolve::ProjectIndex;
+use wasabi_inject::InjectionHandler;
+use wasabi_lang::ast::Item;
+use wasabi_lang::parser::parse_file;
+use wasabi_lang::project::{MethodId, Project};
+use wasabi_vm::interceptor::NoopInterceptor;
+use wasabi_vm::runner::{run_test, RunOptions};
+
+const RETRY_SOURCE: &str = "exception ConnectException;\n\
+    class Client {\n\
+      field maxAttempts = 5;\n\
+      method connect() throws ConnectException { return \"c\"; }\n\
+      method fetch(conn) throws ConnectException { return \"ok\"; }\n\
+      method run() {\n\
+        for (var retry = 0; retry < this.maxAttempts; retry = retry + 1) {\n\
+          try { var c = this.connect(); return this.fetch(c); }\n\
+          catch (ConnectException e) { sleep(100 * (retry + 1)); }\n\
+        }\n\
+        return null;\n\
+      }\n\
+      test tRun() { assert(this.run() == \"ok\"); }\n\
+    }\n";
+
+fn bench_parser(c: &mut Criterion) {
+    // A multi-class file, repeated to ~64 KiB.
+    let mut source = String::from("exception ConnectException;\n");
+    let unit = RETRY_SOURCE.replace("exception ConnectException;\n", "");
+    let mut i = 0;
+    while source.len() < 64 * 1024 {
+        source.push_str(&unit.replace("Client", &format!("Client{i}")));
+        i += 1;
+    }
+    let mut group = c.benchmark_group("parser");
+    group.throughput(Throughput::Bytes(source.len() as u64));
+    group.bench_function("parse_64KiB", |b| {
+        b.iter(|| parse_file(&source).expect("parse"));
+    });
+    group.finish();
+}
+
+fn bench_cfg(c: &mut Criterion) {
+    let items = parse_file(RETRY_SOURCE).expect("parse");
+    let Item::Class(class) = &items[1] else { panic!("class expected") };
+    let body = &class.methods[2].body;
+    c.bench_function("cfg/build_retry_loop", |b| {
+        b.iter(|| Cfg::build(body));
+    });
+}
+
+fn bench_retry_loop_query(c: &mut Criterion) {
+    // 50 retry structures in one project.
+    let mut files = vec![("exc.jav".to_string(), "exception ConnectException;".to_string())];
+    let unit = RETRY_SOURCE.replace("exception ConnectException;\n", "");
+    for i in 0..50 {
+        files.push((format!("client{i}.jav"), unit.replace("Client", &format!("Client{i}"))));
+    }
+    let project = Project::compile("bench", files).expect("compile");
+    c.bench_function("analysis/retry_loop_query_50_structures", |b| {
+        b.iter_batched(
+            || ProjectIndex::build(&project),
+            |index| find_retry_loops(&index, &LoopQueryOptions::default()),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let project = Project::compile("bench", vec![("c.jav", RETRY_SOURCE)]).expect("compile");
+    let test = MethodId::new("Client", "tRun");
+    let options = RunOptions::default();
+    c.bench_function("vm/run_test_no_injection", |b| {
+        b.iter(|| run_test(&project, &test, &mut NoopInterceptor, &options));
+    });
+}
+
+fn bench_injection_overhead(c: &mut Criterion) {
+    use wasabi_analysis::loops::all_retry_locations;
+    let project = Project::compile("bench", vec![("c.jav", RETRY_SOURCE)]).expect("compile");
+    let index = ProjectIndex::build(&project);
+    let location = all_retry_locations(&index, &LoopQueryOptions::default())
+        .into_iter()
+        .flat_map(|(_, l)| l)
+        .next()
+        .expect("one location");
+    let test = MethodId::new("Client", "tRun");
+    let options = RunOptions::default();
+    c.bench_function("vm/run_test_with_injection_k100", |b| {
+        b.iter(|| {
+            let mut handler = InjectionHandler::single(location.clone(), 100);
+            run_test(&project, &test, &mut handler, &options)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_parser,
+    bench_cfg,
+    bench_retry_loop_query,
+    bench_interpreter,
+    bench_injection_overhead
+);
+criterion_main!(benches);

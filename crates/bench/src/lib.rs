@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+//! Experiment-reproduction support: plain-text table rendering and the
+//! paper's reference numbers, shared by the `repro` binary and the
+//! integration tests.
+
+pub mod paper;
+pub mod tables;

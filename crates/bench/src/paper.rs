@@ -1,0 +1,64 @@
+//! The paper's published numbers, used by the `repro` harness to print
+//! paper-vs-measured comparisons and by the integration tests to check that
+//! measured *shapes* hold.
+
+/// Application short codes in evaluation order.
+pub const APPS: [&str; 8] = ["HA", "HD", "MA", "YA", "HB", "HI", "CA", "EL"];
+
+/// Table 3 — bugs reported by WASABI unit testing, `(reported, fp)` per app
+/// for missing-cap, missing-delay, and HOW rows.
+pub const TABLE3_CAP: [(usize, usize); 8] =
+    [(2, 1), (7, 2), (0, 0), (1, 1), (13, 2), (3, 1), (1, 0), (1, 1)];
+pub const TABLE3_DELAY: [(usize, usize); 8] =
+    [(3, 2), (6, 3), (5, 1), (0, 0), (6, 2), (2, 0), (2, 0), (1, 0)];
+pub const TABLE3_HOW: [(usize, usize); 8] =
+    [(0, 0), (4, 2), (0, 0), (0, 0), (4, 2), (2, 1), (0, 0), (0, 0)];
+
+/// Table 4 — bugs reported by the GPT-4 detector, `(reported, fp)`.
+pub const TABLE4_CAP: [(usize, usize); 8] =
+    [(3, 3), (9, 4), (3, 3), (2, 0), (16, 5), (7, 6), (10, 4), (10, 8)];
+pub const TABLE4_DELAY: [(usize, usize); 8] =
+    [(7, 4), (9, 2), (4, 1), (4, 0), (16, 4), (17, 6), (5, 1), (17, 9)];
+
+/// Table 5 — retry structures identified / covered in unit testing.
+pub const TABLE5_IDENTIFIED: [usize; 8] = [38, 41, 16, 18, 98, 59, 15, 38];
+pub const TABLE5_TESTED: [usize; 8] = [12, 27, 12, 11, 48, 14, 6, 5];
+
+/// Table 6 — unit tests, retry-covering tests, runs without/with planning.
+pub const TABLE6_TESTS: [usize; 8] = [7296, 7642, 1468, 5757, 7052, 35289, 5439, 12045];
+pub const TABLE6_COVER: [usize; 8] = [841, 405, 393, 764, 1438, 1505, 952, 1388];
+pub const TABLE6_NAIVE: [usize; 8] = [9156, 7834, 2940, 4764, 4248, 2506, 1132, 1802];
+pub const TABLE6_PLANNED: [usize; 8] = [54, 110, 48, 42, 158, 36, 26, 28];
+
+/// Figure 3 — distinct true bugs.
+pub const FIG3_DYNAMIC: usize = 42;
+pub const FIG3_STATIC: usize = 87;
+pub const FIG3_OVERLAP: usize = 20;
+pub const FIG3_TOTAL: usize = 109;
+
+/// Figure 4 — identification decomposition.
+pub const FIG4_STRUCTURES: usize = 323;
+pub const FIG4_LOOPS: usize = 239;
+pub const FIG4_LOOPS_CODEQL: usize = 203; // "more than 85%"
+pub const FIG4_LOOPS_LLM_MISSED: usize = 100;
+
+/// §4.1 — IF-ratio results.
+pub const IF_REPORTED: usize = 9;
+pub const IF_TRUE: usize = 8;
+pub const IF_RATIOS: [(&str, usize, usize); 6] = [
+    ("KeeperException", 17, 20),
+    ("TTransportException", 2, 3),
+    ("IllegalArgumentException", 2, 9),
+    ("ExitException", 1, 3),
+    ("IllegalStateException", 1, 3),
+    ("FileNotFoundException", 1, 4), // the false positive
+];
+
+/// §4.3 — LLM cost per app (medians).
+pub const COST_CALLS_MEDIAN: usize = 2600;
+pub const COST_TOKENS_MEDIAN: f64 = 3.3e6;
+pub const COST_USD_MEDIAN: f64 = 8.0;
+
+/// §4.4 — keyword-filter ablation: loops without vs with the filter.
+pub const ABLATION_LOOPS_NO_FILTER: usize = 725;
+pub const ABLATION_LOOPS_FILTER: usize = 205;

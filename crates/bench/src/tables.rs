@@ -1,0 +1,71 @@
+//! Minimal fixed-width table rendering for the `repro` harness.
+
+/// Renders a table with a header row and `rows`, padding each column to its
+/// widest cell.
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>width$}", width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (columns - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Formats a reported-with-FP-subscript cell like the paper: `13_2`.
+pub fn subscript(reported: usize, fp: usize) -> String {
+    if reported == 0 {
+        "-".to_string()
+    } else {
+        format!("{reported}_{fp}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let table = render(
+            &["App", "Bugs"],
+            &[
+                vec!["HA".into(), "5".into()],
+                vec!["HBase".into(), "23".into()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("App"));
+        assert!(lines[3].contains("HBase"));
+        // All rows are the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+    }
+
+    #[test]
+    fn subscript_cells() {
+        assert_eq!(subscript(13, 2), "13_2");
+        assert_eq!(subscript(0, 0), "-");
+    }
+}

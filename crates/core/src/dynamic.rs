@@ -1,0 +1,221 @@
+//! The dynamic testing workflow (§3.1, Figure 1): config restoration →
+//! coverage profiling → planning → fault injection → oracles → dedup.
+
+use std::collections::BTreeSet;
+use wasabi_analysis::loops::RetryLocation;
+use wasabi_inject::InjectionHandler;
+use wasabi_lang::project::Project;
+use wasabi_oracles::dedup::{dedup_reports, DistinctBug};
+use wasabi_oracles::judge::{judge_run, OracleConfig, OracleReport};
+use wasabi_planner::configfix::{restore_retry_configs, ConfigRestoration};
+use wasabi_planner::coverage::{profile_coverage, CoverageProfile};
+use wasabi_planner::plan::{expand_plan, naive_run_count, plan, InjectionRun, TestPlan};
+use wasabi_vm::runner::{run_test, RunOptions};
+
+/// Options for the dynamic workflow.
+#[derive(Debug, Clone)]
+pub struct DynamicOptions {
+    /// Injection budgets; the paper uses K = 1 and K = 100.
+    pub ks: Vec<u32>,
+    /// Per-test run options (limits; pinned configs are filled in by the
+    /// restoration pass).
+    pub run_options: RunOptions,
+    /// Oracle thresholds.
+    pub oracle: OracleConfig,
+}
+
+impl Default for DynamicOptions {
+    fn default() -> Self {
+        DynamicOptions {
+            ks: vec![1, 100],
+            run_options: RunOptions::default(),
+            oracle: OracleConfig::default(),
+        }
+    }
+}
+
+/// Aggregate statistics over all injected runs (feeds §4.4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DynamicStats {
+    /// Total injected test runs executed.
+    pub runs_executed: usize,
+    /// Runs that crashed by re-throwing the injected exception (filtered by
+    /// the different-exception oracle as correct give-up behaviour).
+    pub rethrow_filtered: usize,
+    /// Runs where the injected exception escaped untouched (the location
+    /// was not actually a retry trigger — analysis inaccuracy, §3.1.1).
+    pub not_a_trigger: usize,
+    /// Runs that crashed in any way.
+    pub crashed: usize,
+    /// Total virtual milliseconds across injected runs.
+    pub virtual_ms: u64,
+}
+
+/// The result of the dynamic workflow on one project.
+#[derive(Debug)]
+pub struct DynamicResult {
+    /// Config keys pinned back to defaults.
+    pub restoration: ConfigRestoration,
+    /// The coverage profile from the profiling pass.
+    pub profile: CoverageProfile,
+    /// The injection plan.
+    pub plan: TestPlan,
+    /// Number of injected runs with planning.
+    pub runs_planned: usize,
+    /// Number of runs a naive (unplanned) campaign would need.
+    pub runs_naive: usize,
+    /// Raw oracle reports from all runs.
+    pub reports: Vec<OracleReport>,
+    /// Distinct bugs after deduplication.
+    pub bugs: Vec<DistinctBug>,
+    /// Run statistics.
+    pub stats: DynamicStats,
+    /// Structure keys (see [`RetryLocation::structure_key`]) covered by the
+    /// plan — the Table 5 "tested" measure.
+    pub tested_structures: BTreeSet<String>,
+}
+
+/// Runs the full dynamic workflow.
+pub fn run_dynamic(
+    project: &Project,
+    locations: &[RetryLocation],
+    options: &DynamicOptions,
+) -> DynamicResult {
+    // 1. Restore default retry configurations (§3.1.4).
+    let restoration = restore_retry_configs(project);
+    let mut run_options = options.run_options.clone();
+    run_options.pinned_configs = restoration.pinned.clone();
+
+    // 2. Profile which test covers which retry location.
+    let profile = profile_coverage(project, locations, &run_options);
+
+    // 3. Plan one {test, location} pair per coverable location.
+    let all_sites: BTreeSet<_> = locations.iter().map(|l| l.site).collect();
+    let test_plan = plan(&profile, &all_sites);
+    let runs = expand_plan(&test_plan, locations, &options.ks);
+    let runs_naive = naive_run_count(&profile, locations, &options.ks);
+
+    // 4. Execute each injected run and judge it.
+    let mut reports = Vec::new();
+    let mut stats = DynamicStats {
+        runs_executed: runs.len(),
+        ..DynamicStats::default()
+    };
+    let mut tested_structures = BTreeSet::new();
+    for InjectionRun { test, spec } in &runs {
+        tested_structures.insert(spec.location.structure_key());
+        let mut handler = InjectionHandler::single(spec.location.clone(), spec.k);
+        let run = run_test(project, test, &mut handler, &run_options);
+        stats.virtual_ms += run.virtual_ms;
+        if !run.outcome.is_pass() {
+            stats.crashed += 1;
+        }
+        let verdict = judge_run(&run, spec, &options.oracle);
+        if verdict.rethrow_filtered {
+            stats.rethrow_filtered += 1;
+        }
+        if verdict.not_a_trigger {
+            stats.not_a_trigger += 1;
+        }
+        reports.extend(verdict.reports);
+    }
+
+    let bugs = dedup_reports(reports.clone());
+    DynamicResult {
+        restoration,
+        profile,
+        runs_planned: runs.len(),
+        runs_naive,
+        plan: test_plan,
+        reports,
+        bugs,
+        stats,
+        tested_structures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identify::identify;
+    use wasabi_llm::simulated::SimulatedLlm;
+    use wasabi_oracles::judge::BugKind;
+
+    fn project() -> Project {
+        let src = "exception ConnectException;\nexception SocketException;\n\
+             class Flaky {\n\
+               method op() throws ConnectException { return \"ok\"; }\n\
+               // Uncapped, undelayed retry: both WHEN bugs.\n\
+               method run() {\n\
+                 while (true) {\n\
+                   try { return this.op(); } catch (ConnectException e) { log(\"retrying\"); }\n\
+                 }\n\
+               }\n\
+               test tFlaky() { assert(this.run() == \"ok\"); }\n\
+             }\n\
+             class Solid {\n\
+               field maxAttempts = 4;\n\
+               method fetch() throws SocketException { return \"ok\"; }\n\
+               method run() {\n\
+                 for (var retry = 0; retry < this.maxAttempts; retry = retry + 1) {\n\
+                   try { return this.fetch(); } catch (SocketException e) { sleep(25); }\n\
+                 }\n\
+                 throw new SocketException(\"giving up\");\n\
+               }\n\
+               test tSolid() { assert(this.run() == \"ok\"); }\n\
+             }";
+        Project::compile("t", vec![("t.jav", src)]).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_dynamic_workflow_finds_when_bugs() {
+        let p = project();
+        let mut llm = SimulatedLlm::with_seed(5);
+        let identified = identify(&p, &mut llm);
+        assert!(identified.locations.len() >= 2);
+        let result = run_dynamic(&p, &identified.locations, &DynamicOptions::default());
+        assert!(result.runs_planned >= 4, "2 locations × 2 K values");
+        let kinds: Vec<BugKind> = result.bugs.iter().map(|b| b.kind).collect();
+        assert!(kinds.contains(&BugKind::MissingCap), "kinds: {kinds:?}");
+        assert!(kinds.contains(&BugKind::MissingDelay));
+        // The Solid structure is clean: its give-up rethrow is filtered.
+        assert!(result.stats.rethrow_filtered >= 1);
+        assert_eq!(result.tested_structures.len(), 2);
+        // No bug attributed to the clean structure.
+        for bug in &result.bugs {
+            assert_eq!(
+                bug.representative().location.coordinator.class,
+                "Flaky",
+                "only the flaky structure is buggy"
+            );
+        }
+    }
+
+    #[test]
+    fn planning_beats_naive_when_tests_overlap() {
+        // Many tests covering the same structure.
+        let mut src = String::from(
+            "exception E;\n\
+             class R {\n\
+               method op() throws E { return \"ok\"; }\n\
+               method run() {\n\
+                 for (var retry = 0; retry < 3; retry = retry + 1) {\n\
+                   try { return this.op(); } catch (E e) { sleep(5); }\n\
+                 }\n\
+                 throw new E(\"giving up\");\n\
+               }\n",
+        );
+        for i in 0..20 {
+            src.push_str(&format!(
+                "  test t{i:02}() {{ assert(this.run() == \"ok\"); }}\n"
+            ));
+        }
+        src.push_str("}\n");
+        let p = Project::compile("t", vec![("r.jav", src)]).unwrap();
+        let mut llm = SimulatedLlm::with_seed(5);
+        let identified = identify(&p, &mut llm);
+        let result = run_dynamic(&p, &identified.locations, &DynamicOptions::default());
+        assert!(result.runs_naive >= 10 * result.runs_planned);
+        assert!(result.bugs.is_empty(), "clean structure");
+    }
+}

@@ -1,0 +1,23 @@
+#![forbid(unsafe_code)]
+//! The WASABI evaluation corpus.
+//!
+//! Two halves:
+//!
+//! - [`study`] — the §2 bug-study dataset: 70 real-world retry issues from
+//!   six applications, encoded with root cause, mechanism, severity,
+//!   trigger, and regression-test attributes (Tables 1–2 and the §2.5
+//!   statistics);
+//! - [`spec`], [`templates`], [`synth`] — the synthetic eight-application
+//!   corpus the tool pipelines run on, generated deterministically from
+//!   per-app specs calibrated to the paper's evaluation tables, with full
+//!   ground truth ([`truth`]) so reports can be scored mechanically.
+
+pub mod spec;
+pub mod study;
+pub mod synth;
+pub mod templates;
+pub mod truth;
+
+pub use spec::{paper_apps, AppSpec, Scale};
+pub use synth::{compile_app, generate_app, GeneratedApp};
+pub use truth::{AppTruth, SeededBug, StructureKind, StructureTruth, Trap};

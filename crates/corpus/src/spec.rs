@@ -1,0 +1,621 @@
+//! Per-application generation specs, calibrated to the paper's evaluation
+//! tables.
+//!
+//! Every number here is transcribed or derived from the paper:
+//!
+//! - retry-structure counts and visibility buckets from Table 5 and
+//!   Figure 4 (323 structures; 239 loops of which CodeQL finds ~85% and the
+//!   LLM misses 100 in large files; 47 queue + 37 state-machine structures);
+//! - seeded true bugs and false-positive traps from Tables 3–4 (subscripts)
+//!   and the §4.3 false-positive taxonomy;
+//! - the dynamic/static overlap (20 bugs, Figure 3) split as 12 missing-cap
+//!   + 8 missing-delay structures visible to both workflows;
+//! - unit-test counts from Table 6;
+//! - IF-ratio seeds from §4.1 (KeeperException 17/20, TTransportException
+//!   2/3, IllegalArgumentException 2/9, ExitException 1/3,
+//!   IllegalStateException 1/3, plus the FileNotFoundException 1/4
+//!   boolean-flag false positive).
+
+/// How many structures of each dynamic-workflow outcome an app seeds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BugBudget {
+    /// Missing-cap bugs visible to both workflows (covered + small file).
+    pub cap_both: usize,
+    /// Missing-cap bugs only the dynamic workflow finds (covered +
+    /// large-file loops the LLM misses).
+    pub cap_dyn_only: usize,
+    /// Missing-cap bugs only the LLM finds (not covered by tests).
+    pub cap_llm_only: usize,
+    /// Missing-delay bugs visible to both workflows.
+    pub delay_both: usize,
+    /// Missing-delay bugs only the dynamic workflow finds.
+    pub delay_dyn_only: usize,
+    /// Missing-delay bugs only the LLM finds.
+    pub delay_llm_only: usize,
+    /// HOW bugs (dynamic only, K = 1 different-exception findings).
+    pub how: usize,
+}
+
+/// False-positive traps seeded per app.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrapBudget {
+    /// Harness-swallow structures (dynamic missing-cap FPs).
+    pub harness_swallow: usize,
+    /// Replica-switch structures (dynamic missing-delay FPs).
+    pub replica_switch: usize,
+    /// Wrap-and-rethrow structures (dynamic HOW FPs).
+    pub wrap_rethrow: usize,
+    /// Cap implemented by a helper in another file (LLM missing-cap FPs).
+    pub cap_helper_elsewhere: usize,
+    /// Delay implemented by a helper in another file (LLM missing-delay
+    /// FPs).
+    pub sleep_helper_elsewhere: usize,
+    /// Poll/status-watch files (probabilistic LLM Q1 FPs).
+    pub poll_files: usize,
+    /// Retry-named-parameter parser files (probabilistic LLM Q1 FPs).
+    pub param_files: usize,
+    /// Lock-acquire "retries" files (CodeQL bait; catch never reaches the
+    /// header).
+    pub lock_files: usize,
+}
+
+/// An IF-ratio seed: `n` retry loops can throw `exception`; `r` retry it.
+#[derive(Debug, Clone, Copy)]
+pub struct IfSeedSpec {
+    /// The exception whose policy is inconsistent.
+    pub exception: &'static str,
+    /// Loops where it can be thrown.
+    pub n: usize,
+    /// Loops where it is retried.
+    pub r: usize,
+    /// How many of the "retried" instances are boolean-flag fakes (counted
+    /// as retried by syntactic reachability but never actually retried).
+    pub flag_fakes: usize,
+    /// Whether the minority instances are genuine policy bugs.
+    pub genuine: bool,
+}
+
+/// Generation spec for one application.
+#[derive(Debug, Clone)]
+pub struct AppSpec {
+    /// Full name, e.g. `"hbase"`.
+    pub name: &'static str,
+    /// Paper short code, e.g. `"HB"`.
+    pub short: &'static str,
+    /// Deterministic generation seed.
+    pub seed: u64,
+
+    // ---- Structure counts (Table 5 / Figure 4) --------------------------
+    /// Exception loops visible to both CodeQL and the LLM (small files,
+    /// keyword-named).
+    pub loops_both: usize,
+    /// Exception loops in large files: CodeQL finds them, the LLM misses.
+    pub loops_codeql_only: usize,
+    /// Exception loops with only comment evidence: the LLM finds them,
+    /// CodeQL's keyword filter drops them.
+    pub loops_llm_only: usize,
+    /// Error-code retry loops (LLM-identified, untestable by exception
+    /// injection).
+    pub loops_errcode: usize,
+    /// Queue-based structures (LLM-only identification).
+    pub queues: usize,
+    /// State-machine structures (LLM-only identification).
+    pub fsms: usize,
+
+    // ---- Seeds -----------------------------------------------------------
+    /// True-bug budget.
+    pub bugs: BugBudget,
+    /// False-positive trap budget.
+    pub traps: TrapBudget,
+    /// Clean structures that unit tests cover (tunes Table 5 "tested").
+    pub covered_clean: usize,
+    /// IF-ratio seeds overlaid on this app's loops.
+    pub if_seeds: &'static [IfSeedSpec],
+
+    // ---- Test suite (Table 6) -------------------------------------------
+    /// Total unit tests (Paper scale).
+    pub tests_total: usize,
+    /// Tests that cover retry locations (Paper scale).
+    pub tests_cover_retry: usize,
+    /// Fraction (percent) of covering tests that restrict retry configs.
+    pub config_restricting_pct: usize,
+
+    // ---- LLM sweep volume (§4.3) ----------------------------------------
+    /// Non-retry filler files (Paper scale), sized so that per-app API
+    /// calls land near the paper's ~2600 median.
+    pub filler_files: usize,
+    /// Batch-iteration files with catch-and-continue loops (not scaled);
+    /// these feed the §4.4 keyword-ablation blow-up (725 vs 205 loops).
+    pub iteration_files: usize,
+}
+
+impl AppSpec {
+    /// Total retry structures this spec generates (Table 5 "identified"
+    /// targets). Bug and trap roles are assigned to slots within these
+    /// visibility buckets, not added on top.
+    pub fn total_structures(&self) -> usize {
+        self.loops_both
+            + self.loops_codeql_only
+            + self.loops_llm_only
+            + self.loops_errcode
+            + self.queues
+            + self.fsms
+    }
+
+    /// Total loop structures (exception + error-code + loop-shaped traps).
+    pub fn total_loops(&self) -> usize {
+        self.loops_both + self.loops_codeql_only + self.loops_llm_only + self.loops_errcode
+    }
+}
+
+/// The eight evaluated applications (§4: HA, HD, MA, YA, HB, HI, CA, EL).
+pub fn paper_apps() -> Vec<AppSpec> {
+    vec![
+        AppSpec {
+            name: "hadoop-common",
+            short: "HA",
+            seed: 0xA001,
+            loops_both: 14,
+            loops_codeql_only: 12,
+            loops_llm_only: 1,
+            loops_errcode: 1,
+            queues: 6,
+            fsms: 4,
+            bugs: BugBudget {
+                cap_both: 0,
+                cap_dyn_only: 1,
+                cap_llm_only: 0,
+                delay_both: 1,
+                delay_dyn_only: 0,
+                delay_llm_only: 2,
+                how: 0,
+            },
+            traps: TrapBudget {
+                harness_swallow: 1,
+                replica_switch: 2,
+                wrap_rethrow: 0,
+                cap_helper_elsewhere: 1,
+                sleep_helper_elsewhere: 1,
+                poll_files: 4,
+                param_files: 2,
+                lock_files: 1,
+            },
+            covered_clean: 7,
+            if_seeds: &[IfSeedSpec {
+                exception: "ExitException",
+                n: 3,
+                r: 1,
+                flag_fakes: 0,
+                genuine: true,
+            }],
+            tests_total: 7296,
+            tests_cover_retry: 841,
+            config_restricting_pct: 10,
+            filler_files: 2300,
+            iteration_files: 55,
+        },
+        AppSpec {
+            name: "hdfs",
+            short: "HD",
+            seed: 0xA002,
+            loops_both: 14,
+            loops_codeql_only: 14,
+            loops_llm_only: 1,
+            loops_errcode: 1,
+            queues: 6,
+            fsms: 5,
+            bugs: BugBudget {
+                cap_both: 3,
+                cap_dyn_only: 2,
+                cap_llm_only: 2,
+                delay_both: 2,
+                delay_dyn_only: 1,
+                delay_llm_only: 5,
+                how: 2,
+            },
+            traps: TrapBudget {
+                harness_swallow: 2,
+                replica_switch: 3,
+                wrap_rethrow: 2,
+                cap_helper_elsewhere: 1,
+                sleep_helper_elsewhere: 1,
+                poll_files: 4,
+                param_files: 2,
+                lock_files: 1,
+            },
+            covered_clean: 10,
+            if_seeds: &[IfSeedSpec {
+                exception: "FileNotFoundException",
+                n: 4,
+                r: 1,
+                flag_fakes: 1,
+                genuine: false,
+            }],
+            tests_total: 7642,
+            tests_cover_retry: 405,
+            config_restricting_pct: 10,
+            filler_files: 2400,
+            iteration_files: 55,
+        },
+        AppSpec {
+            name: "mapreduce",
+            short: "MA",
+            seed: 0xA003,
+            loops_both: 7,
+            loops_codeql_only: 4,
+            loops_llm_only: 0,
+            loops_errcode: 1,
+            queues: 2,
+            fsms: 2,
+            bugs: BugBudget {
+                cap_both: 0,
+                cap_dyn_only: 0,
+                cap_llm_only: 0,
+                delay_both: 2,
+                delay_dyn_only: 2,
+                delay_llm_only: 1,
+                how: 0,
+            },
+            traps: TrapBudget {
+                harness_swallow: 0,
+                replica_switch: 1,
+                wrap_rethrow: 0,
+                cap_helper_elsewhere: 1,
+                sleep_helper_elsewhere: 0,
+                poll_files: 3,
+                param_files: 2,
+                lock_files: 1,
+            },
+            covered_clean: 6,
+            if_seeds: &[],
+            tests_total: 1468,
+            tests_cover_retry: 393,
+            config_restricting_pct: 10,
+            filler_files: 2200,
+            iteration_files: 50,
+        },
+        AppSpec {
+            name: "yarn",
+            short: "YA",
+            seed: 0xA004,
+            loops_both: 6,
+            loops_codeql_only: 5,
+            loops_llm_only: 1,
+            loops_errcode: 1,
+            queues: 3,
+            fsms: 2,
+            bugs: BugBudget {
+                cap_both: 0,
+                cap_dyn_only: 0,
+                cap_llm_only: 2,
+                delay_both: 0,
+                delay_dyn_only: 0,
+                delay_llm_only: 4,
+                how: 0,
+            },
+            traps: TrapBudget {
+                harness_swallow: 1,
+                replica_switch: 0,
+                wrap_rethrow: 0,
+                cap_helper_elsewhere: 0,
+                sleep_helper_elsewhere: 0,
+                poll_files: 3,
+                param_files: 2,
+                lock_files: 1,
+            },
+            covered_clean: 10,
+            if_seeds: &[IfSeedSpec {
+                exception: "IllegalStateException",
+                n: 3,
+                r: 1,
+                flag_fakes: 0,
+                genuine: true,
+            }],
+            tests_total: 5757,
+            tests_cover_retry: 764,
+            config_restricting_pct: 10,
+            filler_files: 2400,
+            iteration_files: 52,
+        },
+        AppSpec {
+            name: "hbase",
+            short: "HB",
+            seed: 0xA005,
+            loops_both: 35,
+            loops_codeql_only: 34,
+            loops_llm_only: 2,
+            loops_errcode: 2,
+            queues: 14,
+            fsms: 11,
+            bugs: BugBudget {
+                cap_both: 7,
+                cap_dyn_only: 4,
+                cap_llm_only: 5,
+                delay_both: 2,
+                delay_dyn_only: 2,
+                delay_llm_only: 10,
+                how: 2,
+            },
+            traps: TrapBudget {
+                harness_swallow: 2,
+                replica_switch: 2,
+                wrap_rethrow: 2,
+                cap_helper_elsewhere: 2,
+                sleep_helper_elsewhere: 2,
+                poll_files: 4,
+                param_files: 2,
+                lock_files: 1,
+            },
+            covered_clean: 25,
+            if_seeds: &[
+                IfSeedSpec {
+                    exception: "KeeperException",
+                    n: 20,
+                    r: 17,
+                    flag_fakes: 0,
+                    genuine: true,
+                },
+                // The paper places this outlier in Cassandra; Cassandra's 15
+                // structures cannot host a 9-loop ratio group, so it lives
+                // in HBase here (noted in EXPERIMENTS.md).
+                IfSeedSpec {
+                    exception: "IllegalArgumentException",
+                    n: 9,
+                    r: 2,
+                    flag_fakes: 0,
+                    genuine: true,
+                },
+            ],
+            tests_total: 7052,
+            tests_cover_retry: 1438,
+            config_restricting_pct: 10,
+            filler_files: 2500,
+            iteration_files: 60,
+        },
+        AppSpec {
+            name: "hive",
+            short: "HI",
+            seed: 0xA006,
+            loops_both: 16,
+            loops_codeql_only: 14,
+            loops_llm_only: 0,
+            loops_errcode: 14,
+            queues: 8,
+            fsms: 7,
+            bugs: BugBudget {
+                cap_both: 1,
+                cap_dyn_only: 1,
+                cap_llm_only: 0,
+                delay_both: 1,
+                delay_dyn_only: 1,
+                delay_llm_only: 10,
+                how: 1,
+            },
+            traps: TrapBudget {
+                harness_swallow: 1,
+                replica_switch: 0,
+                wrap_rethrow: 1,
+                cap_helper_elsewhere: 1,
+                sleep_helper_elsewhere: 2,
+                poll_files: 4,
+                param_files: 2,
+                lock_files: 1,
+            },
+            covered_clean: 7,
+            if_seeds: &[IfSeedSpec {
+                exception: "TTransportException",
+                n: 3,
+                r: 2,
+                flag_fakes: 0,
+                genuine: true,
+            }],
+            tests_total: 35289,
+            tests_cover_retry: 1505,
+            config_restricting_pct: 10,
+            filler_files: 2500,
+            iteration_files: 58,
+        },
+        AppSpec {
+            name: "cassandra",
+            short: "CA",
+            seed: 0xA007,
+            loops_both: 7,
+            loops_codeql_only: 4,
+            loops_llm_only: 0,
+            loops_errcode: 0,
+            queues: 2,
+            fsms: 2,
+            bugs: BugBudget {
+                cap_both: 1,
+                cap_dyn_only: 0,
+                cap_llm_only: 3,
+                delay_both: 0,
+                delay_dyn_only: 2,
+                delay_llm_only: 4,
+                how: 0,
+            },
+            traps: TrapBudget {
+                harness_swallow: 0,
+                replica_switch: 0,
+                wrap_rethrow: 0,
+                cap_helper_elsewhere: 1,
+                sleep_helper_elsewhere: 0,
+                poll_files: 3,
+                param_files: 2,
+                lock_files: 1,
+            },
+            covered_clean: 2,
+            if_seeds: &[],
+            tests_total: 5439,
+            tests_cover_retry: 952,
+            config_restricting_pct: 10,
+            filler_files: 2200,
+            iteration_files: 50,
+        },
+        AppSpec {
+            name: "elasticsearch",
+            short: "EL",
+            seed: 0xA008,
+            loops_both: 4,
+            loops_codeql_only: 13,
+            loops_llm_only: 1,
+            loops_errcode: 10,
+            queues: 6,
+            fsms: 4,
+            bugs: BugBudget {
+                cap_both: 0,
+                cap_dyn_only: 0,
+                cap_llm_only: 3,
+                delay_both: 0,
+                delay_dyn_only: 1,
+                delay_llm_only: 8,
+                how: 0,
+            },
+            traps: TrapBudget {
+                harness_swallow: 1,
+                replica_switch: 0,
+                wrap_rethrow: 0,
+                cap_helper_elsewhere: 1,
+                sleep_helper_elsewhere: 2,
+                poll_files: 4,
+                param_files: 2,
+                lock_files: 1,
+            },
+            covered_clean: 3,
+            if_seeds: &[],
+            tests_total: 12045,
+            tests_cover_retry: 1388,
+            config_restricting_pct: 10,
+            filler_files: 2400,
+            iteration_files: 60,
+        },
+    ]
+}
+
+/// Generation scale: divides test counts and filler-file counts so the
+/// whole corpus can run quickly in CI while `Paper` scale reproduces the
+/// evaluation volumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full paper-scale volumes (≈82 k unit tests, ≈19 k files).
+    Paper,
+    /// Everything retry-related intact; tests and filler divided by 20.
+    Small,
+    /// Minimal filler for unit tests of the generator itself (÷200).
+    Tiny,
+}
+
+impl Scale {
+    /// The divisor applied to test and filler counts.
+    pub fn divisor(self) -> usize {
+        match self {
+            Scale::Paper => 1,
+            Scale::Small => 20,
+            Scale::Tiny => 200,
+        }
+    }
+
+    /// Scales a Paper-level count, keeping at least `min`.
+    pub fn scale(self, count: usize, min: usize) -> usize {
+        (count / self.divisor()).max(min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_apps_with_paper_short_codes() {
+        let apps = paper_apps();
+        let shorts: Vec<&str> = apps.iter().map(|a| a.short).collect();
+        assert_eq!(shorts, vec!["HA", "HD", "MA", "YA", "HB", "HI", "CA", "EL"]);
+    }
+
+    #[test]
+    fn loop_buckets_match_figure_4_totals() {
+        let apps = paper_apps();
+        let both: usize = apps.iter().map(|a| a.loops_both).sum();
+        let cq: usize = apps.iter().map(|a| a.loops_codeql_only).sum();
+        let llm: usize = apps.iter().map(|a| a.loops_llm_only).sum();
+        let err: usize = apps.iter().map(|a| a.loops_errcode).sum();
+        let queues: usize = apps.iter().map(|a| a.queues).sum();
+        let fsms: usize = apps.iter().map(|a| a.fsms).sum();
+        assert_eq!(both + cq + llm + err, 239, "total retry loops (Figure 4)");
+        assert_eq!(cq, 100, "loops the LLM misses in large files (§4.2)");
+        assert_eq!(queues, 47, "queue structures");
+        assert_eq!(fsms, 37, "state-machine structures");
+        assert_eq!(both + cq + llm + err + queues + fsms, 323, "total structures");
+        // CodeQL finds both + codeql_only = 203 of 239 ≈ 85%.
+        assert_eq!(both + cq, 203);
+    }
+
+    #[test]
+    fn bug_budgets_match_tables_3_and_4() {
+        let apps = paper_apps();
+        let dyn_cap: usize = apps.iter().map(|a| a.bugs.cap_both + a.bugs.cap_dyn_only).sum();
+        let dyn_delay: usize = apps
+            .iter()
+            .map(|a| a.bugs.delay_both + a.bugs.delay_dyn_only)
+            .sum();
+        let how: usize = apps.iter().map(|a| a.bugs.how).sum();
+        assert_eq!(dyn_cap, 20, "true missing-cap bugs via unit testing (Table 3)");
+        assert_eq!(dyn_delay, 17, "true missing-delay bugs via unit testing");
+        assert_eq!(how, 5, "true HOW bugs");
+
+        let llm_cap: usize = apps.iter().map(|a| a.bugs.cap_both + a.bugs.cap_llm_only).sum();
+        let llm_delay: usize = apps
+            .iter()
+            .map(|a| a.bugs.delay_both + a.bugs.delay_llm_only)
+            .sum();
+        assert_eq!(llm_cap, 27, "true missing-cap bugs via the LLM (Table 4)");
+        assert_eq!(llm_delay, 52, "true missing-delay bugs via the LLM");
+
+        let overlap: usize = apps.iter().map(|a| a.bugs.cap_both + a.bugs.delay_both).sum();
+        assert_eq!(overlap, 20, "dynamic/static overlap (Figure 3)");
+    }
+
+    #[test]
+    fn trap_budgets_match_fp_taxonomy() {
+        let apps = paper_apps();
+        let harness: usize = apps.iter().map(|a| a.traps.harness_swallow).sum();
+        let replica: usize = apps.iter().map(|a| a.traps.replica_switch).sum();
+        let wrap: usize = apps.iter().map(|a| a.traps.wrap_rethrow).sum();
+        assert_eq!(harness, 8, "dynamic missing-cap FPs (§4.3)");
+        assert_eq!(replica, 8, "dynamic missing-delay FPs");
+        assert_eq!(wrap, 5, "dynamic HOW FPs");
+        let cap_helper: usize = apps.iter().map(|a| a.traps.cap_helper_elsewhere).sum();
+        let sleep_helper: usize = apps.iter().map(|a| a.traps.sleep_helper_elsewhere).sum();
+        assert_eq!(cap_helper, 8, "LLM missing-cap FP seeds");
+        assert_eq!(sleep_helper, 8, "LLM missing-delay FP seeds");
+    }
+
+    #[test]
+    fn identified_totals_match_table_5() {
+        let apps = paper_apps();
+        let identified: Vec<usize> = apps.iter().map(|a| a.total_structures()).collect();
+        assert_eq!(identified, vec![38, 41, 16, 18, 98, 59, 15, 38]);
+        assert_eq!(identified.iter().sum::<usize>(), 323);
+    }
+
+    #[test]
+    fn test_totals_match_table_6() {
+        let apps = paper_apps();
+        let totals: Vec<usize> = apps.iter().map(|a| a.tests_total).collect();
+        assert_eq!(
+            totals,
+            vec![7296, 7642, 1468, 5757, 7052, 35289, 5439, 12045]
+        );
+        for app in &apps {
+            assert!(app.tests_cover_retry < app.tests_total);
+        }
+    }
+
+    #[test]
+    fn scale_divisors() {
+        assert_eq!(Scale::Paper.scale(7296, 10), 7296);
+        assert_eq!(Scale::Small.scale(7296, 10), 364);
+        assert_eq!(Scale::Tiny.scale(7296, 10), 36);
+        assert_eq!(Scale::Tiny.scale(100, 10), 10);
+    }
+}

@@ -1,0 +1,428 @@
+//! The §2 bug-study dataset: 70 real-world retry issues.
+//!
+//! Thirteen issues are the ones the paper discusses by name (KAFKA-6829,
+//! HADOOP-16683, HIVE-23894, HBASE-20492, ...); the remainder are synthesized
+//! records whose attributes are allocated deterministically to reproduce the
+//! paper's published marginals exactly: Table 1 (issues per application),
+//! Table 2 (root causes), the §2.5 severity, mechanism, and trigger splits,
+//! and the 42/70 regression-test ratio.
+
+/// The application an issue was reported against (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StudyApp {
+    Elasticsearch,
+    Hadoop,
+    HBase,
+    Hive,
+    Kafka,
+    Spark,
+}
+
+impl StudyApp {
+    /// All six studied applications with their GitHub star counts (Table 1).
+    pub fn all() -> [(StudyApp, &'static str, u32); 6] {
+        [
+            (StudyApp::Elasticsearch, "Full-text search", 66),
+            (StudyApp::Hadoop, "Distr. storage/processing", 14),
+            (StudyApp::HBase, "Database", 5),
+            (StudyApp::Hive, "Data warehousing", 5),
+            (StudyApp::Kafka, "Stream processing", 26),
+            (StudyApp::Spark, "Data processing", 37),
+        ]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StudyApp::Elasticsearch => "Elasticsearch",
+            StudyApp::Hadoop => "Hadoop",
+            StudyApp::HBase => "HBase",
+            StudyApp::Hive => "Hive",
+            StudyApp::Kafka => "Kafka",
+            StudyApp::Spark => "Spark",
+        }
+    }
+}
+
+/// Root-cause category (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RootCause {
+    /// IF: recoverable or non-recoverable errors mishandled by the policy.
+    WrongPolicy,
+    /// IF: retry mechanism missing or disabled entirely.
+    MissingMechanism,
+    /// WHEN: no or wrong delay between attempts.
+    DelayProblem,
+    /// WHEN: missing or broken cap on attempts.
+    CapProblem,
+    /// HOW: state not (fully) reset before the retry.
+    ImproperStateReset,
+    /// HOW: job status tracking broken or racy under retry.
+    BrokenJobTracking,
+    /// HOW: other execution problems.
+    Other,
+}
+
+impl RootCause {
+    /// The IF/WHEN/HOW supercategory.
+    pub fn category(self) -> &'static str {
+        match self {
+            RootCause::WrongPolicy | RootCause::MissingMechanism => "IF",
+            RootCause::DelayProblem | RootCause::CapProblem => "WHEN",
+            RootCause::ImproperStateReset | RootCause::BrokenJobTracking | RootCause::Other => {
+                "HOW"
+            }
+        }
+    }
+
+    /// Table 2 row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RootCause::WrongPolicy => "Wrong retry policy",
+            RootCause::MissingMechanism => "Missing or disabled retry mechanism",
+            RootCause::DelayProblem => "Delay problem",
+            RootCause::CapProblem => "Cap problem",
+            RootCause::ImproperStateReset => "Improper state reset",
+            RootCause::BrokenJobTracking => "Broken/raced job tracking",
+            RootCause::Other => "Other",
+        }
+    }
+}
+
+/// Retry mechanism shape (§2.5: 55% loop / 25% queue / 20% state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MechanismShape {
+    Loop,
+    Queue,
+    StateMachine,
+}
+
+/// Developer-assigned severity (§2.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Severity {
+    Blocker,
+    Critical,
+    Major,
+    Minor,
+    Unlabeled,
+}
+
+/// How the task error reaches the coordinator (§3.1: 70% exceptions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Trigger {
+    Exception,
+    ErrorCode,
+}
+
+/// One studied issue.
+#[derive(Debug, Clone)]
+pub struct StudyIssue {
+    /// Tracker id, e.g. `"KAFKA-6829"`.
+    pub id: String,
+    /// Application.
+    pub app: StudyApp,
+    /// Root cause (Table 2).
+    pub root_cause: RootCause,
+    /// Mechanism shape.
+    pub mechanism: MechanismShape,
+    /// Severity label.
+    pub severity: Severity,
+    /// Error-reporting channel.
+    pub trigger: Trigger,
+    /// Whether developers added a regression unit test after the fix.
+    pub regression_test: bool,
+    /// One-line description.
+    pub description: String,
+}
+
+/// The thirteen issues the paper discusses by name.
+fn named_issues() -> Vec<StudyIssue> {
+    let mk = |id: &str,
+              app: StudyApp,
+              root_cause: RootCause,
+              mechanism: MechanismShape,
+              severity: Severity,
+              trigger: Trigger,
+              regression_test: bool,
+              description: &str| StudyIssue {
+        id: id.to_string(),
+        app,
+        root_cause,
+        mechanism,
+        severity,
+        trigger,
+        regression_test,
+        description: description.to_string(),
+    };
+    vec![
+        mk("KAFKA-6829", StudyApp::Kafka, RootCause::WrongPolicy, MechanismShape::Queue,
+           Severity::Major, Trigger::ErrorCode, true,
+           "UNKNOWN_TOPIC_OR_PARTITION missing from the commit response handler's retry list"),
+        mk("HBASE-25743", StudyApp::HBase, RootCause::WrongPolicy, MechanismShape::Loop,
+           Severity::Major, Trigger::Exception, true,
+           "Upgraded Zookeeper returns KeeperException.RequestTimeout, never retried"),
+        mk("KAFKA-12339", StudyApp::Kafka, RootCause::WrongPolicy, MechanismShape::Loop,
+           Severity::Critical, Trigger::Exception, true,
+           "New UnknownTopicOrPartitionException from internal library not retried during sync"),
+        mk("HADOOP-16580", StudyApp::Hadoop, RootCause::WrongPolicy, MechanismShape::Loop,
+           Severity::Major, Trigger::Exception, true,
+           "IOException retried wholesale, wrongly covering AccessControlException"),
+        mk("HADOOP-16683", StudyApp::Hadoop, RootCause::WrongPolicy, MechanismShape::Loop,
+           Severity::Major, Trigger::Exception, true,
+           "AccessControlException wrapped in HadoopException always retried"),
+        mk("ELASTICSEARCH-53687", StudyApp::Elasticsearch, RootCause::WrongPolicy,
+           MechanismShape::Queue, Severity::Major, Trigger::Exception, false,
+           "Cancelled analytics job treated as recoverable; results persister retries forever"),
+        mk("HIVE-23894", StudyApp::Hive, RootCause::WrongPolicy, MechanismShape::Queue,
+           Severity::Major, Trigger::Exception, true,
+           "Cancelled TezTask re-submitted to the task queue as if it had failed"),
+        mk("HIVE-20349", StudyApp::Hive, RootCause::MissingMechanism, MechanismShape::Loop,
+           Severity::Major, Trigger::Exception, false,
+           "Fetch failures not retried against other nodes holding redundant segments"),
+        mk("HBASE-20492", StudyApp::HBase, RootCause::DelayProblem, MechanismShape::StateMachine,
+           Severity::Critical, Trigger::Exception, true,
+           "UnassignProcedure retries REGION_TRANSITION_DISPATCH with no delay, congesting the executor"),
+        mk("HDFS-15439", StudyApp::Hadoop, RootCause::CapProblem, MechanismShape::Loop,
+           Severity::Major, Trigger::Exception, true,
+           "Negative dfs.mover.retry.max.attempts allows infinite mover retries"),
+        mk("YARN-8362", StudyApp::Hadoop, RootCause::CapProblem, MechanismShape::StateMachine,
+           Severity::Major, Trigger::Exception, true,
+           "Attempt counter incremented twice, halving the configured max retries"),
+        mk("SPARK-27630", StudyApp::Spark, RootCause::BrokenJobTracking, MechanismShape::Queue,
+           Severity::Major, Trigger::Exception, true,
+           "Zombie stages share stageId with retries and corrupt stageIdToNumTasks"),
+        mk("HBASE-20616", StudyApp::HBase, RootCause::ImproperStateReset,
+           MechanismShape::StateMachine, Severity::Major, Trigger::Exception, true,
+           "TruncateTable retry fails: files from the failed CREATE_FS_LAYOUT attempt not cleaned"),
+    ]
+}
+
+/// Target marginals (paper Tables 1–2 and §2.5).
+mod targets {
+    use super::*;
+
+    pub const PER_APP: [(StudyApp, usize); 6] = [
+        (StudyApp::Elasticsearch, 11),
+        (StudyApp::Hadoop, 15),
+        (StudyApp::HBase, 15),
+        (StudyApp::Hive, 11),
+        (StudyApp::Kafka, 9),
+        (StudyApp::Spark, 9),
+    ];
+
+    pub const ROOT_CAUSES: [(RootCause, usize); 7] = [
+        (RootCause::WrongPolicy, 17),
+        (RootCause::MissingMechanism, 8),
+        (RootCause::DelayProblem, 10),
+        (RootCause::CapProblem, 13),
+        (RootCause::ImproperStateReset, 12),
+        (RootCause::BrokenJobTracking, 8),
+        (RootCause::Other, 2),
+    ];
+
+    pub const MECHANISMS: [(MechanismShape, usize); 3] = [
+        (MechanismShape::Loop, 39),
+        (MechanismShape::Queue, 17),
+        (MechanismShape::StateMachine, 14),
+    ];
+
+    pub const SEVERITIES: [(Severity, usize); 5] = [
+        (Severity::Blocker, 4),
+        (Severity::Critical, 7),
+        (Severity::Major, 45),
+        (Severity::Minor, 4),
+        (Severity::Unlabeled, 10),
+    ];
+
+    pub const TRIGGERS: [(Trigger, usize); 2] = [(Trigger::Exception, 49), (Trigger::ErrorCode, 21)];
+
+    pub const REGRESSION_TESTS: usize = 42;
+}
+
+/// Builds the full 70-issue dataset with the paper's exact marginals.
+pub fn study_issues() -> Vec<StudyIssue> {
+    let mut issues = named_issues();
+
+    // Remaining quota per attribute after the named issues.
+    let mut per_app: Vec<(StudyApp, usize)> = targets::PER_APP.to_vec();
+    let mut causes: Vec<(RootCause, usize)> = targets::ROOT_CAUSES.to_vec();
+    let mut mechanisms: Vec<(MechanismShape, usize)> = targets::MECHANISMS.to_vec();
+    let mut severities: Vec<(Severity, usize)> = targets::SEVERITIES.to_vec();
+    let mut triggers: Vec<(Trigger, usize)> = targets::TRIGGERS.to_vec();
+    let mut regressions = targets::REGRESSION_TESTS;
+
+    fn take<T: Copy + PartialEq>(pool: &mut [(T, usize)], value: T) {
+        let entry = pool
+            .iter_mut()
+            .find(|(v, _)| *v == value)
+            .expect("value in pool");
+        assert!(entry.1 > 0, "marginal exhausted by named issues");
+        entry.1 -= 1;
+    }
+    for issue in &issues {
+        take(&mut per_app, issue.app);
+        take(&mut causes, issue.root_cause);
+        take(&mut mechanisms, issue.mechanism);
+        take(&mut severities, issue.severity);
+        take(&mut triggers, issue.trigger);
+        if issue.regression_test {
+            regressions -= 1;
+        }
+    }
+
+    // Deterministic round-robin draw keeping every marginal exact.
+    fn draw<T: Copy>(pool: &mut [(T, usize)], step: usize) -> T {
+        let total: usize = pool.iter().map(|(_, n)| n).sum();
+        let mut idx = step % total.max(1);
+        for (value, n) in pool.iter_mut() {
+            if idx < *n {
+                *n -= 1;
+                return *value;
+            }
+            idx -= *n;
+        }
+        unreachable!("draw past pool end");
+    }
+
+    let mut serial = 20000;
+    let mut step = 0usize;
+    while issues.len() < 70 {
+        step += 7; // Co-prime stride interleaves the attribute pools.
+        let app = draw(&mut per_app, step);
+        let root_cause = draw(&mut causes, step / 2);
+        let mechanism = draw(&mut mechanisms, step / 3);
+        let severity = draw(&mut severities, step / 5);
+        let trigger = draw(&mut triggers, step);
+        let remaining = 70 - issues.len();
+        let regression_test = regressions >= remaining || (regressions > 0 && step % 3 != 0);
+        if regression_test {
+            regressions -= 1;
+        }
+        serial += 17;
+        issues.push(StudyIssue {
+            id: format!("{}-{serial}", app.name().to_uppercase()),
+            app,
+            root_cause,
+            mechanism,
+            severity,
+            trigger,
+            regression_test,
+            description: format!(
+                "{} via {:?}-based retry ({})",
+                root_cause.label(),
+                mechanism,
+                app.name()
+            ),
+        });
+    }
+    issues
+}
+
+/// Table 2: issue counts per root cause.
+pub fn table2_counts(issues: &[StudyIssue]) -> Vec<(RootCause, usize)> {
+    targets::ROOT_CAUSES
+        .iter()
+        .map(|(cause, _)| {
+            (
+                *cause,
+                issues.iter().filter(|i| i.root_cause == *cause).count(),
+            )
+        })
+        .collect()
+}
+
+/// Table 1: issue counts per application.
+pub fn table1_counts(issues: &[StudyIssue]) -> Vec<(StudyApp, usize)> {
+    StudyApp::all()
+        .iter()
+        .map(|(app, _, _)| (*app, issues.iter().filter(|i| i.app == *app).count()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_has_seventy_issues() {
+        assert_eq!(study_issues().len(), 70);
+    }
+
+    #[test]
+    fn per_app_counts_match_table_1() {
+        let issues = study_issues();
+        let counts = table1_counts(&issues);
+        let expected = [11, 15, 15, 11, 9, 9];
+        for ((_, count), want) in counts.iter().zip(expected) {
+            assert_eq!(*count, want);
+        }
+    }
+
+    #[test]
+    fn root_causes_match_table_2() {
+        let issues = study_issues();
+        let counts = table2_counts(&issues);
+        let expected = [17, 8, 10, 13, 12, 8, 2];
+        for ((cause, count), want) in counts.iter().zip(expected) {
+            assert_eq!(*count, want, "{}", cause.label());
+        }
+        // Category split: IF 25 (36%), WHEN 23 (33%), HOW 22 (31%).
+        let by_cat = |cat: &str| {
+            issues
+                .iter()
+                .filter(|i| i.root_cause.category() == cat)
+                .count()
+        };
+        assert_eq!(by_cat("IF"), 25);
+        assert_eq!(by_cat("WHEN"), 23);
+        assert_eq!(by_cat("HOW"), 22);
+    }
+
+    #[test]
+    fn mechanism_split_matches_section_2_5() {
+        let issues = study_issues();
+        let count = |m| issues.iter().filter(|i| i.mechanism == m).count();
+        assert_eq!(count(MechanismShape::Loop), 39);
+        assert_eq!(count(MechanismShape::Queue), 17);
+        assert_eq!(count(MechanismShape::StateMachine), 14);
+    }
+
+    #[test]
+    fn severity_and_trigger_splits() {
+        let issues = study_issues();
+        let sev = |s| issues.iter().filter(|i| i.severity == s).count();
+        assert_eq!(sev(Severity::Blocker), 4);
+        assert_eq!(sev(Severity::Critical), 7);
+        assert_eq!(sev(Severity::Major), 45);
+        assert_eq!(sev(Severity::Minor), 4);
+        assert_eq!(sev(Severity::Unlabeled), 10);
+        let exc = issues
+            .iter()
+            .filter(|i| i.trigger == Trigger::Exception)
+            .count();
+        assert_eq!(exc, 49, "70% exception-triggered");
+    }
+
+    #[test]
+    fn regression_test_ratio_is_42_of_70() {
+        let issues = study_issues();
+        assert_eq!(issues.iter().filter(|i| i.regression_test).count(), 42);
+    }
+
+    #[test]
+    fn named_issues_are_present() {
+        let issues = study_issues();
+        for id in ["KAFKA-6829", "HBASE-20492", "HDFS-15439", "SPARK-27630"] {
+            assert!(issues.iter().any(|i| i.id == id), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let issues = study_issues();
+        let mut ids: Vec<&str> = issues.iter().map(|i| i.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 70);
+    }
+}

@@ -1,0 +1,1131 @@
+//! Javelin source templates for every retry-structure kind, bug, and trap.
+//!
+//! Each builder returns the structure's source files, its ground truth, and
+//! a description of how unit tests should drive it. Templates are written so
+//! that the *dynamic* behaviour (under fault injection) and the *textual*
+//! appearance (what CodeQL-style queries and the simulated LLM see) each
+//! land exactly where the paper's evaluation puts them; the module-level
+//! comments on each builder say which cell of which table the template
+//! feeds.
+
+use crate::truth::{SeededBug, StructureKind, StructureTruth, Trap, Visibility};
+use wasabi_lang::project::MethodId;
+
+/// How a covering unit test should exercise a structure.
+#[derive(Debug, Clone)]
+pub enum TestShape {
+    /// `var s = new {class}(); [init] assert(s.{entry}() == {expected});`
+    Standard {
+        /// Class to instantiate.
+        class: String,
+        /// Entry method to call.
+        entry: String,
+        /// Expected string result.
+        expected: String,
+        /// Config key the structure reads for its cap, if any (restricting
+        /// tests override it).
+        config_key: Option<String>,
+        /// Extra setup statements before the call.
+        setup: Vec<String>,
+        /// Extra assertions after the call (referencing `s`).
+        extra_asserts: Vec<String>,
+    },
+    /// The harness-swallow shape: submit many tasks, swallow failures.
+    Harness {
+        /// Processor class.
+        class: String,
+        /// Per-task entry method.
+        entry: String,
+        /// Exception type the harness swallows.
+        exception: String,
+        /// Number of tasks the harness submits.
+        tasks: usize,
+    },
+}
+
+/// A generated structure: its files, truth, and test shape.
+#[derive(Debug, Clone)]
+pub struct StructureBuild {
+    /// `(path, source)` files; the first is the structure's own file.
+    pub files: Vec<(String, String)>,
+    /// Ground-truth record.
+    pub truth: StructureTruth,
+    /// How tests drive it (`None` for uncovered structures).
+    pub test: Option<TestShape>,
+}
+
+/// Parameters shared by the builders.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// App short code, e.g. `"HB"`.
+    pub short: String,
+    /// Structure index within the app.
+    pub index: usize,
+    /// Trigger exception type.
+    pub exception: String,
+    /// Whether the structure carries identifier/string keyword evidence
+    /// (`false` ⇒ comment-only evidence, invisible to CodeQL).
+    pub keyword: bool,
+    /// Whether to pad the file into LLM-blinding territory.
+    pub large_file: bool,
+    /// Covered by unit tests?
+    pub covered: bool,
+    /// Optional IF-seed overlay: `(exception, retried, flag_fake)`.
+    pub if_overlay: Option<(String, bool, bool)>,
+    /// Optional config key for a config-driven cap.
+    pub config_key: Option<String>,
+}
+
+impl Ctx {
+    fn class(&self, stem: &str) -> String {
+        format!("{stem}{}{:03}", self.short, self.index)
+    }
+
+    fn path(&self, stem: &str) -> String {
+        format!(
+            "src/{}_{}_{:03}.jav",
+            stem.to_lowercase(),
+            self.short.to_lowercase(),
+            self.index
+        )
+    }
+
+    /// Evidence comment, or a keyword-free one.
+    fn head_comment(&self, action: &str) -> String {
+        if self.keyword {
+            format!("// Retry {action} on transient failures.")
+        } else {
+            // Comment-only evidence must still read like retry to the LLM.
+            format!("// If {action} fails with a transient error, try it again (retry).")
+        }
+    }
+}
+
+/// Comment padding that pushes a file past the LLM's recall cliff without
+/// adding any retry-ish vocabulary.
+pub fn large_file_padding(lines: usize) -> String {
+    let mut out = String::with_capacity(lines * 72);
+    for i in 0..lines {
+        out.push_str(&format!(
+            "// bookkeeping note {i:04}: buffer pools are sized from the heap budget\n\
+             // and rebalanced when the allocator reports fragmentation pressure.\n"
+        ));
+    }
+    out
+}
+
+fn finish(
+    ctx: &Ctx,
+    kind: StructureKind,
+    stem: &str,
+    mut source: String,
+    bugs: Vec<SeededBug>,
+    traps: Vec<Trap>,
+    coordinator_method: &str,
+    exceptions: Vec<String>,
+    test: Option<TestShape>,
+    extra_files: Vec<(String, String)>,
+) -> StructureBuild {
+    if ctx.large_file {
+        source.push('\n');
+        source.push_str(&large_file_padding(120));
+    }
+    let class = ctx.class(stem);
+    let path = ctx.path(stem);
+    let mut files = vec![(path.clone(), source)];
+    files.extend(extra_files);
+    StructureBuild {
+        truth: StructureTruth {
+            id: format!("{}-{}-{:03}", ctx.short, stem.to_lowercase(), ctx.index),
+            kind,
+            coordinator: MethodId::new(class, coordinator_method),
+            file_path: path,
+            bugs,
+            traps,
+            visibility: Visibility {
+                keyword_evidence: ctx.keyword,
+                large_file: ctx.large_file,
+            },
+            covered_by_tests: ctx.covered,
+            exceptions,
+        },
+        files,
+        test,
+    }
+}
+
+/// Renders the optional IF-seed overlay: an extra `throws` type on the op
+/// plus (for retried instances) an extra catch clause.
+struct Overlay {
+    extra_throws: String,
+    extra_catch: String,
+    flag_decl: String,
+    flag_check: String,
+}
+
+fn overlay(ctx: &Ctx) -> Overlay {
+    match &ctx.if_overlay {
+        None => Overlay {
+            extra_throws: String::new(),
+            extra_catch: String::new(),
+            flag_decl: String::new(),
+            flag_check: String::new(),
+        },
+        Some((exc, retried, flag_fake)) => {
+            let extra_throws = format!(", {exc}");
+            if *flag_fake {
+                // The catch "reaches" the header syntactically, but the flag
+                // always breaks: the IF analysis wrongly counts it retried.
+                Overlay {
+                    extra_throws,
+                    extra_catch: format!(
+                        "            catch ({exc} e2) {{ this.broken = true; }}\n"
+                    ),
+                    flag_decl: "    field broken = false;\n".to_string(),
+                    // Give up by rethrowing the same exception type, so the
+                    // different-exception oracle stays quiet (the paper has
+                    // no HOW FP from this pattern).
+                    flag_check: format!(
+                        "            if (this.broken) {{ throw new {exc}(\"unrecoverable\"); }}\n"
+                    ),
+                }
+            } else if *retried {
+                Overlay {
+                    extra_throws,
+                    extra_catch: format!(
+                        "            catch ({exc} e2) {{ sleep(120); }}\n"
+                    ),
+                    flag_decl: String::new(),
+                    flag_check: String::new(),
+                }
+            } else {
+                // Not retried: the exception propagates out of the loop.
+                Overlay {
+                    extra_throws,
+                    extra_catch: String::new(),
+                    flag_decl: String::new(),
+                    flag_check: String::new(),
+                }
+            }
+        }
+    }
+}
+
+/// A clean, correct exception-retry loop (bounded attempts, backoff).
+///
+/// Feeds Table 5 identified/tested counts and serves as the IF-seed host.
+pub fn loop_clean(ctx: &Ctx) -> StructureBuild {
+    let class = ctx.class("Fetcher");
+    let exc = &ctx.exception;
+    let over = overlay(ctx);
+    let comment = ctx.head_comment("the fetch");
+    let (cap_field, cap_read, cap_cond) = match &ctx.config_key {
+        Some(key) => (
+            String::new(),
+            format!("        var maxAttempts = getConfig(\"{key}\");\n"),
+            "retry < maxAttempts".to_string(),
+        ),
+        None => (
+            "    field maxAttempts = 5;\n".to_string(),
+            String::new(),
+            "retry < this.maxAttempts".to_string(),
+        ),
+    };
+    let (kw_counter, kw_log) = if ctx.keyword {
+        ("retry", "")
+    } else {
+        ("round", "")
+    };
+    let _ = kw_log;
+    let source = format!(
+        "{comment}\n\
+         class {class} {{\n\
+         {cap_field}{flag}\
+         \x20   method open{i}() throws {exc}{extra_throws} {{ return \"conn\"; }}\n\
+         \x20   method fetch{i}(conn) throws {exc} {{ return \"ok\"; }}\n\
+         \x20   method run() throws {exc} {{\n\
+         {cap_read}\
+         \x20       for (var {kw} = 0; {cond}; {kw} = {kw} + 1) {{\n\
+         \x20           try {{\n\
+         \x20               var conn = this.open{i}();\n\
+         \x20               return this.fetch{i}(conn);\n\
+         \x20           }}\n\
+         \x20           catch ({exc} e) {{ sleep(100 * ({kw} + 1)); }}\n\
+         {extra_catch}\
+         {flag_check}\
+         \x20       }}\n\
+         \x20       throw new {exc}(\"{class}: giving up\");\n\
+         \x20   }}\n\
+         }}\n",
+        i = ctx.index,
+        kw = kw_counter,
+        cond = cap_cond.replace("retry", kw_counter),
+        flag = over.flag_decl,
+        extra_throws = over.extra_throws,
+        extra_catch = over.extra_catch,
+        flag_check = over.flag_check,
+    );
+    let mut exceptions = vec![exc.clone()];
+    if let Some((e, ..)) = &ctx.if_overlay {
+        exceptions.push(e.clone());
+    }
+    let test = ctx.covered.then(|| TestShape::Standard {
+        class: class.clone(),
+        entry: "run".into(),
+        expected: "ok".into(),
+        config_key: ctx.config_key.clone(),
+        setup: vec![],
+        extra_asserts: vec![],
+    });
+    finish(
+        ctx,
+        StructureKind::LoopException,
+        "Fetcher",
+        source,
+        vec![],
+        vec![],
+        "run",
+        exceptions,
+        test,
+        vec![],
+    )
+}
+
+/// A missing-cap retry loop (`while (true)` with backoff).
+///
+/// Feeds Table 3 (covered) / Table 4 (LLM-visible) missing-cap true bugs.
+pub fn loop_missing_cap(ctx: &Ctx) -> StructureBuild {
+    let class = ctx.class("Committer");
+    let exc = &ctx.exception;
+    let comment = ctx.head_comment("the commit");
+    let evidence = if ctx.keyword {
+        "log(\"retrying commit\");"
+    } else {
+        "log(\"commit did not stick, going again\"); // retry until it lands"
+    };
+    let source = format!(
+        "{comment}\n\
+         class {class} {{\n\
+         \x20   method push{i}() throws {exc} {{ return \"ok\"; }}\n\
+         \x20   method run() throws {exc} {{\n\
+         \x20       while (true) {{\n\
+         \x20           try {{ return this.push{i}(); }}\n\
+         \x20           catch ({exc} e) {{ {evidence} sleep(40); }}\n\
+         \x20       }}\n\
+         \x20   }}\n\
+         }}\n",
+        i = ctx.index,
+    );
+    let test = ctx.covered.then(|| TestShape::Standard {
+        class: class.clone(),
+        entry: "run".into(),
+        expected: "ok".into(),
+        config_key: None,
+        setup: vec![],
+        extra_asserts: vec![],
+    });
+    finish(
+        ctx,
+        StructureKind::LoopException,
+        "Committer",
+        source,
+        vec![SeededBug::MissingCap],
+        vec![],
+        "run",
+        vec![exc.clone()],
+        test,
+        vec![],
+    )
+}
+
+/// A missing-delay retry loop (bounded attempts, no backoff).
+pub fn loop_missing_delay(ctx: &Ctx) -> StructureBuild {
+    let class = ctx.class("Uploader");
+    let exc = &ctx.exception;
+    let comment = ctx.head_comment("the upload");
+    let counter = if ctx.keyword { "retry" } else { "round" };
+    let source = format!(
+        "{comment}\n\
+         class {class} {{\n\
+         \x20   field maxAttempts = 30;\n\
+         \x20   method send{i}() throws {exc} {{ return \"ok\"; }}\n\
+         \x20   method run() throws {exc} {{\n\
+         \x20       for (var {counter} = 0; {counter} < this.maxAttempts; {counter} = {counter} + 1) {{\n\
+         \x20           try {{ return this.send{i}(); }}\n\
+         \x20           catch ({exc} e) {{ log(\"attempt \" + {counter} + \" failed, going again immediately\"); }}\n\
+         \x20       }}\n\
+         \x20       throw new {exc}(\"{class}: giving up\");\n\
+         \x20   }}\n\
+         }}\n",
+        i = ctx.index,
+    );
+    let test = ctx.covered.then(|| TestShape::Standard {
+        class: class.clone(),
+        entry: "run".into(),
+        expected: "ok".into(),
+        config_key: None,
+        setup: vec![],
+        extra_asserts: vec![],
+    });
+    finish(
+        ctx,
+        StructureKind::LoopException,
+        "Uploader",
+        source,
+        vec![SeededBug::MissingDelay],
+        vec![],
+        "run",
+        vec![exc.clone()],
+        test,
+        vec![],
+    )
+}
+
+/// HOW bug: the catch block logs state through an object that is only
+/// allocated by the failing call (the §4.1 HDFS NullPointerException story).
+pub fn loop_how_npe(ctx: &Ctx) -> StructureBuild {
+    let class = ctx.class("BlockReader");
+    let exc = &ctx.exception;
+    let source = format!(
+        "// Retry block-reader creation on transient socket errors.\n\
+         class {class} {{\n\
+         \x20   field conn;\n\
+         \x20   field maxAttempts = 4;\n\
+         \x20   method createReader{i}() throws {exc} {{\n\
+         \x20       this.conn = new ReaderConn{short}{i}();\n\
+         \x20       return \"ok\";\n\
+         \x20   }}\n\
+         \x20   method run() throws {exc} {{\n\
+         \x20       for (var retry = 0; retry < this.maxAttempts; retry = retry + 1) {{\n\
+         \x20           try {{ return this.createReader{i}(); }}\n\
+         \x20           catch ({exc} e) {{\n\
+         \x20               log(\"reader failed, peer=\" + this.conn.describe());\n\
+         \x20               sleep(60);\n\
+         \x20           }}\n\
+         \x20       }}\n\
+         \x20       throw new {exc}(\"{class}: giving up\");\n\
+         \x20   }}\n\
+         }}\n\
+         class ReaderConn{short}{i} {{\n\
+         \x20   field peer = \"dn-1\";\n\
+         \x20   method describe() {{ return this.peer; }}\n\
+         }}\n",
+        i = ctx.index,
+        short = ctx.short,
+    );
+    let test = ctx.covered.then(|| TestShape::Standard {
+        class: class.clone(),
+        entry: "run".into(),
+        expected: "ok".into(),
+        config_key: None,
+        setup: vec![],
+        extra_asserts: vec![],
+    });
+    finish(
+        ctx,
+        StructureKind::LoopException,
+        "BlockReader",
+        source,
+        vec![SeededBug::How],
+        vec![],
+        "run",
+        vec![exc.clone()],
+        test,
+        vec![],
+    )
+}
+
+/// HOW bug: partial state from a failed attempt is not cleaned up, so the
+/// retry dies with a different exception (the HBASE-20616 shape).
+pub fn loop_how_state_reset(ctx: &Ctx) -> StructureBuild {
+    let class = ctx.class("LayoutBuilder");
+    let exc = &ctx.exception;
+    let source = format!(
+        "// Retry filesystem-layout creation on transient store errors.\n\
+         class {class} {{\n\
+         \x20   field marker = false;\n\
+         \x20   field maxAttempts = 5;\n\
+         \x20   method prepare{i}() throws FileExistsException {{\n\
+         \x20       if (this.marker) {{ throw new FileExistsException(\"layout already present\"); }}\n\
+         \x20       this.marker = true;\n\
+         \x20   }}\n\
+         \x20   method finish{i}() throws {exc} {{ return \"ok\"; }}\n\
+         \x20   method run() throws {exc} {{\n\
+         \x20       for (var retry = 0; retry < this.maxAttempts; retry = retry + 1) {{\n\
+         \x20           try {{\n\
+         \x20               this.prepare{i}();\n\
+         \x20               return this.finish{i}();\n\
+         \x20           }}\n\
+         \x20           catch ({exc} e) {{ sleep(80); }}\n\
+         \x20       }}\n\
+         \x20       throw new {exc}(\"{class}: giving up\");\n\
+         \x20   }}\n\
+         }}\n",
+        i = ctx.index,
+    );
+    let test = ctx.covered.then(|| TestShape::Standard {
+        class: class.clone(),
+        entry: "run".into(),
+        expected: "ok".into(),
+        config_key: None,
+        setup: vec![],
+        extra_asserts: vec![],
+    });
+    finish(
+        ctx,
+        StructureKind::LoopException,
+        "LayoutBuilder",
+        source,
+        vec![SeededBug::How],
+        vec![],
+        "run",
+        vec![exc.clone()],
+        test,
+        vec![],
+    )
+}
+
+/// HOW bug: job tracking leaks an entry per retry attempt (the SPARK-27630
+/// shape); the covering test asserts no leaked registrations.
+pub fn loop_how_tracking(ctx: &Ctx) -> StructureBuild {
+    let class = ctx.class("StageRunner");
+    let exc = &ctx.exception;
+    let source = format!(
+        "// Retry stage submission on transient scheduler errors.\n\
+         class {class} {{\n\
+         \x20   field active;\n\
+         \x20   field maxAttempts = 3;\n\
+         \x20   method init() {{ this.active = list(); }}\n\
+         \x20   method submit{i}(stage) throws {exc} {{ return \"ok\"; }}\n\
+         \x20   method run() throws {exc} {{\n\
+         \x20       for (var retry = 0; retry < this.maxAttempts; retry = retry + 1) {{\n\
+         \x20           this.active.add(\"stage-7\");\n\
+         \x20           try {{\n\
+         \x20               var r = this.submit{i}(\"stage-7\");\n\
+         \x20               this.active.remove(\"stage-7\");\n\
+         \x20               return r;\n\
+         \x20           }}\n\
+         \x20           catch ({exc} e) {{ sleep(30); }}\n\
+         \x20       }}\n\
+         \x20       throw new {exc}(\"{class}: giving up\");\n\
+         \x20   }}\n\
+         }}\n",
+        i = ctx.index,
+    );
+    let test = ctx.covered.then(|| TestShape::Standard {
+        class: class.clone(),
+        entry: "run".into(),
+        expected: "ok".into(),
+        config_key: None,
+        setup: vec![],
+        extra_asserts: vec![
+            "assert(s.active.size() == 0, \"no leaked stage registrations\");".to_string(),
+        ],
+    });
+    finish(
+        ctx,
+        StructureKind::LoopException,
+        "StageRunner",
+        source,
+        vec![SeededBug::How],
+        vec![],
+        "run",
+        vec![exc.clone()],
+        test,
+        vec![],
+    )
+}
+
+/// Harness-swallow trap: correct cap, but the covering test submits many
+/// tasks and swallows failures — dynamic missing-cap FP (§4.3).
+pub fn loop_harness_swallow(ctx: &Ctx) -> StructureBuild {
+    let class = ctx.class("TaskSender");
+    let exc = &ctx.exception;
+    let source = format!(
+        "// Retry task dispatch on transient timeouts (bounded attempts).\n\
+         class {class} {{\n\
+         \x20   field maxAttempts = 2;\n\
+         \x20   method send{i}(task) throws {exc} {{ return \"ok\"; }}\n\
+         \x20   method process(task) throws {exc} {{\n\
+         \x20       for (var retry = 0; retry < this.maxAttempts; retry = retry + 1) {{\n\
+         \x20           try {{ return this.send{i}(task); }}\n\
+         \x20           catch ({exc} e) {{ log(\"retrying task \" + task); }}\n\
+         \x20           sleep(2);\n\
+         \x20       }}\n\
+         \x20       throw new {exc}(\"task \" + task + \" failed\");\n\
+         \x20   }}\n\
+         }}\n",
+        i = ctx.index,
+    );
+    let test = Some(TestShape::Harness {
+        class: class.clone(),
+        entry: "process".into(),
+        exception: exc.clone(),
+        tasks: 60,
+    });
+    finish(
+        ctx,
+        StructureKind::LoopException,
+        "TaskSender",
+        source,
+        vec![],
+        vec![Trap::HarnessSwallow],
+        "process",
+        vec![exc.clone()],
+        test,
+        vec![],
+    )
+}
+
+/// Replica-switch trap: no delay between attempts, but each attempt pings a
+/// different replica, so none is needed — dynamic missing-delay FP (§4.3).
+/// A dead sleep keeps the LLM's Q2 answer positive.
+pub fn loop_replica_switch(ctx: &Ctx) -> StructureBuild {
+    let class = ctx.class("ReplicaReader");
+    let exc = &ctx.exception;
+    let source = format!(
+        "// Retry the read against the next replica on failure.\n\
+         class {class} {{\n\
+         \x20   field replicas;\n\
+         \x20   method init() {{\n\
+         \x20       this.replicas = list();\n\
+         \x20       this.replicas.add(\"dn-1\"); this.replicas.add(\"dn-2\"); this.replicas.add(\"dn-3\");\n\
+         \x20   }}\n\
+         \x20   method read{i}(node) throws {exc} {{ return \"ok\"; }}\n\
+         \x20   method run() throws {exc} {{\n\
+         \x20       if (this.replicas.size() == 0) {{ sleep(100); }}\n\
+         \x20       var maxTries = this.replicas.size() * 2;\n\
+         \x20       for (var retry = 0; retry < maxTries; retry = retry + 1) {{\n\
+         \x20           var node = this.replicas.get(retry % this.replicas.size());\n\
+         \x20           try {{ return this.read{i}(node); }}\n\
+         \x20           catch ({exc} e) {{ log(\"switching replica away from \" + node); }}\n\
+         \x20       }}\n\
+         \x20       throw new {exc}(\"all replicas failed\");\n\
+         \x20   }}\n\
+         }}\n",
+        i = ctx.index,
+    );
+    let test = ctx.covered.then(|| TestShape::Standard {
+        class: class.clone(),
+        entry: "run".into(),
+        expected: "ok".into(),
+        config_key: None,
+        setup: vec![],
+        extra_asserts: vec![],
+    });
+    finish(
+        ctx,
+        StructureKind::LoopException,
+        "ReplicaReader",
+        source,
+        vec![],
+        vec![Trap::ReplicaSwitch],
+        "run",
+        vec![exc.clone()],
+        test,
+        vec![],
+    )
+}
+
+/// Wrap-rethrow trap: a second catch wraps unexpected transport errors in a
+/// general exception — the different-exception oracle flags the wrapper
+/// (dynamic HOW FP, §4.3). `WireException extends TransportError`.
+pub fn loop_wrap_rethrow(ctx: &Ctx) -> StructureBuild {
+    let class = ctx.class("WireClient");
+    let source = format!(
+        "// Retry wire calls on transient wire errors (bounded attempts).\n\
+         class {class} {{\n\
+         \x20   field maxAttempts = 4;\n\
+         \x20   method call{i}() throws WireException, TransportError {{ return \"ok\"; }}\n\
+         \x20   method run() throws WireException {{\n\
+         \x20       for (var retry = 0; retry < this.maxAttempts; retry = retry + 1) {{\n\
+         \x20           try {{ return this.call{i}(); }}\n\
+         \x20           catch (WireException e) {{ sleep(70); }}\n\
+         \x20           catch (TransportError e) {{ throw new WrapperException(\"unrecoverable transport failure\", e); }}\n\
+         \x20       }}\n\
+         \x20       throw new WireException(\"{class}: giving up\");\n\
+         \x20   }}\n\
+         }}\n",
+        i = ctx.index,
+    );
+    let test = ctx.covered.then(|| TestShape::Standard {
+        class: class.clone(),
+        entry: "run".into(),
+        expected: "ok".into(),
+        config_key: None,
+        setup: vec![],
+        extra_asserts: vec![],
+    });
+    finish(
+        ctx,
+        StructureKind::LoopException,
+        "WireClient",
+        source,
+        vec![],
+        vec![Trap::WrapRethrow],
+        "run",
+        vec!["WireException".into(), "TransportError".into()],
+        test,
+        vec![],
+    )
+}
+
+/// Cap-helper trap: the cap lives in a policy object defined in another
+/// file, so the LLM's single-file Q3 sees no cap (LLM missing-cap FP).
+pub fn loop_cap_helper(ctx: &Ctx) -> StructureBuild {
+    let class = ctx.class("Mover");
+    let policy = format!("MovePolicy{}{:03}", ctx.short, ctx.index);
+    let exc = &ctx.exception;
+    let comment = ctx.head_comment("the move");
+    let source = format!(
+        "{comment}\n\
+         class {class} {{\n\
+         \x20   field policy;\n\
+         \x20   field attempts = 0;\n\
+         \x20   method init() {{ this.policy = new {policy}(); }}\n\
+         \x20   method move{i}() throws {exc} {{ return \"ok\"; }}\n\
+         \x20   method run() throws {exc} {{\n\
+         \x20       while (true) {{\n\
+         \x20           try {{ return this.move{i}(); }}\n\
+         \x20           catch ({exc} e) {{\n\
+         \x20               this.attempts = this.attempts + 1;\n\
+         \x20               if (this.policy.exceeded(this.attempts)) {{ throw new {exc}(\"{class}: giving up\"); }}\n\
+         \x20               sleep(90);\n\
+         \x20           }}\n\
+         \x20       }}\n\
+         \x20   }}\n\
+         }}\n",
+        i = ctx.index,
+    );
+    let helper_source = format!(
+        "// Give-up policy for {class} moves.\n\
+         class {policy} {{\n\
+         \x20   field budget = 4;\n\
+         \x20   method exceeded(n) {{ return n >= this.budget; }}\n\
+         }}\n"
+    );
+    let helper_path = format!(
+        "src/policy_{}_{:03}.jav",
+        ctx.short.to_lowercase(),
+        ctx.index
+    );
+    let test = ctx.covered.then(|| TestShape::Standard {
+        class: class.clone(),
+        entry: "run".into(),
+        expected: "ok".into(),
+        config_key: None,
+        setup: vec![],
+        extra_asserts: vec![],
+    });
+    finish(
+        ctx,
+        StructureKind::LoopException,
+        "Mover",
+        source,
+        vec![],
+        vec![Trap::HelperCapElsewhere],
+        "run",
+        vec![exc.clone()],
+        test,
+        vec![(helper_path, helper_source)],
+    )
+}
+
+/// Sleep-helper trap: the backoff lives in a helper defined in another file
+/// (LLM missing-delay FP via single-file blindness).
+pub fn loop_sleep_helper(ctx: &Ctx) -> StructureBuild {
+    let class = ctx.class("Syncer");
+    let helper = format!("SyncBackoff{}{:03}", ctx.short, ctx.index);
+    let exc = &ctx.exception;
+    let comment = ctx.head_comment("the sync");
+    let source = format!(
+        "{comment}\n\
+         class {class} {{\n\
+         \x20   field helper;\n\
+         \x20   field maxAttempts = 5;\n\
+         \x20   method init() {{ this.helper = new {helper}(); }}\n\
+         \x20   method sync{i}() throws {exc} {{ return \"ok\"; }}\n\
+         \x20   method run() throws {exc} {{\n\
+         \x20       for (var retry = 0; retry < this.maxAttempts; retry = retry + 1) {{\n\
+         \x20           try {{ return this.sync{i}(); }}\n\
+         \x20           catch ({exc} e) {{ this.helper.pause(retry); }}\n\
+         \x20       }}\n\
+         \x20       throw new {exc}(\"{class}: giving up\");\n\
+         \x20   }}\n\
+         }}\n",
+        i = ctx.index,
+    );
+    let helper_source = format!(
+        "// Backoff helper for {class}.\n\
+         class {helper} {{\n\
+         \x20   method pause(n) {{ sleep(50 * (n + 1)); }}\n\
+         }}\n"
+    );
+    let helper_path = format!(
+        "src/backoff_{}_{:03}.jav",
+        ctx.short.to_lowercase(),
+        ctx.index
+    );
+    let test = ctx.covered.then(|| TestShape::Standard {
+        class: class.clone(),
+        entry: "run".into(),
+        expected: "ok".into(),
+        config_key: None,
+        setup: vec![],
+        extra_asserts: vec![],
+    });
+    finish(
+        ctx,
+        StructureKind::LoopException,
+        "Syncer",
+        source,
+        vec![],
+        vec![Trap::HelperSleepElsewhere],
+        "run",
+        vec![exc.clone()],
+        test,
+        vec![(helper_path, helper_source)],
+    )
+}
+
+/// Error-code retry loop: no exceptions, so exception injection cannot test
+/// it (the Table 5 coverage gap for Hive/ElasticSearch). `buggy` seeds an
+/// LLM-visible WHEN bug.
+pub fn loop_errcode(ctx: &Ctx, bug: Option<SeededBug>) -> StructureBuild {
+    let class = ctx.class("CodeSubmitter");
+    let (loop_header, sleep_stmt, bugs) = match bug {
+        Some(SeededBug::MissingCap) => (
+            "while (true) {".to_string(),
+            "            sleep(25);\n".to_string(),
+            vec![SeededBug::MissingCap],
+        ),
+        Some(SeededBug::MissingDelay) => (
+            "for (var round = 0; round < this.maxAttempts; round = round + 1) {".to_string(),
+            String::new(),
+            vec![SeededBug::MissingDelay],
+        ),
+        _ => (
+            "for (var round = 0; round < this.maxAttempts; round = round + 1) {".to_string(),
+            "            sleep(25);\n".to_string(),
+            vec![],
+        ),
+    };
+    let source = format!(
+        "// Retry the submission when the store answers with a transient error code.\n\
+         class {class} {{\n\
+         \x20   field maxAttempts = 8;\n\
+         \x20   method submit{i}() {{ return \"OK\"; }}\n\
+         \x20   method run() {{\n\
+         \x20       {loop_header}\n\
+         \x20           var code = this.submit{i}();\n\
+         \x20           if (code == \"OK\") {{ return code; }}\n\
+         \x20           log(\"got error code \" + code + \", retrying\");\n\
+         {sleep_stmt}\
+         \x20       }}\n\
+         \x20       return \"FAILED\";\n\
+         \x20   }}\n\
+         }}\n",
+        i = ctx.index,
+    );
+    finish(
+        ctx,
+        StructureKind::LoopErrorCode,
+        "CodeSubmitter",
+        source,
+        bugs,
+        vec![],
+        "run",
+        vec![],
+        None,
+        vec![],
+    )
+}
+
+/// Queue-based retry (asynchronous task re-enqueueing, the HIVE-23894
+/// shape). `bug` seeds an LLM-visible WHEN bug.
+pub fn queue_structure(ctx: &Ctx, bug: Option<SeededBug>) -> StructureBuild {
+    let task = ctx.class("WorkItem");
+    let class = ctx.class("WorkProcessor");
+    let exc = &ctx.exception;
+    let (requeue, cap_check, bugs) = match bug {
+        Some(SeededBug::MissingCap) => (
+            format!("this.workQueue.putDelayed(item, 40);"),
+            String::new(),
+            vec![SeededBug::MissingCap],
+        ),
+        Some(SeededBug::MissingDelay) => (
+            format!("this.workQueue.put(item);"),
+            format!(
+                "                item.attempts = item.attempts + 1;\n\
+                 \x20               if (item.attempts >= this.maxAttempts) {{ throw new {exc}(\"item failed permanently\"); }}\n"
+            ),
+            vec![SeededBug::MissingDelay],
+        ),
+        _ => (
+            format!("this.workQueue.putDelayed(item, 40);"),
+            format!(
+                "                item.attempts = item.attempts + 1;\n\
+                 \x20               if (item.attempts >= this.maxAttempts) {{ throw new {exc}(\"item failed permanently\"); }}\n"
+            ),
+            vec![],
+        ),
+    };
+    let source = format!(
+        "// Failed work items are resubmitted to the queue for another pass.\n\
+         class {task} {{\n\
+         \x20   field attempts = 0;\n\
+         \x20   field done = false;\n\
+         \x20   method execute{i}() throws {exc} {{ this.done = true; return \"ok\"; }}\n\
+         }}\n\
+         class {class} {{\n\
+         \x20   field workQueue;\n\
+         \x20   field maxAttempts = 5;\n\
+         \x20   method init() {{ this.workQueue = queue(); }}\n\
+         \x20   method submit(item) {{ this.workQueue.put(item); }}\n\
+         \x20   method drain() throws {exc} {{\n\
+         \x20       while (!this.workQueue.isEmpty()) {{\n\
+         \x20           var item = this.workQueue.take();\n\
+         \x20           try {{ item.execute{i}(); }}\n\
+         \x20           catch ({exc} e) {{\n\
+         {cap_check}\
+         \x20               {requeue}\n\
+         \x20           }}\n\
+         \x20       }}\n\
+         \x20       return \"done\";\n\
+         \x20   }}\n\
+         }}\n",
+        i = ctx.index,
+    );
+    let test = ctx.covered.then(|| TestShape::Standard {
+        class: class.clone(),
+        entry: "drain".into(),
+        expected: "done".into(),
+        config_key: None,
+        setup: vec![format!("var item = new {task}(); s.submit(item);")],
+        extra_asserts: vec!["assert(item.done, \"submitted item completes\");".to_string()],
+    });
+    finish(
+        ctx,
+        StructureKind::Queue,
+        "WorkProcessor",
+        source,
+        bugs,
+        vec![],
+        "drain",
+        vec![exc.clone()],
+        test,
+        vec![],
+    )
+}
+
+/// State-machine procedure retry (the HBASE-20492 shape). `bug` seeds an
+/// LLM-visible WHEN bug.
+pub fn fsm_structure(ctx: &Ctx, bug: Option<SeededBug>) -> StructureBuild {
+    let class = ctx.class("Procedure");
+    let exc = &ctx.exception;
+    let (cap_check, sleep_stmt, bugs) = match bug {
+        Some(SeededBug::MissingCap) => (
+            String::new(),
+            "                    sleep(45);\n".to_string(),
+            vec![SeededBug::MissingCap],
+        ),
+        Some(SeededBug::MissingDelay) => (
+            format!(
+                "                    this.attempts = this.attempts + 1;\n\
+                 \x20                   if (this.attempts >= this.maxAttempts) {{ throw new {exc}(\"procedure aborted\"); }}\n"
+            ),
+            String::new(),
+            vec![SeededBug::MissingDelay],
+        ),
+        _ => (
+            format!(
+                "                    this.attempts = this.attempts + 1;\n\
+                 \x20                   if (this.attempts >= this.maxAttempts) {{ throw new {exc}(\"procedure aborted\"); }}\n"
+            ),
+            "                    sleep(45);\n".to_string(),
+            vec![],
+        ),
+    };
+    let source = format!(
+        "// A state-machine procedure; failed steps stay in the same state.\n\
+         class {class} {{\n\
+         \x20   field state = \"DISPATCH\";\n\
+         \x20   field attempts = 0;\n\
+         \x20   field maxAttempts = 5;\n\
+         \x20   field finished = false;\n\
+         \x20   method mark{i}() throws {exc} {{ return \"ok\"; }}\n\
+         \x20   method step() throws {exc} {{\n\
+         \x20       switch (this.state) {{\n\
+         \x20           case \"DISPATCH\": {{\n\
+         \x20               try {{ this.mark{i}(); this.state = \"FINISH\"; }}\n\
+         \x20               catch ({exc} e) {{\n\
+         \x20                   // Stay in DISPATCH so the executor will retry this step.\n\
+         {cap_check}\
+         {sleep_stmt}\
+         \x20               }}\n\
+         \x20           }}\n\
+         \x20           case \"FINISH\": {{ this.finished = true; }}\n\
+         \x20       }}\n\
+         \x20       return null;\n\
+         \x20   }}\n\
+         \x20   method drive() throws {exc} {{\n\
+         \x20       while (!this.finished) {{ this.step(); }}\n\
+         \x20       return \"done\";\n\
+         \x20   }}\n\
+         }}\n",
+        i = ctx.index,
+    );
+    let test = ctx.covered.then(|| TestShape::Standard {
+        class: class.clone(),
+        entry: "drive".into(),
+        expected: "done".into(),
+        config_key: None,
+        setup: vec![],
+        extra_asserts: vec![],
+    });
+    finish(
+        ctx,
+        StructureKind::StateMachine,
+        "Procedure",
+        source,
+        bugs,
+        vec![],
+        "step",
+        vec![exc.clone()],
+        test,
+        vec![],
+    )
+}
+
+/// Poll-loop trap file (not retry; LLM Q1 bait).
+pub fn poll_trap_file(short: &str, index: usize) -> (String, String) {
+    let class = format!("StatusMonitor{short}{index:03}");
+    let source = format!(
+        "// Watches job status until the coordinator reports completion.\n\
+         class {class} {{\n\
+         \x20   field rounds = 0;\n\
+         \x20   method pollStatus() {{\n\
+         \x20       this.rounds = this.rounds + 1;\n\
+         \x20       if (this.rounds >= 3) {{ return \"done\"; }}\n\
+         \x20       return \"busy\";\n\
+         \x20   }}\n\
+         \x20   method watch() {{\n\
+         \x20       var status = \"busy\";\n\
+         \x20       while (status == \"busy\") {{\n\
+         \x20           status = this.pollStatus();\n\
+         \x20           sleep(10);\n\
+         \x20       }}\n\
+         \x20       return status;\n\
+         \x20   }}\n\
+         }}\n"
+    );
+    (
+        format!("src/misc/status_monitor_{}_{index:03}.jav", short.to_lowercase()),
+        source,
+    )
+}
+
+/// Retry-named-parameter parser trap file (not retry; LLM Q1 bait).
+pub fn param_trap_file(short: &str, index: usize) -> (String, String) {
+    let class = format!("RequestParser{short}{index:03}");
+    let source = format!(
+        "// Parses request options token by token.\n\
+         class {class} {{\n\
+         \x20   method parse(tokens) {{\n\
+         \x20       var retryOnConflict = 0;\n\
+         \x20       var i = 0;\n\
+         \x20       while (i < tokens.size()) {{\n\
+         \x20           var t = tokens.get(i);\n\
+         \x20           if (t == \"retry_on_conflict\") {{ retryOnConflict = 1; }}\n\
+         \x20           i = i + 1;\n\
+         \x20       }}\n\
+         \x20       return retryOnConflict;\n\
+         \x20   }}\n\
+         }}\n"
+    );
+    (
+        format!("src/misc/request_parser_{}_{index:03}.jav", short.to_lowercase()),
+        source,
+    )
+}
+
+/// Lock-acquire trap file: a keyword-named loop whose catch reaches the
+/// header — CodeQL identifies it, but it is lock spinning, not retry.
+pub fn lock_trap_file(short: &str, index: usize) -> (String, String) {
+    let class = format!("LockManager{short}{index:03}");
+    let source = format!(
+        "// Attempts to obtain the shard lock a few times before giving up.\n\
+         class {class} {{\n\
+         \x20   method tryLock{index}() throws LockException {{ return \"held\"; }}\n\
+         \x20   method acquire() {{\n\
+         \x20       for (var retries = 0; retries < 3; retries = retries + 1) {{\n\
+         \x20           try {{ return this.tryLock{index}(); }}\n\
+         \x20           catch (LockException e) {{ }}\n\
+         \x20       }}\n\
+         \x20       log(\"could not obtain lock\");\n\
+         \x20       return null;\n\
+         \x20   }}\n\
+         }}\n"
+    );
+    (
+        format!("src/misc/lock_manager_{}_{index:03}.jav", short.to_lowercase()),
+        source,
+    )
+}
+
+/// A batch-iteration file: a loop that catches and logs per-item errors and
+/// moves on — not retry, but its catch reaches the loop header, so the
+/// unfiltered control-flow query reports it (the §4.4 keyword ablation's
+/// 3.5x blow-up comes from loops like this).
+pub fn iteration_file(short: &str, index: usize) -> (String, String) {
+    let class = format!("BatchProcessor{short}{index:03}");
+    let source = format!(
+        "// Applies the transform to every item; bad items are logged and skipped.\n\
+         class {class} {{\n\
+         \x20   method transform{index}(item) throws IllegalArgumentException {{ return item; }}\n\
+         \x20   method processAll(items) {{\n\
+         \x20       var done = 0;\n\
+         \x20       for (var i = 0; i < items.size(); i = i + 1) {{\n\
+         \x20           try {{ this.transform{index}(items.get(i)); done = done + 1; }}\n\
+         \x20           catch (IllegalArgumentException e) {{ log(\"skipping malformed item\"); }}\n\
+         \x20       }}\n\
+         \x20       return done;\n\
+         \x20   }}\n\
+         }}\n"
+    );
+    (
+        format!("src/batch/batch_{}_{index:03}.jav", short.to_lowercase()),
+        source,
+    )
+}
+
+/// A non-retry utility filler file, padded deterministically.
+pub fn filler_file(short: &str, index: usize) -> (String, String) {
+    let class = format!("Util{short}{index:04}");
+    let pad_lines = 18 + (index % 40);
+    let mut padding = String::new();
+    for j in 0..pad_lines {
+        padding.push_str(&format!(
+            "// note {j:03}: cache entries are promoted after two consecutive hits\n\
+             // and demoted when the scan pointer wraps around the segment.\n"
+        ));
+    }
+    let source = format!(
+        "// Utility helpers for internal bookkeeping.\n\
+         class {class} {{\n\
+         \x20   method combine(a, b) {{ return a + b; }}\n\
+         \x20   method scale(x) {{ return x * 3; }}\n\
+         \x20   method label(n) {{ return \"item-\" + n; }}\n\
+         \x20   method clampIndex(i, size) {{\n\
+         \x20       if (i < 0) {{ return 0; }}\n\
+         \x20       if (i >= size) {{ return size - 1; }}\n\
+         \x20       return i;\n\
+         \x20   }}\n\
+         }}\n\
+         {padding}"
+    );
+    (
+        format!("src/util/util_{}_{index:04}.jav", short.to_lowercase()),
+        source,
+    )
+}

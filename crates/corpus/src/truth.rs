@@ -1,0 +1,223 @@
+//! Ground-truth labels for the synthetic corpus.
+//!
+//! Every generated retry structure and false-positive trap carries a label,
+//! so the evaluation harness can score tool reports as true/false positives
+//! mechanically instead of by manual audit (which is what the paper's
+//! authors did by hand).
+
+use wasabi_lang::project::MethodId;
+
+/// The kind of retry structure generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StructureKind {
+    /// Exception-triggered retry loop.
+    LoopException,
+    /// Error-code-triggered retry loop (no exceptions; untestable by
+    /// exception injection).
+    LoopErrorCode,
+    /// Queue-based asynchronous task re-enqueueing.
+    Queue,
+    /// State-machine procedure retry.
+    StateMachine,
+}
+
+impl StructureKind {
+    /// Whether the structure is a loop (vs queue/state-machine).
+    pub fn is_loop(self) -> bool {
+        matches!(self, StructureKind::LoopException | StructureKind::LoopErrorCode)
+    }
+}
+
+/// A retry bug deliberately seeded into a structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SeededBug {
+    /// WHEN: no cap on retry attempts.
+    MissingCap,
+    /// WHEN: no delay between attempts.
+    MissingDelay,
+    /// HOW: broken state handling exposed by a single injected fault
+    /// (null-dereference in the error path, missing cleanup, job-tracking
+    /// leak, ...).
+    How,
+}
+
+/// A false-positive trap: code that is *correct* but constructed so that one
+/// of the detectors plausibly mislabels it, reproducing the paper's §4.3
+/// false-positive taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Trap {
+    /// Correct cap, but the test harness swallows the propagated exception
+    /// and keeps submitting tasks — the per-site injection count crosses the
+    /// missing-cap threshold (dynamic cap FP).
+    HarnessSwallow,
+    /// No delay, but each attempt switches to a different replica, so a
+    /// delay is unnecessary (dynamic delay FP).
+    ReplicaSwitch,
+    /// A general catch wraps unexpected exceptions; the wrapper crashes the
+    /// test under injection (dynamic HOW FP via the different-exception
+    /// oracle's no-unwrapping rule).
+    WrapRethrow,
+    /// The delay is implemented by a helper defined in a *different file*
+    /// (LLM missing-delay FP via single-file blindness).
+    HelperSleepElsewhere,
+    /// The cap is implemented by a policy object defined in a *different
+    /// file* (LLM missing-cap FP via single-file blindness).
+    HelperCapElsewhere,
+    /// The catch sets a boolean flag that always breaks the loop — the
+    /// exception is never actually retried, but syntactic reachability says
+    /// it is (IF-analysis FP).
+    BooleanFlagBreak,
+}
+
+/// How visible a structure is to each identification technique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Visibility {
+    /// The loop carries retry/retries naming evidence (CodeQL's filter).
+    pub keyword_evidence: bool,
+    /// The structure lives in a large file (the LLM's recall cliff).
+    pub large_file: bool,
+}
+
+/// Ground truth for one generated retry structure.
+#[derive(Debug, Clone)]
+pub struct StructureTruth {
+    /// Stable id, e.g. `"HB-loop-017"`.
+    pub id: String,
+    /// Structure kind.
+    pub kind: StructureKind,
+    /// The coordinator method in the generated code.
+    pub coordinator: MethodId,
+    /// Path of the file the structure lives in.
+    pub file_path: String,
+    /// Seeded bugs (empty = correct retry).
+    pub bugs: Vec<SeededBug>,
+    /// False-positive traps attached to this structure.
+    pub traps: Vec<Trap>,
+    /// Visibility to the identification techniques.
+    pub visibility: Visibility,
+    /// Whether unit tests exercising this structure were generated.
+    pub covered_by_tests: bool,
+    /// Trigger exceptions (empty for error-code retry).
+    pub exceptions: Vec<String>,
+}
+
+impl StructureTruth {
+    /// Whether the structure has the given seeded bug.
+    pub fn has_bug(&self, bug: SeededBug) -> bool {
+        self.bugs.contains(&bug)
+    }
+
+    /// Whether the structure has the given trap.
+    pub fn has_trap(&self, trap: Trap) -> bool {
+        self.traps.contains(&trap)
+    }
+}
+
+/// A non-retry file generated to exercise a specific detector weakness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FileTrap {
+    /// Status polling / spin loop (LLM Q1 false-positive bait).
+    PollLoop,
+    /// Parses a retry-named request parameter without retrying anything.
+    RetryNamedParam,
+    /// Acquires a lock with "retries" and logs failure (CodeQL bait; the
+    /// catch never reaches the header).
+    LockAcquire,
+}
+
+/// Ground truth for a generated trap file.
+#[derive(Debug, Clone)]
+pub struct FileTrapTruth {
+    /// Path of the trap file.
+    pub file_path: String,
+    /// What the trap is.
+    pub trap: FileTrap,
+}
+
+/// Ground truth for one seeded IF-policy outlier group.
+#[derive(Debug, Clone)]
+pub struct IfSeedTruth {
+    /// The exception whose retry policy is inconsistent.
+    pub exception: String,
+    /// Number of retry loops where it can be thrown.
+    pub n: usize,
+    /// Number of loops where it is retried.
+    pub r: usize,
+    /// Whether the minority instances are genuine policy bugs (`false` for
+    /// the boolean-flag false positive).
+    pub genuine: bool,
+}
+
+/// Complete ground truth for one generated application.
+#[derive(Debug, Clone, Default)]
+pub struct AppTruth {
+    /// Application short code, e.g. `"HB"`.
+    pub app: String,
+    /// All generated retry structures.
+    pub structures: Vec<StructureTruth>,
+    /// All generated trap files.
+    pub file_traps: Vec<FileTrapTruth>,
+    /// Seeded IF-ratio groups.
+    pub if_seeds: Vec<IfSeedTruth>,
+}
+
+impl AppTruth {
+    /// Looks up a structure by its coordinator method.
+    pub fn by_coordinator(&self, coordinator: &MethodId) -> Option<&StructureTruth> {
+        self.structures.iter().find(|s| &s.coordinator == coordinator)
+    }
+
+    /// Looks up structures living in `file_path`.
+    pub fn by_file(&self, file_path: &str) -> Vec<&StructureTruth> {
+        self.structures
+            .iter()
+            .filter(|s| s.file_path == file_path)
+            .collect()
+    }
+
+    /// Count of structures with a given bug.
+    pub fn bug_count(&self, bug: SeededBug) -> usize {
+        self.structures.iter().filter(|s| s.has_bug(bug)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_kind_loop_classification() {
+        assert!(StructureKind::LoopException.is_loop());
+        assert!(StructureKind::LoopErrorCode.is_loop());
+        assert!(!StructureKind::Queue.is_loop());
+        assert!(!StructureKind::StateMachine.is_loop());
+    }
+
+    #[test]
+    fn app_truth_lookup() {
+        let truth = AppTruth {
+            app: "HA".into(),
+            structures: vec![StructureTruth {
+                id: "HA-loop-000".into(),
+                kind: StructureKind::LoopException,
+                coordinator: MethodId::new("Retry0", "run"),
+                file_path: "src/retry0.jav".into(),
+                bugs: vec![SeededBug::MissingCap],
+                traps: vec![],
+                visibility: Visibility {
+                    keyword_evidence: true,
+                    large_file: false,
+                },
+                covered_by_tests: true,
+                exceptions: vec!["IOException".into()],
+            }],
+            file_traps: vec![],
+            if_seeds: vec![],
+        };
+        assert!(truth.by_coordinator(&MethodId::new("Retry0", "run")).is_some());
+        assert!(truth.by_coordinator(&MethodId::new("X", "y")).is_none());
+        assert_eq!(truth.by_file("src/retry0.jav").len(), 1);
+        assert_eq!(truth.bug_count(SeededBug::MissingCap), 1);
+        assert_eq!(truth.bug_count(SeededBug::How), 0);
+    }
+}

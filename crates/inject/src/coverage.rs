@@ -1,0 +1,148 @@
+//! Coverage recording for the planner's profiling pass.
+
+use std::collections::{HashMap, HashSet};
+use wasabi_lang::project::CallSite;
+use wasabi_vm::interceptor::{CallCtx, InterceptAction, Interceptor};
+
+/// Interceptor that records which of a set of target call sites a run hits.
+///
+/// This is WASABI's profiling instrumentation: the planner instruments every
+/// retry location and runs the whole suite once to learn which unit test
+/// covers which location (§3.1.4).
+#[derive(Debug, Default)]
+pub struct CoverageRecorder {
+    targets: HashSet<CallSite>,
+    hits: HashMap<CallSite, u64>,
+}
+
+impl CoverageRecorder {
+    /// Creates a recorder watching `targets`.
+    pub fn new(targets: impl IntoIterator<Item = CallSite>) -> Self {
+        CoverageRecorder {
+            targets: targets.into_iter().collect(),
+            hits: HashMap::new(),
+        }
+    }
+
+    /// Sites hit at least once, in deterministic order.
+    pub fn covered(&self) -> Vec<CallSite> {
+        let mut sites: Vec<CallSite> = self.hits.keys().copied().collect();
+        sites.sort();
+        sites
+    }
+
+    /// Hit count for a site.
+    pub fn hit_count(&self, site: CallSite) -> u64 {
+        self.hits.get(&site).copied().unwrap_or(0)
+    }
+
+    /// Clears recorded hits (reused between tests).
+    pub fn reset(&mut self) {
+        self.hits.clear();
+    }
+}
+
+impl Interceptor for CoverageRecorder {
+    fn before_call(&mut self, ctx: &CallCtx<'_>) -> InterceptAction {
+        if self.targets.contains(&ctx.site) {
+            *self.hits.entry(ctx.site).or_insert(0) += 1;
+        }
+        InterceptAction::Proceed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi_lang::ast::CallId;
+    use wasabi_lang::project::{FileId, MethodId};
+
+    fn site(call: u32) -> CallSite {
+        CallSite {
+            file: FileId(0),
+            call: CallId(call),
+        }
+    }
+
+    fn ctx(site: CallSite, stack: &[MethodId]) -> CallCtx<'_> {
+        CallCtx {
+            site,
+            caller: MethodId::new("T", "t"),
+            callee: MethodId::new("C", "m"),
+            stack,
+            now_ms: 0,
+        }
+    }
+
+    #[test]
+    fn records_only_target_sites() {
+        let mut recorder = CoverageRecorder::new([site(1), site(2)]);
+        let stack = [MethodId::new("T", "t")];
+        recorder.before_call(&ctx(site(1), &stack));
+        recorder.before_call(&ctx(site(1), &stack));
+        recorder.before_call(&ctx(site(9), &stack));
+        assert_eq!(recorder.covered(), vec![site(1)]);
+        assert_eq!(recorder.hit_count(site(1)), 2);
+        assert_eq!(recorder.hit_count(site(2)), 0);
+        assert_eq!(recorder.hit_count(site(9)), 0);
+    }
+
+    #[test]
+    fn reset_clears_hits_but_keeps_targets() {
+        let mut recorder = CoverageRecorder::new([site(1)]);
+        let stack = [MethodId::new("T", "t")];
+        recorder.before_call(&ctx(site(1), &stack));
+        recorder.reset();
+        assert!(recorder.covered().is_empty());
+        recorder.before_call(&ctx(site(1), &stack));
+        assert_eq!(recorder.hit_count(site(1)), 1);
+    }
+
+    #[test]
+    fn coverage_runs_with_real_interpreter() {
+        use wasabi_analysis::loops::{all_retry_locations, LoopQueryOptions};
+        use wasabi_analysis::resolve::ProjectIndex;
+        use wasabi_lang::project::Project;
+        use wasabi_vm::runner::{run_test, RunOptions};
+
+        let src = "exception E;\n\
+             class C {\n\
+               method op() throws E { return 1; }\n\
+               method run() {\n\
+                 for (var retry = 0; retry < 3; retry = retry + 1) {\n\
+                   try { return this.op(); } catch (E e) { sleep(1); }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+               test tCovers() { assert(this.run() == 1); }\n\
+               test tSkips() { assert(true); }\n\
+             }";
+        let p = Project::compile("t", vec![("c.jav", src)]).unwrap();
+        let index = ProjectIndex::build(&p);
+        let locations: Vec<_> = all_retry_locations(&index, &LoopQueryOptions::default())
+            .into_iter()
+            .flat_map(|(_, locs)| locs)
+            .collect();
+        assert!(!locations.is_empty());
+        let mut recorder = CoverageRecorder::new(locations.iter().map(|l| l.site));
+
+        let run = run_test(
+            &p,
+            &MethodId::new("C", "tCovers"),
+            &mut recorder,
+            &RunOptions::default(),
+        );
+        assert!(run.outcome.is_pass());
+        assert_eq!(recorder.covered().len(), 1);
+
+        recorder.reset();
+        let run = run_test(
+            &p,
+            &MethodId::new("C", "tSkips"),
+            &mut recorder,
+            &RunOptions::default(),
+        );
+        assert!(run.outcome.is_pass());
+        assert!(recorder.covered().is_empty());
+    }
+}

@@ -1,0 +1,186 @@
+//! The exception-throwing injection handler (paper Listing 5).
+
+use std::collections::HashMap;
+use wasabi_analysis::loops::RetryLocation;
+use wasabi_lang::project::CallSite;
+use wasabi_vm::interceptor::{CallCtx, InterceptAction, Interceptor};
+
+/// One injection registration: throw `location.exception` at
+/// `location.site`, up to `k` times.
+#[derive(Debug, Clone)]
+pub struct InjectionSpec {
+    /// The retry location to inject at.
+    pub location: RetryLocation,
+    /// Maximum number of injections (the paper uses K = 1 and K = 100).
+    pub k: u32,
+}
+
+impl InjectionSpec {
+    /// Creates a spec.
+    pub fn new(location: RetryLocation, k: u32) -> Self {
+        InjectionSpec { location, k }
+    }
+}
+
+/// Interceptor that throws trigger exceptions at registered retry locations.
+///
+/// Matching is by exact call site, which subsumes the paper's
+/// (callee, caller) pointcut: a call site determines both. Counts are kept
+/// per `(site, exception)` pair, mirroring the handler's hash table.
+#[derive(Debug, Default)]
+pub struct InjectionHandler {
+    specs: HashMap<CallSite, InjectionSpec>,
+    counts: HashMap<(CallSite, String), u32>,
+}
+
+impl InjectionHandler {
+    /// Creates a handler with the given registrations.
+    ///
+    /// When several specs share a call site, the last one wins (the planner
+    /// never schedules overlapping specs in one run).
+    pub fn new(specs: Vec<InjectionSpec>) -> Self {
+        InjectionHandler {
+            specs: specs
+                .into_iter()
+                .map(|spec| (spec.location.site, spec))
+                .collect(),
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Convenience constructor for the common single-location run.
+    pub fn single(location: RetryLocation, k: u32) -> Self {
+        InjectionHandler::new(vec![InjectionSpec::new(location, k)])
+    }
+
+    /// Total number of exceptions thrown so far, across all sites.
+    pub fn total_injected(&self) -> u32 {
+        self.counts.values().sum()
+    }
+
+    /// Number of exceptions thrown at a specific site.
+    pub fn injected_at(&self, site: CallSite) -> u32 {
+        self.counts
+            .iter()
+            .filter(|((s, _), _)| *s == site)
+            .map(|(_, count)| *count)
+            .sum()
+    }
+}
+
+impl Interceptor for InjectionHandler {
+    fn before_call(&mut self, ctx: &CallCtx<'_>) -> InterceptAction {
+        let Some(spec) = self.specs.get(&ctx.site) else {
+            return InterceptAction::Proceed;
+        };
+        let key = (ctx.site, spec.location.exception.clone());
+        let count = self.counts.entry(key).or_insert(0);
+        if *count < spec.k {
+            *count += 1;
+            InterceptAction::Throw {
+                exc_type: spec.location.exception.clone(),
+                message: format!(
+                    "injected {} ({} of {}) at {} invoked from {}",
+                    spec.location.exception, *count, spec.k, ctx.callee, ctx.caller
+                ),
+            }
+        } else {
+            InterceptAction::Proceed
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi_analysis::loops::Mechanism;
+    use wasabi_lang::ast::{CallId, LoopId};
+    use wasabi_lang::project::{FileId, MethodId};
+
+    fn location(call: u32, exception: &str) -> RetryLocation {
+        RetryLocation {
+            site: CallSite {
+                file: FileId(0),
+                call: CallId(call),
+            },
+            coordinator: MethodId::new("C", "run"),
+            retried: MethodId::new("C", "op"),
+            exception: exception.to_string(),
+            mechanism: Mechanism::Loop(LoopId(0)),
+        }
+    }
+
+    fn ctx(site: CallSite, stack: &[MethodId]) -> CallCtx<'_> {
+        CallCtx {
+            site,
+            caller: MethodId::new("C", "run"),
+            callee: MethodId::new("C", "op"),
+            stack,
+            now_ms: 0,
+        }
+    }
+
+    #[test]
+    fn throws_k_times_then_proceeds() {
+        let loc = location(3, "E");
+        let site = loc.site;
+        let mut handler = InjectionHandler::single(loc, 2);
+        let stack = [MethodId::new("C", "run")];
+        for expected in 1..=2u32 {
+            match handler.before_call(&ctx(site, &stack)) {
+                InterceptAction::Throw { exc_type, message } => {
+                    assert_eq!(exc_type, "E");
+                    assert!(message.contains(&format!("({expected} of 2)")));
+                }
+                other => panic!("expected throw, got {other:?}"),
+            }
+        }
+        assert_eq!(
+            handler.before_call(&ctx(site, &stack)),
+            InterceptAction::Proceed
+        );
+        assert_eq!(handler.total_injected(), 2);
+        assert_eq!(handler.injected_at(site), 2);
+    }
+
+    #[test]
+    fn unregistered_sites_proceed() {
+        let mut handler = InjectionHandler::single(location(3, "E"), 5);
+        let other_site = CallSite {
+            file: FileId(0),
+            call: CallId(9),
+        };
+        let stack = [MethodId::new("C", "run")];
+        assert_eq!(
+            handler.before_call(&ctx(other_site, &stack)),
+            InterceptAction::Proceed
+        );
+        assert_eq!(handler.total_injected(), 0);
+    }
+
+    #[test]
+    fn multiple_specs_count_independently() {
+        let a = location(1, "E1");
+        let b = location(2, "E2");
+        let (sa, sb) = (a.site, b.site);
+        let mut handler = InjectionHandler::new(vec![
+            InjectionSpec::new(a, 1),
+            InjectionSpec::new(b, 1),
+        ]);
+        let stack = [MethodId::new("C", "run")];
+        assert!(matches!(
+            handler.before_call(&ctx(sa, &stack)),
+            InterceptAction::Throw { .. }
+        ));
+        assert!(matches!(
+            handler.before_call(&ctx(sb, &stack)),
+            InterceptAction::Throw { .. }
+        ));
+        assert_eq!(handler.injected_at(sa), 1);
+        assert_eq!(handler.injected_at(sb), 1);
+        assert_eq!(
+            handler.before_call(&ctx(sa, &stack)),
+            InterceptAction::Proceed
+        );
+    }
+}

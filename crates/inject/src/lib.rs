@@ -1,0 +1,35 @@
+#![forbid(unsafe_code)]
+//! Fault injection: the AspectJ-handler substitute (paper Listing 5).
+//!
+//! Two interceptors plug into the interpreter's call hook:
+//!
+//! - [`InjectionHandler`] throws a configured trigger exception at a retry
+//!   location the first `K` times the call site executes, then lets the call
+//!   proceed — exactly the paper's exception-throwing handler;
+//! - [`CoverageRecorder`] records which retry locations a test exercises,
+//!   used by the planner's profiling pass (§3.1.4).
+//!
+//! # Examples
+//!
+//! ```
+//! use wasabi_analysis::loops::{Mechanism, RetryLocation};
+//! use wasabi_inject::{InjectionHandler, InjectionSpec};
+//! use wasabi_lang::ast::{CallId, LoopId};
+//! use wasabi_lang::project::{CallSite, FileId, MethodId};
+//!
+//! let location = RetryLocation {
+//!     site: CallSite { file: FileId(0), call: CallId(2) },
+//!     coordinator: MethodId::new("Client", "run"),
+//!     retried: MethodId::new("Client", "connect"),
+//!     exception: "ConnectException".to_string(),
+//!     mechanism: Mechanism::Loop(LoopId(0)),
+//! };
+//! let handler = InjectionHandler::new(vec![InjectionSpec::new(location, 100)]);
+//! assert_eq!(handler.total_injected(), 0);
+//! ```
+
+pub mod coverage;
+pub mod handler;
+
+pub use coverage::CoverageRecorder;
+pub use handler::{InjectionHandler, InjectionSpec};

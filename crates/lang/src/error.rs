@@ -1,0 +1,72 @@
+//! Diagnostics for lexing, parsing, and project compilation.
+
+use crate::span::{LineMap, Span};
+use std::fmt;
+
+/// A source-level error with a location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path of the file the error occurred in (empty if unknown).
+    pub path: String,
+    /// Span of the offending source text.
+    pub span: Span,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic without a file path (filled in by the project).
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            path: String::new(),
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Returns a copy with `path` attached.
+    pub fn with_path(mut self, path: &str) -> Self {
+        self.path = path.to_string();
+        self
+    }
+
+    /// Renders the diagnostic with a 1-based line:column computed via `map`.
+    pub fn render(&self, map: &LineMap) -> String {
+        let pos = map.line_col(self.span.start);
+        if self.path.is_empty() {
+            format!("{pos}: {}", self.message)
+        } else {
+            format!("{}:{pos}: {}", self.path, self.message)
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "@{}: {}", self.span, self.message)
+        } else {
+            write!(f, "{}@{}: {}", self.path, self.span, self.message)
+        }
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_with_line_map() {
+        let map = LineMap::new("one\ntwo\nthree");
+        let d = Diagnostic::new(Span::new(4, 7), "bad token").with_path("f.jav");
+        assert_eq!(d.render(&map), "f.jav:2:1: bad token");
+    }
+
+    #[test]
+    fn display_without_path() {
+        let d = Diagnostic::new(Span::new(1, 2), "oops");
+        assert_eq!(d.to_string(), "@1..2: oops");
+    }
+}

@@ -1,0 +1,124 @@
+//! Grouping oracle reports into distinct bugs.
+//!
+//! One bug can fail many WASABI test runs (§4.1): the different-exception
+//! oracle groups crashes by crash stack; the missing-cap and missing-delay
+//! oracles group by retry structure (at most one cap and one delay bug per
+//! structure).
+
+use crate::judge::{BugKind, OracleReport};
+use std::collections::BTreeMap;
+
+/// A distinct bug: one or more oracle reports with the same dedup key.
+#[derive(Debug, Clone)]
+pub struct DistinctBug {
+    /// Bug category.
+    pub kind: BugKind,
+    /// The grouping key (structure key or crash key).
+    pub key: String,
+    /// All reports grouped under this bug, in arrival order.
+    pub reports: Vec<OracleReport>,
+}
+
+impl DistinctBug {
+    /// A representative report (the first one seen).
+    pub fn representative(&self) -> &OracleReport {
+        &self.reports[0]
+    }
+}
+
+/// Groups reports into distinct bugs, deterministically ordered by
+/// (kind, key).
+pub fn dedup_reports(reports: Vec<OracleReport>) -> Vec<DistinctBug> {
+    let mut groups: BTreeMap<(BugKind, String), Vec<OracleReport>> = BTreeMap::new();
+    for report in reports {
+        groups
+            .entry((report.kind, report.dedup_key.clone()))
+            .or_default()
+            .push(report);
+    }
+    groups
+        .into_iter()
+        .map(|((kind, key), reports)| DistinctBug { kind, key, reports })
+        .collect()
+}
+
+/// Counts distinct bugs per category.
+pub fn count_by_kind(bugs: &[DistinctBug]) -> BTreeMap<BugKind, usize> {
+    let mut out = BTreeMap::new();
+    for bug in bugs {
+        *out.entry(bug.kind).or_insert(0) += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi_analysis::loops::{Mechanism, RetryLocation};
+    use wasabi_lang::ast::{CallId, LoopId};
+    use wasabi_lang::project::{CallSite, FileId, MethodId};
+
+    fn report(kind: BugKind, key: &str, call: u32) -> OracleReport {
+        OracleReport {
+            kind,
+            test: MethodId::new("T", "t"),
+            location: RetryLocation {
+                site: CallSite {
+                    file: FileId(0),
+                    call: CallId(call),
+                },
+                coordinator: MethodId::new("C", "run"),
+                retried: MethodId::new("C", "op"),
+                exception: "E".into(),
+                mechanism: Mechanism::Loop(LoopId(0)),
+            },
+            detail: String::new(),
+            dedup_key: key.to_string(),
+            exc_chain: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn same_key_groups_into_one_bug() {
+        let bugs = dedup_reports(vec![
+            report(BugKind::MissingCap, "f0:L0", 1),
+            report(BugKind::MissingCap, "f0:L0", 2),
+            report(BugKind::MissingCap, "f0:L1", 3),
+        ]);
+        assert_eq!(bugs.len(), 2);
+        assert_eq!(bugs[0].reports.len(), 2);
+        assert_eq!(bugs[1].reports.len(), 1);
+    }
+
+    #[test]
+    fn same_key_different_kind_stays_separate() {
+        let bugs = dedup_reports(vec![
+            report(BugKind::MissingCap, "f0:L0", 1),
+            report(BugKind::MissingDelay, "f0:L0", 1),
+        ]);
+        assert_eq!(bugs.len(), 2);
+        let counts = count_by_kind(&bugs);
+        assert_eq!(counts[&BugKind::MissingCap], 1);
+        assert_eq!(counts[&BugKind::MissingDelay], 1);
+    }
+
+    #[test]
+    fn crash_stack_grouping_for_how_bugs() {
+        let bugs = dedup_reports(vec![
+            report(BugKind::DifferentException, "NPE@C.handle", 1),
+            report(BugKind::DifferentException, "NPE@C.handle", 5),
+            report(BugKind::DifferentException, "NPE@C.other", 7),
+        ]);
+        assert_eq!(bugs.len(), 2);
+        assert_eq!(
+            count_by_kind(&bugs)[&BugKind::DifferentException],
+            2,
+            "two distinct crash stacks"
+        );
+    }
+
+    #[test]
+    fn empty_input_yields_no_bugs() {
+        assert!(dedup_reports(Vec::new()).is_empty());
+    }
+}

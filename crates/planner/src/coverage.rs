@@ -1,0 +1,121 @@
+//! Coverage profiling: which unit test covers which retry location.
+//!
+//! WASABI instruments every retry location and runs the whole suite once
+//! (§3.1.4). Here the instrumentation is a
+//! [`wasabi_inject::CoverageRecorder`] attached to the interpreter.
+
+use std::collections::{BTreeMap, BTreeSet};
+use wasabi_analysis::loops::RetryLocation;
+use wasabi_inject::CoverageRecorder;
+use wasabi_lang::project::{CallSite, MethodId, Project};
+use wasabi_vm::runner::{run_test, RunOptions};
+
+/// The result of the profiling pass.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageProfile {
+    /// Sites covered by each test (only tests that cover at least one).
+    pub per_test: BTreeMap<MethodId, Vec<CallSite>>,
+    /// Tests covering each site.
+    pub site_to_tests: BTreeMap<CallSite, Vec<MethodId>>,
+    /// Total number of tests in the suite.
+    pub tests_total: usize,
+    /// Total virtual milliseconds spent profiling.
+    pub profile_virtual_ms: u64,
+}
+
+impl CoverageProfile {
+    /// Number of tests covering at least one retry location.
+    pub fn tests_covering_retry(&self) -> usize {
+        self.per_test.len()
+    }
+
+    /// Sites covered by at least one test.
+    pub fn covered_sites(&self) -> BTreeSet<CallSite> {
+        self.site_to_tests.keys().copied().collect()
+    }
+}
+
+/// Runs every test once with coverage instrumentation on `locations`.
+pub fn profile_coverage(
+    project: &Project,
+    locations: &[RetryLocation],
+    options: &RunOptions,
+) -> CoverageProfile {
+    let sites: BTreeSet<CallSite> = locations.iter().map(|l| l.site).collect();
+    let mut recorder = CoverageRecorder::new(sites.iter().copied());
+    let mut profile = CoverageProfile::default();
+    let tests = project.tests();
+    profile.tests_total = tests.len();
+    for (_, test) in &tests {
+        recorder.reset();
+        let run = run_test(project, test, &mut recorder, options);
+        profile.profile_virtual_ms += run.virtual_ms;
+        let covered = recorder.covered();
+        if covered.is_empty() {
+            continue;
+        }
+        for site in &covered {
+            profile
+                .site_to_tests
+                .entry(*site)
+                .or_default()
+                .push(test.clone());
+        }
+        profile.per_test.insert(test.clone(), covered);
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi_analysis::loops::{all_retry_locations, LoopQueryOptions};
+    use wasabi_analysis::resolve::ProjectIndex;
+
+    fn project() -> Project {
+        let src = "exception E;\n\
+             class C {\n\
+               method op() throws E { return 1; }\n\
+               method op2() throws E { return 2; }\n\
+               method runA() {\n\
+                 for (var retry = 0; retry < 3; retry = retry + 1) {\n\
+                   try { return this.op(); } catch (E e) { sleep(1); }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+               method runB() {\n\
+                 for (var retries = 0; retries < 3; retries = retries + 1) {\n\
+                   try { return this.op2(); } catch (E e) { sleep(1); }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+               test t1() { assert(this.runA() == 1); }\n\
+               test t2() { assert(this.runA() == 1); assert(this.runB() == 2); }\n\
+               test t3() { assert(true); }\n\
+             }";
+        Project::compile("t", vec![("c.jav", src)]).expect("compile")
+    }
+
+    #[test]
+    fn profiles_per_test_site_coverage() {
+        let p = project();
+        let index = ProjectIndex::build(&p);
+        let locations: Vec<RetryLocation> =
+            all_retry_locations(&index, &LoopQueryOptions::default())
+                .into_iter()
+                .flat_map(|(_, locs)| locs)
+                .collect();
+        assert_eq!(locations.len(), 2, "two retry locations");
+        let profile = profile_coverage(&p, &locations, &RunOptions::default());
+        assert_eq!(profile.tests_total, 3);
+        assert_eq!(profile.tests_covering_retry(), 2, "t3 covers nothing");
+        assert_eq!(profile.covered_sites().len(), 2);
+        let t1 = profile.per_test.get(&MethodId::new("C", "t1")).unwrap();
+        assert_eq!(t1.len(), 1);
+        let t2 = profile.per_test.get(&MethodId::new("C", "t2")).unwrap();
+        assert_eq!(t2.len(), 2);
+        // Both t1 and t2 cover the runA site.
+        let shared = profile.site_to_tests.get(&t1[0]).unwrap();
+        assert_eq!(shared.len(), 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! Fault-injection planning (§3.1.4).
+//!
+//! A naive plan injects at every retry location in every unit test —
+//! redundant for locations covered by many tests and wasteful when one test
+//! covers many locations. WASABI's plan instead pairs each coverable retry
+//! location with exactly one unit test, preferring to spread the pairs over
+//! distinct tests: iterate over tests, give each its first uncovered
+//! location, and keep iterating until every coverable location is planned.
+
+use crate::coverage::CoverageProfile;
+use std::collections::BTreeSet;
+use wasabi_analysis::loops::RetryLocation;
+use wasabi_inject::InjectionSpec;
+use wasabi_lang::project::{CallSite, MethodId};
+
+/// One planned `{unit test, retry location}` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanEntry {
+    /// The test to repurpose.
+    pub test: MethodId,
+    /// The retry-location call site to inject at.
+    pub site: CallSite,
+}
+
+/// The complete plan.
+#[derive(Debug, Clone, Default)]
+pub struct TestPlan {
+    /// Planned pairs; every coverable site appears exactly once.
+    pub entries: Vec<PlanEntry>,
+    /// Sites no test covers (untestable by repurposed unit testing).
+    pub uncovered_sites: Vec<CallSite>,
+}
+
+/// Builds the plan from a coverage profile.
+pub fn plan(profile: &CoverageProfile, all_sites: &BTreeSet<CallSite>) -> TestPlan {
+    let mut remaining: BTreeSet<CallSite> = profile.covered_sites();
+    let mut entries = Vec::new();
+    let tests: Vec<&MethodId> = profile.per_test.keys().collect();
+    // Round-robin over tests, one site per test per pass, until all covered
+    // sites are planned.
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        for test in &tests {
+            let sites = &profile.per_test[*test];
+            if let Some(site) = sites.iter().find(|s| remaining.contains(s)) {
+                remaining.remove(site);
+                entries.push(PlanEntry {
+                    test: (*test).clone(),
+                    site: *site,
+                });
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    let covered = profile.covered_sites();
+    let uncovered_sites = all_sites.difference(&covered).copied().collect();
+    TestPlan {
+        entries,
+        uncovered_sites,
+    }
+}
+
+/// A fully-specified injection run: a test plus one injection spec.
+#[derive(Debug, Clone)]
+pub struct InjectionRun {
+    /// The test to run.
+    pub test: MethodId,
+    /// What to inject.
+    pub spec: InjectionSpec,
+}
+
+/// Expands a plan into concrete runs: one per (entry, exception at the
+/// site, K value).
+pub fn expand_plan(
+    plan: &TestPlan,
+    locations: &[RetryLocation],
+    ks: &[u32],
+) -> Vec<InjectionRun> {
+    let mut runs = Vec::new();
+    for entry in &plan.entries {
+        for location in locations.iter().filter(|l| l.site == entry.site) {
+            for &k in ks {
+                runs.push(InjectionRun {
+                    test: entry.test.clone(),
+                    spec: InjectionSpec::new(location.clone(), k),
+                });
+            }
+        }
+    }
+    runs
+}
+
+/// Number of runs a naive plan (every test × every location it covers)
+/// would need, for the same expansion factors.
+pub fn naive_run_count(
+    profile: &CoverageProfile,
+    locations: &[RetryLocation],
+    ks: &[u32],
+) -> usize {
+    let mut count = 0;
+    for sites in profile.per_test.values() {
+        for site in sites {
+            let exceptions = locations.iter().filter(|l| l.site == *site).count();
+            count += exceptions * ks.len();
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi_analysis::loops::Mechanism;
+    use wasabi_lang::ast::{CallId, LoopId};
+    use wasabi_lang::project::FileId;
+
+    fn site(call: u32) -> CallSite {
+        CallSite {
+            file: FileId(0),
+            call: CallId(call),
+        }
+    }
+
+    fn test_id(name: &str) -> MethodId {
+        MethodId::new("T", name)
+    }
+
+    fn profile(per_test: &[(&str, &[u32])]) -> CoverageProfile {
+        let mut profile = CoverageProfile {
+            tests_total: per_test.len(),
+            ..CoverageProfile::default()
+        };
+        for (name, sites) in per_test {
+            let test = test_id(name);
+            let sites: Vec<CallSite> = sites.iter().map(|c| site(*c)).collect();
+            for s in &sites {
+                profile
+                    .site_to_tests
+                    .entry(*s)
+                    .or_default()
+                    .push(test.clone());
+            }
+            profile.per_test.insert(test, sites);
+        }
+        profile
+    }
+
+    fn location(call: u32, exception: &str) -> RetryLocation {
+        RetryLocation {
+            site: site(call),
+            coordinator: MethodId::new("C", "run"),
+            retried: MethodId::new("C", "op"),
+            exception: exception.to_string(),
+            mechanism: Mechanism::Loop(LoopId(0)),
+        }
+    }
+
+    #[test]
+    fn every_coverable_site_planned_exactly_once() {
+        let profile = profile(&[
+            ("t1", &[1, 2, 3]),
+            ("t2", &[1, 2]),
+            ("t3", &[3]),
+        ]);
+        let all: BTreeSet<CallSite> = [1, 2, 3, 9].into_iter().map(site).collect();
+        let plan = plan(&profile, &all);
+        let mut planned_sites: Vec<CallSite> = plan.entries.iter().map(|e| e.site).collect();
+        planned_sites.sort();
+        assert_eq!(planned_sites, vec![site(1), site(2), site(3)]);
+        assert_eq!(plan.uncovered_sites, vec![site(9)]);
+    }
+
+    #[test]
+    fn plan_spreads_sites_over_distinct_tests() {
+        let profile = profile(&[("t1", &[1, 2, 3]), ("t2", &[1, 2, 3]), ("t3", &[1, 2, 3])]);
+        let all: BTreeSet<CallSite> = [1, 2, 3].into_iter().map(site).collect();
+        let plan = plan(&profile, &all);
+        assert_eq!(plan.entries.len(), 3);
+        let tests: BTreeSet<&MethodId> = plan.entries.iter().map(|e| &e.test).collect();
+        assert_eq!(tests.len(), 3, "each site goes to a different test");
+    }
+
+    #[test]
+    fn expansion_multiplies_exceptions_and_k_values() {
+        let profile = profile(&[("t1", &[1])]);
+        let all: BTreeSet<CallSite> = [1].into_iter().map(site).collect();
+        let plan = plan(&profile, &all);
+        let locations = vec![location(1, "E1"), location(1, "E2")];
+        let runs = expand_plan(&plan, &locations, &[1, 100]);
+        assert_eq!(runs.len(), 4, "2 exceptions × 2 K values");
+    }
+
+    #[test]
+    fn planning_cuts_redundant_runs() {
+        // 50 tests all covering the same 2 sites.
+        let tests: Vec<(String, Vec<u32>)> = (0..50)
+            .map(|i| (format!("t{i:02}"), vec![1, 2]))
+            .collect();
+        let test_refs: Vec<(&str, &[u32])> = tests
+            .iter()
+            .map(|(n, s)| (n.as_str(), s.as_slice()))
+            .collect();
+        let profile = profile(&test_refs);
+        let all: BTreeSet<CallSite> = [1, 2].into_iter().map(site).collect();
+        let locations = vec![location(1, "E"), location(2, "E")];
+        let planned = plan(&profile, &all);
+        let with = expand_plan(&planned, &locations, &[1, 100]).len();
+        let without = naive_run_count(&profile, &locations, &[1, 100]);
+        assert_eq!(with, 4);
+        assert_eq!(without, 200);
+        assert!(without / with >= 27, "reduction {}x", without / with);
+    }
+
+    #[test]
+    fn empty_profile_plans_nothing() {
+        let profile = CoverageProfile::default();
+        let all: BTreeSet<CallSite> = [7].into_iter().map(site).collect();
+        let plan = plan(&profile, &all);
+        assert!(plan.entries.is_empty());
+        assert_eq!(plan.uncovered_sites, vec![site(7)]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Application configuration store.
+//!
+//! Javelin programs declare keys with `config "key" default <lit>;` and read
+//! or write them at run time with the `getConfig`/`setConfig` builtins. The
+//! planner's configuration-restoration pass (§3.1.4 of the paper) works by
+//! overriding test-local writes to retry-related keys back to these defaults.
+
+use crate::value::Value;
+use std::collections::HashMap;
+use wasabi_lang::ast::Literal;
+use wasabi_lang::project::SymbolTable;
+
+/// Runtime configuration: declared defaults plus runtime overrides.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigStore {
+    defaults: HashMap<String, Value>,
+    overrides: HashMap<String, Value>,
+    /// Keys that `setConfig` is forbidden from overriding (the planner pins
+    /// retry-related keys to their defaults here).
+    pinned: Vec<String>,
+}
+
+/// Converts a declaration literal to a runtime value.
+pub fn literal_value(lit: &Literal) -> Value {
+    match lit {
+        Literal::Int(v) => Value::Int(*v),
+        Literal::Str(s) => Value::str(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+        Literal::Null => Value::Null,
+    }
+}
+
+impl ConfigStore {
+    /// Builds a store from the project's declared config defaults.
+    pub fn from_symbols(symbols: &SymbolTable) -> Self {
+        let defaults = symbols
+            .configs()
+            .map(|(k, v)| (k.clone(), literal_value(v)))
+            .collect();
+        ConfigStore {
+            defaults,
+            overrides: HashMap::new(),
+            pinned: Vec::new(),
+        }
+    }
+
+    /// Reads a key: override first, then default, then `null`.
+    pub fn get(&self, key: &str) -> Value {
+        self.overrides
+            .get(key)
+            .or_else(|| self.defaults.get(key))
+            .cloned()
+            .unwrap_or(Value::Null)
+    }
+
+    /// Writes a key. Writes to pinned keys are silently ignored, modeling
+    /// WASABI restoring default retry configurations in repurposed tests.
+    pub fn set(&mut self, key: &str, value: Value) {
+        if self.pinned.iter().any(|p| p == key) {
+            return;
+        }
+        self.overrides.insert(key.to_string(), value);
+    }
+
+    /// Pins `key` to its default: subsequent `setConfig` calls are ignored.
+    pub fn pin(&mut self, key: &str) {
+        self.overrides.remove(key);
+        if !self.pinned.iter().any(|p| p == key) {
+            self.pinned.push(key.to_string());
+        }
+    }
+
+    /// Drops all runtime overrides (fresh-test semantics).
+    pub fn reset_overrides(&mut self) {
+        self.overrides.clear();
+    }
+
+    /// Whether a key was declared.
+    pub fn is_declared(&self, key: &str) -> bool {
+        self.defaults.contains_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ConfigStore {
+        let mut s = ConfigStore::default();
+        s.defaults.insert("retry.max".into(), Value::Int(5));
+        s
+    }
+
+    #[test]
+    fn get_falls_back_to_default_then_null() {
+        let s = store();
+        assert!(s.get("retry.max").value_eq(&Value::Int(5)));
+        assert!(s.get("missing").value_eq(&Value::Null));
+    }
+
+    #[test]
+    fn set_overrides_until_reset() {
+        let mut s = store();
+        s.set("retry.max", Value::Int(0));
+        assert!(s.get("retry.max").value_eq(&Value::Int(0)));
+        s.reset_overrides();
+        assert!(s.get("retry.max").value_eq(&Value::Int(5)));
+    }
+
+    #[test]
+    fn pinned_keys_ignore_writes() {
+        let mut s = store();
+        s.set("retry.max", Value::Int(0));
+        s.pin("retry.max");
+        assert!(s.get("retry.max").value_eq(&Value::Int(5)), "pin clears override");
+        s.set("retry.max", Value::Int(1));
+        assert!(s.get("retry.max").value_eq(&Value::Int(5)), "pin blocks writes");
+    }
+}

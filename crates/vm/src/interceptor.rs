@@ -1,0 +1,81 @@
+//! Call interception: the AspectJ-pointcut substitute.
+//!
+//! The interpreter consults a single [`Interceptor`] right before every
+//! user-method call, passing full static and dynamic context. Fault-injection
+//! handlers (crate `wasabi-inject`) and coverage profilers (crate
+//! `wasabi-planner`) are implemented against this trait.
+
+use crate::trace::CallSite;
+use wasabi_lang::project::MethodId;
+
+/// Context available to an interceptor at a call.
+#[derive(Debug)]
+pub struct CallCtx<'a> {
+    /// The static call site.
+    pub site: CallSite,
+    /// The calling method (candidate coordinator).
+    pub caller: MethodId,
+    /// The called method, after receiver resolution (candidate retried
+    /// method).
+    pub callee: MethodId,
+    /// Current call stack, outermost first (the caller is last).
+    pub stack: &'a [MethodId],
+    /// Current virtual time in milliseconds.
+    pub now_ms: u64,
+}
+
+/// What an interceptor wants the interpreter to do at a call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterceptAction {
+    /// Execute the call normally.
+    Proceed,
+    /// Skip the call and throw the given exception at the call site, as if
+    /// the callee had failed. The interpreter records an
+    /// [`crate::trace::Event::Injected`] event.
+    Throw {
+        /// Exception type to throw (must be declared in the project).
+        exc_type: String,
+        /// Exception message.
+        message: String,
+    },
+}
+
+/// Hook invoked before every user-method call.
+pub trait Interceptor {
+    /// Decides what happens at this call.
+    fn before_call(&mut self, ctx: &CallCtx<'_>) -> InterceptAction;
+}
+
+/// An interceptor that always proceeds (the no-op default).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopInterceptor;
+
+impl Interceptor for NoopInterceptor {
+    fn before_call(&mut self, _ctx: &CallCtx<'_>) -> InterceptAction {
+        InterceptAction::Proceed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi_lang::ast::CallId;
+    use wasabi_lang::project::FileId;
+
+    #[test]
+    fn noop_always_proceeds() {
+        let mut noop = NoopInterceptor;
+        let stack = [MethodId::new("T", "t")];
+        let ctx = CallCtx {
+            site: CallSite {
+                file: FileId(0),
+                call: CallId(0),
+            },
+            caller: MethodId::new("T", "t"),
+            callee: MethodId::new("C", "m"),
+            stack: &stack,
+            now_ms: 0,
+        };
+        assert_eq!(noop.before_call(&ctx), InterceptAction::Proceed);
+    }
+}

@@ -1,0 +1,1246 @@
+//! The Javelin tree-walking interpreter.
+//!
+//! Design points that matter for WASABI:
+//!
+//! - **Virtual clock.** `sleep(ms)` and delayed queue takes advance a virtual
+//!   clock instead of blocking, so the paper's 15-minute test timeout and the
+//!   missing-delay oracle are deterministic and fast.
+//! - **Interception.** Right before every user-method call, the configured
+//!   [`Interceptor`](crate::interceptor::Interceptor) is consulted with full
+//!   static (call site) and dynamic (stack, clock) context — this is the
+//!   AspectJ pointcut substitute. An [`InterceptAction::Throw`] makes the
+//!   call site raise the given exception as if the callee had failed, and
+//!   records an [`Event::Injected`] trace entry.
+//! - **Strictness.** Malformed programs (unknown methods, bad operand types,
+//!   arity mismatches) surface as [`VmError::Fault`], distinct from
+//!   in-language exceptions, so corpus bugs cannot masquerade as retry bugs.
+//! - **`break` targets loops**, never `switch` statements (Javelin switches
+//!   have no fallthrough, so a `break` inside a state-machine switch exits
+//!   the enclosing driver loop — matching how the corpus encodes
+//!   state-machine executors).
+
+use crate::config::ConfigStore;
+use crate::interceptor::{CallCtx, InterceptAction, Interceptor};
+use crate::trace::{CallSite, Event, Trace};
+use crate::value::{ExceptionValue, MapKey, Object, QueueData, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use wasabi_lang::ast::{BinOp, Block, Expr, LValue, Literal, MethodDecl, Stmt, UnOp};
+use wasabi_lang::project::{FileId, MethodId, Project};
+
+/// Interpreter-level failures, distinct from in-language exceptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// The step budget was exhausted.
+    FuelExhausted,
+    /// The virtual clock passed the per-run time limit.
+    Timeout {
+        /// Virtual time at abort.
+        virtual_ms: u64,
+    },
+    /// The program is malformed (unknown method, type error, ...).
+    Fault(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::FuelExhausted => write!(f, "step budget exhausted"),
+            VmError::Timeout { virtual_ms } => {
+                write!(f, "virtual time limit exceeded at {virtual_ms} ms")
+            }
+            VmError::Fault(msg) => write!(f, "vm fault: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Resource limits for one run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunLimits {
+    /// Maximum interpreter steps (statements + calls).
+    pub fuel: u64,
+    /// Maximum virtual time, in milliseconds. The paper aborts unit tests at
+    /// 15 minutes; that is the default here too.
+    pub virtual_time_limit_ms: u64,
+    /// Maximum call-stack depth.
+    pub max_call_depth: usize,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits {
+            fuel: 5_000_000,
+            virtual_time_limit_ms: 15 * 60 * 1000,
+            max_call_depth: 64,
+        }
+    }
+}
+
+/// Non-local control flow during execution.
+pub(crate) enum Control {
+    Return(Value),
+    Break,
+    Continue,
+    Throw(Rc<ExceptionValue>),
+    Err(VmError),
+}
+
+type Exec = Result<(), Control>;
+type Eval = Result<Value, Control>;
+
+/// Result of invoking a method from the outside.
+#[derive(Debug)]
+pub enum InvokeResult {
+    /// Normal completion with the returned value.
+    Ok(Value),
+    /// An exception escaped the invoked method.
+    Exception(Rc<ExceptionValue>),
+    /// The interpreter aborted.
+    Vm(VmError),
+}
+
+struct Frame {
+    method: MethodId,
+}
+
+/// The interpreter for one run (typically one unit test).
+pub struct Interp<'p, 'i> {
+    project: &'p Project,
+    /// Runtime configuration store (resettable between tests).
+    pub config: ConfigStore,
+    interceptor: &'i mut dyn Interceptor,
+    limits: RunLimits,
+    clock_ms: u64,
+    fuel_used: u64,
+    trace: Trace,
+    stack: Vec<Frame>,
+    injection_counts: HashMap<(CallSite, String), u32>,
+}
+
+impl<'p, 'i> Interp<'p, 'i> {
+    /// Creates an interpreter over `project` with the given interceptor.
+    pub fn new(
+        project: &'p Project,
+        interceptor: &'i mut dyn Interceptor,
+        limits: RunLimits,
+    ) -> Self {
+        Interp {
+            project,
+            config: ConfigStore::from_symbols(&project.symbols),
+            interceptor,
+            limits,
+            clock_ms: 0,
+            fuel_used: 0,
+            trace: Trace::new(),
+            stack: Vec::new(),
+            injection_counts: HashMap::new(),
+        }
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn clock_ms(&self) -> u64 {
+        self.clock_ms
+    }
+
+    /// Steps consumed so far.
+    pub fn steps(&self) -> u64 {
+        self.fuel_used
+    }
+
+    /// Takes the accumulated trace, leaving an empty one.
+    pub fn take_trace(&mut self) -> Trace {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Instantiates `class` with a no-argument constructor and invokes
+    /// `method` on it with `args`.
+    pub fn invoke(&mut self, class: &str, method: &str, args: Vec<Value>) -> InvokeResult {
+        if self.project.symbols.class(class).is_none() {
+            return InvokeResult::Vm(VmError::Fault(format!("unknown class `{class}`")));
+        }
+        // Synthesize an entry frame so stack snapshots are never empty.
+        self.stack.push(Frame {
+            method: MethodId::new("<entry>", method),
+        });
+        let result = match self.instantiate(class, Vec::new()) {
+            Ok(this) => self.call_resolved(this, class, method, args),
+            Err(ctrl) => Err(ctrl),
+        };
+        self.stack.pop();
+        match result {
+            Ok(value) => InvokeResult::Ok(value),
+            Err(Control::Throw(exc)) => InvokeResult::Exception(exc),
+            Err(Control::Err(err)) => InvokeResult::Vm(err),
+            Err(Control::Return(value)) => InvokeResult::Ok(value),
+            Err(Control::Break) | Err(Control::Continue) => InvokeResult::Vm(VmError::Fault(
+                "break/continue escaped method body".to_string(),
+            )),
+        }
+    }
+
+    // ---- Infrastructure ----------------------------------------------------
+
+    fn tick(&mut self) -> Result<(), Control> {
+        self.fuel_used += 1;
+        if self.fuel_used > self.limits.fuel {
+            return Err(Control::Err(VmError::FuelExhausted));
+        }
+        Ok(())
+    }
+
+    fn advance_clock(&mut self, ms: u64, record: bool) -> Result<(), Control> {
+        let at_ms = self.clock_ms;
+        self.clock_ms = self.clock_ms.saturating_add(ms);
+        if record {
+            let stack = self.stack_snapshot();
+            self.trace.events.push(Event::Slept { ms, at_ms, stack });
+        }
+        if self.clock_ms > self.limits.virtual_time_limit_ms {
+            return Err(Control::Err(VmError::Timeout {
+                virtual_ms: self.clock_ms,
+            }));
+        }
+        Ok(())
+    }
+
+    fn stack_snapshot(&self) -> Vec<MethodId> {
+        self.stack.iter().map(|f| f.method.clone()).collect()
+    }
+
+    fn fault(&self, msg: impl Into<String>) -> Control {
+        Control::Err(VmError::Fault(msg.into()))
+    }
+
+    fn raise(&mut self, ty: &str, message: impl Into<String>) -> Control {
+        let exc = Rc::new(ExceptionValue {
+            ty: ty.to_string(),
+            message: message.into(),
+            cause: None,
+            raised_at: self.stack_snapshot(),
+            injected: false,
+        });
+        self.trace.events.push(Event::Raised {
+            exc_type: ty.to_string(),
+            at_ms: self.clock_ms,
+        });
+        Control::Throw(exc)
+    }
+
+    // ---- Objects and calls -------------------------------------------------
+
+    fn instantiate(&mut self, class: &str, args: Vec<Value>) -> Eval {
+        if self.project.class_decl(class).is_none() {
+            return Err(self.fault(format!("cannot instantiate unknown class `{class}`")));
+        }
+        // Collect the field declarations across the superclass chain,
+        // base-class fields first.
+        let mut chain = Vec::new();
+        let mut current = Some(class.to_string());
+        while let Some(name) = current {
+            let decl = self
+                .project
+                .class_decl(&name)
+                .ok_or_else(|| self.fault(format!("unknown superclass `{name}`")))?;
+            chain.push(decl);
+            current = decl.parent.clone();
+        }
+        chain.reverse();
+
+        let object = Rc::new(RefCell::new(Object {
+            class: class.to_string(),
+            fields: HashMap::new(),
+        }));
+        for decl in &chain {
+            for field in &decl.fields {
+                object
+                    .borrow_mut()
+                    .fields
+                    .insert(field.name.clone(), Value::Null);
+            }
+        }
+        let this = Value::Object(Rc::clone(&object));
+        // Evaluate initializers in declaration order with `this` bound to the
+        // object under construction.
+        let mut env = Env::new();
+        for decl in &chain {
+            for field in &decl.fields {
+                if let Some(init) = &field.init {
+                    let value = self.eval(&mut env, &this, decl_file(self.project, &decl.name), init)?;
+                    object.borrow_mut().fields.insert(field.name.clone(), value);
+                }
+            }
+        }
+        // Run the constructor, if declared.
+        if self.project.resolve_method(class, "init").is_some() {
+            self.call_resolved(this.clone(), class, "init", args)?;
+        } else if !args.is_empty() {
+            return Err(self.fault(format!(
+                "class `{class}` has no `init` constructor but was given {} argument(s)",
+                args.len()
+            )));
+        }
+        Ok(this)
+    }
+
+    /// Calls `method` on `this` (whose class is `class`), running the body.
+    fn call_resolved(&mut self, this: Value, class: &str, method: &str, args: Vec<Value>) -> Eval {
+        let (owner, decl) = match self.project.resolve_method(class, method) {
+            Some(found) => found,
+            None => {
+                return Err(self.fault(format!("unknown method `{class}.{method}`")));
+            }
+        };
+        if decl.params.len() != args.len() {
+            return Err(self.fault(format!(
+                "arity mismatch calling `{class}.{method}`: expected {}, got {}",
+                decl.params.len(),
+                args.len()
+            )));
+        }
+        if self.stack.len() >= self.limits.max_call_depth {
+            return Err(self.fault(format!(
+                "call depth limit ({}) exceeded calling `{class}.{method}`",
+                self.limits.max_call_depth
+            )));
+        }
+        let owner = owner.to_string();
+        let file = self
+            .project
+            .symbols
+            .class(&owner)
+            .map(|info| info.file)
+            .unwrap_or(FileId(0));
+        let decl: &MethodDecl = decl;
+        let mut env = Env::new();
+        for (param, arg) in decl.params.iter().zip(args) {
+            env.set(param.clone(), arg);
+        }
+        self.stack.push(Frame {
+            method: MethodId::new(class, method),
+        });
+        let result = self.exec_block(&mut env, &this, file, &decl.body);
+        self.stack.pop();
+        match result {
+            Ok(()) => Ok(Value::Null),
+            Err(Control::Return(value)) => Ok(value),
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Dispatches a call expression: interceptor, builtins, user methods.
+    fn call_expr(
+        &mut self,
+        env: &mut Env,
+        this: &Value,
+        file: FileId,
+        id: wasabi_lang::ast::CallId,
+        recv: Option<&Expr>,
+        method: &str,
+        arg_exprs: &[Expr],
+    ) -> Eval {
+        self.tick()?;
+        // Global builtins are reserved names and take priority for
+        // receiver-less calls.
+        if recv.is_none() && is_global_builtin(method) {
+            let mut args = Vec::with_capacity(arg_exprs.len());
+            for arg in arg_exprs {
+                args.push(self.eval(env, this, file, arg)?);
+            }
+            return self.global_builtin(method, args);
+        }
+        let recv_value = match recv {
+            Some(expr) => self.eval(env, this, file, expr)?,
+            None => this.clone(),
+        };
+        // Builtin methods on non-object receivers.
+        match &recv_value {
+            Value::Null => {
+                return Err(self.raise(
+                    "NullPointerException",
+                    format!("call to `{method}` on null"),
+                ));
+            }
+            Value::Object(_) => {}
+            _ => {
+                let mut args = Vec::with_capacity(arg_exprs.len());
+                for arg in arg_exprs {
+                    args.push(self.eval(env, this, file, arg)?);
+                }
+                return self.value_builtin(&recv_value, method, args);
+            }
+        }
+        let class = match &recv_value {
+            Value::Object(obj) => obj.borrow().class.clone(),
+            _ => unreachable!("receiver checked above"),
+        };
+        let mut args = Vec::with_capacity(arg_exprs.len());
+        for arg in arg_exprs {
+            args.push(self.eval(env, this, file, arg)?);
+        }
+        // Consult the interceptor before entering the callee.
+        let site = CallSite { file, call: id };
+        let caller = self
+            .stack
+            .last()
+            .map(|f| f.method.clone())
+            .unwrap_or_else(|| MethodId::new("<entry>", "<entry>"));
+        let callee = MethodId::new(&class, method);
+        let stack = self.stack_snapshot();
+        let ctx = CallCtx {
+            site,
+            caller: caller.clone(),
+            callee: callee.clone(),
+            stack: &stack,
+            now_ms: self.clock_ms,
+        };
+        match self.interceptor.before_call(&ctx) {
+            InterceptAction::Proceed => self.call_resolved(recv_value, &class, method, args),
+            InterceptAction::Throw { exc_type, message } => {
+                let count = self
+                    .injection_counts
+                    .entry((site, exc_type.clone()))
+                    .or_insert(0);
+                *count += 1;
+                let count = *count;
+                self.trace.events.push(Event::Injected {
+                    site,
+                    caller,
+                    callee: callee.clone(),
+                    exc_type: exc_type.clone(),
+                    count,
+                    at_ms: self.clock_ms,
+                });
+                let mut raised_at = stack;
+                raised_at.push(callee);
+                Err(Control::Throw(Rc::new(ExceptionValue {
+                    ty: exc_type,
+                    message,
+                    cause: None,
+                    raised_at,
+                    injected: true,
+                })))
+            }
+        }
+    }
+
+    // ---- Statements ---------------------------------------------------------
+
+    fn exec_block(&mut self, env: &mut Env, this: &Value, file: FileId, block: &Block) -> Exec {
+        for stmt in &block.stmts {
+            self.exec_stmt(env, this, file, stmt)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, env: &mut Env, this: &Value, file: FileId, stmt: &Stmt) -> Exec {
+        self.tick()?;
+        match stmt {
+            Stmt::Var { name, init, .. } => {
+                let value = self.eval(env, this, file, init)?;
+                env.set(name.clone(), value);
+                Ok(())
+            }
+            Stmt::Assign { target, value, .. } => {
+                let value = self.eval(env, this, file, value)?;
+                self.assign(env, this, file, target, value)
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                if self.eval_bool(env, this, file, cond)? {
+                    self.exec_block(env, this, file, then_blk)
+                } else if let Some(else_blk) = else_blk {
+                    self.exec_block(env, this, file, else_blk)
+                } else {
+                    Ok(())
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                while self.eval_bool(env, this, file, cond)? {
+                    match self.exec_block(env, this, file, body) {
+                        Ok(()) => {}
+                        Err(Control::Break) => break,
+                        Err(Control::Continue) => continue,
+                        Err(other) => return Err(other),
+                    }
+                }
+                Ok(())
+            }
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+                ..
+            } => {
+                if let Some(init) = init {
+                    self.exec_stmt(env, this, file, init)?;
+                }
+                loop {
+                    if let Some(cond) = cond {
+                        if !self.eval_bool(env, this, file, cond)? {
+                            break;
+                        }
+                    }
+                    match self.exec_block(env, this, file, body) {
+                        Ok(()) => {}
+                        Err(Control::Break) => break,
+                        Err(Control::Continue) => {}
+                        Err(other) => return Err(other),
+                    }
+                    if let Some(update) = update {
+                        self.exec_stmt(env, this, file, update)?;
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Switch {
+                scrutinee,
+                cases,
+                default,
+                ..
+            } => {
+                let value = self.eval(env, this, file, scrutinee)?;
+                for (lit, body) in cases {
+                    if value.value_eq(&literal_to_value(lit)) {
+                        return self.exec_block(env, this, file, body);
+                    }
+                }
+                if let Some(default) = default {
+                    return self.exec_block(env, this, file, default);
+                }
+                Ok(())
+            }
+            Stmt::Try {
+                body,
+                catches,
+                finally,
+                ..
+            } => {
+                let mut result = self.exec_block(env, this, file, body);
+                if let Err(Control::Throw(exc)) = &result {
+                    let exc = Rc::clone(exc);
+                    for catch in catches {
+                        if self
+                            .project
+                            .symbols
+                            .is_exception_subtype(&exc.ty, &catch.exc_type)
+                        {
+                            env.set(catch.binding.clone(), Value::Exception(Rc::clone(&exc)));
+                            result = self.exec_block(env, this, file, &catch.body);
+                            break;
+                        }
+                    }
+                }
+                if let Some(finally) = finally {
+                    match self.exec_block(env, this, file, finally) {
+                        // A completed finally preserves the pending control.
+                        Ok(()) => {}
+                        // Abrupt finally overrides the pending control (Java
+                        // semantics).
+                        Err(ctrl) => return Err(ctrl),
+                    }
+                }
+                result
+            }
+            Stmt::Throw { expr, .. } => {
+                let value = self.eval(env, this, file, expr)?;
+                match value {
+                    Value::Exception(exc) => {
+                        self.trace.events.push(Event::Raised {
+                            exc_type: exc.ty.clone(),
+                            at_ms: self.clock_ms,
+                        });
+                        Err(Control::Throw(exc))
+                    }
+                    other => Err(self.fault(format!(
+                        "throw of non-exception value of type {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            Stmt::Return { expr, .. } => {
+                let value = match expr {
+                    Some(expr) => self.eval(env, this, file, expr)?,
+                    None => Value::Null,
+                };
+                Err(Control::Return(value))
+            }
+            Stmt::Break { .. } => Err(Control::Break),
+            Stmt::Continue { .. } => Err(Control::Continue),
+            Stmt::Sleep { ms, .. } => {
+                let ms = self.eval_int(env, this, file, ms)?;
+                if ms < 0 {
+                    return Err(self.fault("negative sleep duration"));
+                }
+                self.advance_clock(ms as u64, true)
+            }
+            Stmt::Log { expr, .. } => {
+                let value = self.eval(env, this, file, expr)?;
+                self.trace.events.push(Event::Logged {
+                    message: value.render(),
+                    at_ms: self.clock_ms,
+                });
+                Ok(())
+            }
+            Stmt::Assert { cond, msg, .. } => {
+                if self.eval_bool(env, this, file, cond)? {
+                    Ok(())
+                } else {
+                    let message = match msg {
+                        Some(msg) => self.eval(env, this, file, msg)?.render(),
+                        None => "assertion failed".to_string(),
+                    };
+                    Err(self.raise("AssertionError", message))
+                }
+            }
+            Stmt::Expr { expr, .. } => {
+                self.eval(env, this, file, expr)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn assign(
+        &mut self,
+        env: &mut Env,
+        this: &Value,
+        file: FileId,
+        target: &LValue,
+        value: Value,
+    ) -> Exec {
+        match target {
+            LValue::Var(name, _) => {
+                if env.has(name) {
+                    env.set(name.clone(), value);
+                    return Ok(());
+                }
+                // Fall back to an implicit `this` field, like Java.
+                if let Value::Object(obj) = this {
+                    if obj.borrow().fields.contains_key(name) {
+                        obj.borrow_mut().fields.insert(name.clone(), value);
+                        return Ok(());
+                    }
+                }
+                // First write introduces a local (function-scoped).
+                env.set(name.clone(), value);
+                Ok(())
+            }
+            LValue::Field { recv, name, .. } => {
+                let recv = self.eval(env, this, file, recv)?;
+                match recv {
+                    Value::Object(obj) => {
+                        if !obj.borrow().fields.contains_key(name) {
+                            return Err(self.fault(format!(
+                                "no field `{name}` on class `{}`",
+                                obj.borrow().class
+                            )));
+                        }
+                        obj.borrow_mut().fields.insert(name.clone(), value);
+                        Ok(())
+                    }
+                    Value::Null => Err(self.raise(
+                        "NullPointerException",
+                        format!("field write `{name}` on null"),
+                    )),
+                    other => Err(self.fault(format!(
+                        "field write on non-object value of type {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+        }
+    }
+
+    // ---- Expressions ---------------------------------------------------------
+
+    fn eval_bool(&mut self, env: &mut Env, this: &Value, file: FileId, expr: &Expr) -> Result<bool, Control> {
+        match self.eval(env, this, file, expr)? {
+            Value::Bool(b) => Ok(b),
+            other => Err(self.fault(format!(
+                "condition must be a bool, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn eval_int(&mut self, env: &mut Env, this: &Value, file: FileId, expr: &Expr) -> Result<i64, Control> {
+        match self.eval(env, this, file, expr)? {
+            Value::Int(v) => Ok(v),
+            other => Err(self.fault(format!(
+                "expected an int, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn eval(&mut self, env: &mut Env, this: &Value, file: FileId, expr: &Expr) -> Eval {
+        match expr {
+            Expr::Literal(lit, _) => Ok(literal_to_value(lit)),
+            Expr::Ident(name, _) => {
+                if let Some(value) = env.get(name) {
+                    return Ok(value.clone());
+                }
+                if let Value::Object(obj) = this {
+                    if let Some(value) = obj.borrow().fields.get(name) {
+                        return Ok(value.clone());
+                    }
+                }
+                Err(self.fault(format!("unknown variable `{name}`")))
+            }
+            Expr::This(_) => Ok(this.clone()),
+            Expr::Field { recv, name, .. } => {
+                let recv = self.eval(env, this, file, recv)?;
+                match recv {
+                    Value::Object(obj) => {
+                        let borrowed = obj.borrow();
+                        borrowed.fields.get(name).cloned().ok_or_else(|| {
+                            self.fault(format!(
+                                "no field `{name}` on class `{}`",
+                                borrowed.class
+                            ))
+                        })
+                    }
+                    Value::Null => Err(self.raise(
+                        "NullPointerException",
+                        format!("field read `{name}` on null"),
+                    )),
+                    other => Err(self.fault(format!(
+                        "field read on non-object value of type {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            Expr::Call {
+                id,
+                recv,
+                method,
+                args,
+                ..
+            } => self.call_expr(env, this, file, *id, recv.as_deref(), method, args),
+            Expr::New { class, args, .. } => {
+                self.tick()?;
+                let mut arg_values = Vec::with_capacity(args.len());
+                for arg in args {
+                    arg_values.push(self.eval(env, this, file, arg)?);
+                }
+                if self.project.symbols.exception(class).is_some() {
+                    return self.new_exception(class, arg_values);
+                }
+                self.instantiate(class, arg_values)
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                // Short-circuit logical operators.
+                match op {
+                    BinOp::And => {
+                        return Ok(Value::Bool(
+                            self.eval_bool(env, this, file, lhs)?
+                                && self.eval_bool(env, this, file, rhs)?,
+                        ));
+                    }
+                    BinOp::Or => {
+                        return Ok(Value::Bool(
+                            self.eval_bool(env, this, file, lhs)?
+                                || self.eval_bool(env, this, file, rhs)?,
+                        ));
+                    }
+                    _ => {}
+                }
+                let lhs = self.eval(env, this, file, lhs)?;
+                let rhs = self.eval(env, this, file, rhs)?;
+                self.binary(*op, lhs, rhs)
+            }
+            Expr::Unary { op, expr, .. } => {
+                let value = self.eval(env, this, file, expr)?;
+                match (op, value) {
+                    (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
+                    (UnOp::Neg, Value::Int(v)) => Ok(Value::Int(v.wrapping_neg())),
+                    (op, other) => Err(self.fault(format!(
+                        "unary `{}` on {}",
+                        op.symbol(),
+                        other.type_name()
+                    ))),
+                }
+            }
+            Expr::InstanceOf { expr, ty, .. } => {
+                let value = self.eval(env, this, file, expr)?;
+                let result = match value {
+                    Value::Exception(exc) => {
+                        self.project.symbols.is_exception_subtype(&exc.ty, ty)
+                    }
+                    Value::Object(obj) => {
+                        let class = obj.borrow().class.clone();
+                        self.project.symbols.is_class_subtype(&class, ty)
+                    }
+                    _ => false,
+                };
+                Ok(Value::Bool(result))
+            }
+        }
+    }
+
+    fn new_exception(&mut self, ty: &str, args: Vec<Value>) -> Eval {
+        let mut iter = args.into_iter();
+        let message = match iter.next() {
+            None => String::new(),
+            Some(Value::Str(s)) => s.as_ref().clone(),
+            Some(other) => other.render(),
+        };
+        let cause = match iter.next() {
+            None => None,
+            Some(Value::Exception(exc)) => Some(exc),
+            Some(Value::Null) => None,
+            Some(other) => {
+                return Err(self.fault(format!(
+                    "exception cause must be an exception, got {}",
+                    other.type_name()
+                )));
+            }
+        };
+        if iter.next().is_some() {
+            return Err(self.fault(format!(
+                "exception constructor `{ty}` takes at most (message, cause)"
+            )));
+        }
+        Ok(Value::Exception(Rc::new(ExceptionValue {
+            ty: ty.to_string(),
+            message,
+            cause,
+            raised_at: self.stack_snapshot(),
+            injected: false,
+        })))
+    }
+
+    fn binary(&mut self, op: BinOp, lhs: Value, rhs: Value) -> Eval {
+        match op {
+            BinOp::Add => match (&lhs, &rhs) {
+                (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
+                (Value::Str(_), _) | (_, Value::Str(_)) => {
+                    Ok(Value::str(format!("{}{}", lhs.render(), rhs.render())))
+                }
+                _ => Err(self.fault(format!(
+                    "`+` on {} and {}",
+                    lhs.type_name(),
+                    rhs.type_name()
+                ))),
+            },
+            BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => match (&lhs, &rhs) {
+                (Value::Int(a), Value::Int(b)) => match op {
+                    BinOp::Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+                    BinOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+                    BinOp::Div => {
+                        if *b == 0 {
+                            Err(self.raise("ArithmeticException", "division by zero"))
+                        } else {
+                            Ok(Value::Int(a.wrapping_div(*b)))
+                        }
+                    }
+                    BinOp::Rem => {
+                        if *b == 0 {
+                            Err(self.raise("ArithmeticException", "remainder by zero"))
+                        } else {
+                            Ok(Value::Int(a.wrapping_rem(*b)))
+                        }
+                    }
+                    _ => unreachable!("arithmetic op"),
+                },
+                _ => Err(self.fault(format!(
+                    "`{}` on {} and {}",
+                    op.symbol(),
+                    lhs.type_name(),
+                    rhs.type_name()
+                ))),
+            },
+            BinOp::Eq => Ok(Value::Bool(lhs.value_eq(&rhs))),
+            BinOp::NotEq => Ok(Value::Bool(!lhs.value_eq(&rhs))),
+            BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => match (&lhs, &rhs) {
+                (Value::Int(a), Value::Int(b)) => Ok(Value::Bool(match op {
+                    BinOp::Lt => a < b,
+                    BinOp::LtEq => a <= b,
+                    BinOp::Gt => a > b,
+                    BinOp::GtEq => a >= b,
+                    _ => unreachable!("comparison op"),
+                })),
+                _ => Err(self.fault(format!(
+                    "`{}` on {} and {}",
+                    op.symbol(),
+                    lhs.type_name(),
+                    rhs.type_name()
+                ))),
+            },
+            BinOp::And | BinOp::Or => unreachable!("short-circuited above"),
+        }
+    }
+
+    // ---- Builtins -------------------------------------------------------------
+
+    fn global_builtin(&mut self, name: &str, mut args: Vec<Value>) -> Eval {
+        let arity = args.len();
+        let wrong_arity = |interp: &Self, expected: usize| {
+            Err::<Value, Control>(interp.fault(format!(
+                "builtin `{name}` expects {expected} argument(s), got {arity}"
+            )))
+        };
+        match name {
+            "queue" => {
+                if arity != 0 {
+                    return wrong_arity(self, 0);
+                }
+                Ok(Value::Queue(Rc::new(RefCell::new(QueueData::default()))))
+            }
+            "list" => {
+                if arity != 0 {
+                    return wrong_arity(self, 0);
+                }
+                Ok(Value::List(Rc::new(RefCell::new(Vec::new()))))
+            }
+            "map" => {
+                if arity != 0 {
+                    return wrong_arity(self, 0);
+                }
+                Ok(Value::Map(Rc::new(RefCell::new(HashMap::new()))))
+            }
+            "now" => {
+                if arity != 0 {
+                    return wrong_arity(self, 0);
+                }
+                Ok(Value::Int(self.clock_ms as i64))
+            }
+            "getConfig" => {
+                if arity != 1 {
+                    return wrong_arity(self, 1);
+                }
+                match &args[0] {
+                    Value::Str(key) => Ok(self.config.get(key)),
+                    other => Err(self.fault(format!(
+                        "getConfig key must be a string, got {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            "setConfig" => {
+                if arity != 2 {
+                    return wrong_arity(self, 2);
+                }
+                let value = args.pop().expect("arity checked");
+                match &args[0] {
+                    Value::Str(key) => {
+                        self.config.set(key, value);
+                        Ok(Value::Null)
+                    }
+                    other => Err(self.fault(format!(
+                        "setConfig key must be a string, got {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            "str" => {
+                if arity != 1 {
+                    return wrong_arity(self, 1);
+                }
+                Ok(Value::str(args[0].render()))
+            }
+            "min" | "max" => {
+                if arity != 2 {
+                    return wrong_arity(self, 2);
+                }
+                match (&args[0], &args[1]) {
+                    (Value::Int(a), Value::Int(b)) => Ok(Value::Int(if name == "min" {
+                        *a.min(b)
+                    } else {
+                        *a.max(b)
+                    })),
+                    _ => Err(self.fault(format!("`{name}` expects int arguments"))),
+                }
+            }
+            "abs" => {
+                if arity != 1 {
+                    return wrong_arity(self, 1);
+                }
+                match &args[0] {
+                    Value::Int(v) => Ok(Value::Int(v.wrapping_abs())),
+                    other => Err(self.fault(format!(
+                        "`abs` expects an int, got {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            "pow" => {
+                if arity != 2 {
+                    return wrong_arity(self, 2);
+                }
+                match (&args[0], &args[1]) {
+                    (Value::Int(base), Value::Int(exp)) if *exp >= 0 => {
+                        let exp = (*exp).min(63) as u32;
+                        Ok(Value::Int(base.saturating_pow(exp)))
+                    }
+                    _ => Err(self.fault("`pow` expects int base and non-negative int exponent")),
+                }
+            }
+            other => Err(self.fault(format!("unknown global builtin `{other}`"))),
+        }
+    }
+
+    fn value_builtin(&mut self, recv: &Value, method: &str, args: Vec<Value>) -> Eval {
+        match recv {
+            Value::Queue(queue) => self.queue_builtin(queue, method, args),
+            Value::List(list) => self.list_builtin(list, method, args),
+            Value::Map(map) => self.map_builtin(map, method, args),
+            Value::Str(s) => self.str_builtin(s, method, args),
+            Value::Exception(exc) => self.exception_builtin(exc, method, args),
+            other => Err(self.fault(format!(
+                "cannot call `{method}` on value of type {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    fn queue_builtin(&mut self, queue: &Rc<RefCell<QueueData>>, method: &str, mut args: Vec<Value>) -> Eval {
+        match (method, args.len()) {
+            ("put", 1) => {
+                let value = args.pop().expect("arity checked");
+                let now = self.clock_ms;
+                queue.borrow_mut().entries.push_back((value, now));
+                Ok(Value::Null)
+            }
+            ("putDelayed", 2) => {
+                let delay = match args.pop().expect("arity checked") {
+                    Value::Int(v) if v >= 0 => v as u64,
+                    _ => return Err(self.fault("putDelayed delay must be a non-negative int")),
+                };
+                let value = args.pop().expect("arity checked");
+                let ready = self.clock_ms.saturating_add(delay);
+                queue.borrow_mut().entries.push_back((value, ready));
+                Ok(Value::Null)
+            }
+            ("take", 0) => {
+                let entry = queue.borrow_mut().entries.pop_front();
+                match entry {
+                    Some((value, ready)) => {
+                        if ready > self.clock_ms {
+                            // Waiting for a delayed entry counts as a delay
+                            // for the missing-delay oracle.
+                            self.advance_clock(ready - self.clock_ms, true)?;
+                        }
+                        Ok(value)
+                    }
+                    None => Ok(Value::Null),
+                }
+            }
+            ("peek", 0) => Ok(queue
+                .borrow()
+                .entries
+                .front()
+                .map(|(v, _)| v.clone())
+                .unwrap_or(Value::Null)),
+            ("isEmpty", 0) => Ok(Value::Bool(queue.borrow().entries.is_empty())),
+            ("size", 0) => Ok(Value::Int(queue.borrow().entries.len() as i64)),
+            ("clear", 0) => {
+                queue.borrow_mut().entries.clear();
+                Ok(Value::Null)
+            }
+            (other, n) => Err(self.fault(format!("unknown queue method `{other}/{n}`"))),
+        }
+    }
+
+    fn list_builtin(&mut self, list: &Rc<RefCell<Vec<Value>>>, method: &str, mut args: Vec<Value>) -> Eval {
+        match (method, args.len()) {
+            ("add", 1) => {
+                list.borrow_mut().push(args.pop().expect("arity checked"));
+                Ok(Value::Null)
+            }
+            ("get", 1) => {
+                let idx = self.index_arg(&args[0], list.borrow().len())?;
+                Ok(list.borrow()[idx].clone())
+            }
+            ("set", 2) => {
+                let value = args.pop().expect("arity checked");
+                let idx = self.index_arg(&args[0], list.borrow().len())?;
+                list.borrow_mut()[idx] = value;
+                Ok(Value::Null)
+            }
+            ("removeAt", 1) => {
+                let idx = self.index_arg(&args[0], list.borrow().len())?;
+                Ok(list.borrow_mut().remove(idx))
+            }
+            ("remove", 1) => {
+                let needle = &args[0];
+                let pos = list.borrow().iter().position(|v| v.value_eq(needle));
+                match pos {
+                    Some(idx) => {
+                        list.borrow_mut().remove(idx);
+                        Ok(Value::Bool(true))
+                    }
+                    None => Ok(Value::Bool(false)),
+                }
+            }
+            ("contains", 1) => {
+                let needle = &args[0];
+                Ok(Value::Bool(
+                    list.borrow().iter().any(|v| v.value_eq(needle)),
+                ))
+            }
+            ("size", 0) => Ok(Value::Int(list.borrow().len() as i64)),
+            ("isEmpty", 0) => Ok(Value::Bool(list.borrow().is_empty())),
+            ("clear", 0) => {
+                list.borrow_mut().clear();
+                Ok(Value::Null)
+            }
+            (other, n) => Err(self.fault(format!("unknown list method `{other}/{n}`"))),
+        }
+    }
+
+    fn index_arg(&self, value: &Value, len: usize) -> Result<usize, Control> {
+        match value {
+            Value::Int(v) if *v >= 0 && (*v as usize) < len => Ok(*v as usize),
+            Value::Int(v) => Err(self.fault(format!("index {v} out of bounds (len {len})"))),
+            other => Err(self.fault(format!("index must be an int, got {}", other.type_name()))),
+        }
+    }
+
+    fn map_builtin(
+        &mut self,
+        map: &Rc<RefCell<HashMap<MapKey, Value>>>,
+        method: &str,
+        mut args: Vec<Value>,
+    ) -> Eval {
+        let key_arg = |interp: &Self, value: &Value| {
+            MapKey::from_value(value).ok_or_else(|| {
+                interp.fault(format!(
+                    "map key must be int/string/bool, got {}",
+                    value.type_name()
+                ))
+            })
+        };
+        match (method, args.len()) {
+            ("put", 2) => {
+                let value = args.pop().expect("arity checked");
+                let key = key_arg(self, &args[0])?;
+                Ok(map.borrow_mut().insert(key, value).unwrap_or(Value::Null))
+            }
+            ("get", 1) => {
+                let key = key_arg(self, &args[0])?;
+                Ok(map.borrow().get(&key).cloned().unwrap_or(Value::Null))
+            }
+            ("containsKey", 1) => {
+                let key = key_arg(self, &args[0])?;
+                Ok(Value::Bool(map.borrow().contains_key(&key)))
+            }
+            ("remove", 1) => {
+                let key = key_arg(self, &args[0])?;
+                Ok(map.borrow_mut().remove(&key).unwrap_or(Value::Null))
+            }
+            ("size", 0) => Ok(Value::Int(map.borrow().len() as i64)),
+            ("isEmpty", 0) => Ok(Value::Bool(map.borrow().is_empty())),
+            ("clear", 0) => {
+                map.borrow_mut().clear();
+                Ok(Value::Null)
+            }
+            ("keys", 0) => {
+                // Deterministic order: sort keys.
+                let mut keys: Vec<MapKey> = map.borrow().keys().cloned().collect();
+                keys.sort();
+                let values = keys
+                    .into_iter()
+                    .map(|k| match k {
+                        MapKey::Int(v) => Value::Int(v),
+                        MapKey::Str(s) => Value::str(s),
+                        MapKey::Bool(b) => Value::Bool(b),
+                    })
+                    .collect();
+                Ok(Value::List(Rc::new(RefCell::new(values))))
+            }
+            (other, n) => Err(self.fault(format!("unknown map method `{other}/{n}`"))),
+        }
+    }
+
+    fn str_builtin(&mut self, s: &Rc<String>, method: &str, args: Vec<Value>) -> Eval {
+        let str_arg = |interp: &Self, value: &Value| match value {
+            Value::Str(s) => Ok(s.as_ref().clone()),
+            other => Err(interp.fault(format!(
+                "string method argument must be a string, got {}",
+                other.type_name()
+            ))),
+        };
+        match (method, args.len()) {
+            ("length", 0) => Ok(Value::Int(s.len() as i64)),
+            ("isEmpty", 0) => Ok(Value::Bool(s.is_empty())),
+            ("contains", 1) => Ok(Value::Bool(s.contains(&str_arg(self, &args[0])?))),
+            ("startsWith", 1) => Ok(Value::Bool(s.starts_with(&str_arg(self, &args[0])?))),
+            ("endsWith", 1) => Ok(Value::Bool(s.ends_with(&str_arg(self, &args[0])?))),
+            ("equals", 1) => Ok(Value::Bool(s.as_ref() == &str_arg(self, &args[0])?)),
+            (other, n) => Err(self.fault(format!("unknown string method `{other}/{n}`"))),
+        }
+    }
+
+    fn exception_builtin(&mut self, exc: &Rc<ExceptionValue>, method: &str, args: Vec<Value>) -> Eval {
+        match (method, args.len()) {
+            ("getMessage", 0) => Ok(Value::str(exc.message.clone())),
+            ("getCause", 0) => Ok(exc
+                .cause
+                .as_ref()
+                .map(|c| Value::Exception(Rc::clone(c)))
+                .unwrap_or(Value::Null)),
+            ("getType", 0) => Ok(Value::str(exc.ty.clone())),
+            (other, n) => Err(self.fault(format!("unknown exception method `{other}/{n}`"))),
+        }
+    }
+}
+
+/// Function-scoped local environment.
+struct Env {
+    vars: HashMap<String, Value>,
+}
+
+impl Env {
+    fn new() -> Self {
+        Env {
+            vars: HashMap::new(),
+        }
+    }
+
+    fn get(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.vars.contains_key(name)
+    }
+
+    fn set(&mut self, name: String, value: Value) {
+        self.vars.insert(name, value);
+    }
+}
+
+/// Names reserved for global builtins.
+pub fn is_global_builtin(name: &str) -> bool {
+    matches!(
+        name,
+        "queue" | "list" | "map" | "now" | "getConfig" | "setConfig" | "str" | "min" | "max"
+            | "abs" | "pow"
+    )
+}
+
+fn literal_to_value(lit: &Literal) -> Value {
+    match lit {
+        Literal::Int(v) => Value::Int(*v),
+        Literal::Str(s) => Value::str(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+        Literal::Null => Value::Null,
+    }
+}
+
+fn decl_file(project: &Project, class: &str) -> FileId {
+    project
+        .symbols
+        .class(class)
+        .map(|info| info.file)
+        .unwrap_or(FileId(0))
+}

@@ -1,0 +1,40 @@
+#![forbid(unsafe_code)]
+//! The Javelin interpreter: values, virtual clock, traces, interception, and
+//! the unit-test runner.
+//!
+//! This crate is WASABI's substitute for the Java runtime, the AspectJ
+//! weaver, and the JUnit test driver:
+//!
+//! - [`interp::Interp`] executes Javelin methods with a **virtual clock**
+//!   (sleeps advance time instead of blocking) and strict resource limits;
+//! - [`interceptor::Interceptor`] is the pointcut hook fired before every
+//!   user-method call — fault injectors and coverage profilers plug in here;
+//! - [`trace::Trace`] is the structured test log the retry oracles consume;
+//! - [`runner`] turns `test` methods into [`trace::TestRun`] results.
+//!
+//! # Examples
+//!
+//! ```
+//! use wasabi_lang::project::Project;
+//! use wasabi_vm::runner::{run_all_tests, RunOptions};
+//!
+//! let project = Project::compile(
+//!     "demo",
+//!     vec![("t.jav", "class T { test tMath() { assert(2 + 2 == 4); } }")],
+//! )
+//! .unwrap();
+//! let runs = run_all_tests(&project, &RunOptions::default());
+//! assert!(runs[0].outcome.is_pass());
+//! ```
+
+pub mod config;
+pub mod interceptor;
+pub mod interp;
+pub mod runner;
+pub mod trace;
+pub mod value;
+
+pub use interceptor::{CallCtx, InterceptAction, Interceptor, NoopInterceptor};
+pub use interp::{Interp, InvokeResult, RunLimits, VmError};
+pub use trace::{CallSite, Event, ExcSummary, TestOutcome, TestRun, Trace};
+pub use value::Value;

@@ -1,0 +1,239 @@
+//! Runtime values of the Javelin interpreter.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+use wasabi_lang::project::MethodId;
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(Rc<String>),
+    /// The null reference.
+    Null,
+    /// An instance of a user-declared class.
+    Object(Rc<RefCell<Object>>),
+    /// A FIFO queue, optionally with delayed entries.
+    Queue(Rc<RefCell<QueueData>>),
+    /// A growable list.
+    List(Rc<RefCell<Vec<Value>>>),
+    /// A hash map with int/string/bool keys.
+    Map(Rc<RefCell<HashMap<MapKey, Value>>>),
+    /// An exception value.
+    Exception(Rc<ExceptionValue>),
+}
+
+/// An instance of a user-declared class.
+#[derive(Debug)]
+pub struct Object {
+    /// Class name.
+    pub class: String,
+    /// Field values.
+    pub fields: HashMap<String, Value>,
+}
+
+/// Queue contents: `(value, ready_time_ms)` entries in FIFO order.
+///
+/// `take` on an entry whose ready time is in the future advances the virtual
+/// clock, which models scheduled (delayed) task re-enqueueing.
+#[derive(Debug, Default)]
+pub struct QueueData {
+    /// Entries in arrival order.
+    pub entries: VecDeque<(Value, u64)>,
+}
+
+/// A hashable map key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MapKey {
+    /// Integer key.
+    Int(i64),
+    /// String key.
+    Str(String),
+    /// Boolean key.
+    Bool(bool),
+}
+
+impl MapKey {
+    /// Converts a value into a map key, if it is a hashable primitive.
+    pub fn from_value(value: &Value) -> Option<MapKey> {
+        match value {
+            Value::Int(v) => Some(MapKey::Int(*v)),
+            Value::Str(s) => Some(MapKey::Str(s.as_ref().clone())),
+            Value::Bool(b) => Some(MapKey::Bool(*b)),
+            _ => None,
+        }
+    }
+}
+
+/// An exception value: type, message, optional cause, and the stack at the
+/// point it was raised (like a Java stack trace).
+#[derive(Debug, Clone)]
+pub struct ExceptionValue {
+    /// Exception type name.
+    pub ty: String,
+    /// Message, if any.
+    pub message: String,
+    /// Chained cause, if any.
+    pub cause: Option<Rc<ExceptionValue>>,
+    /// Call stack (outermost first) captured when the exception was raised.
+    pub raised_at: Vec<MethodId>,
+    /// Whether this exception was thrown by a fault-injection handler rather
+    /// than by program code.
+    pub injected: bool,
+}
+
+impl ExceptionValue {
+    /// The chain of type names starting at this exception and following
+    /// causes: `[self.ty, cause.ty, cause.cause.ty, ...]`.
+    pub fn cause_chain(&self) -> Vec<String> {
+        let mut out = vec![self.ty.clone()];
+        let mut current = self.cause.clone();
+        while let Some(exc) = current {
+            out.push(exc.ty.clone());
+            current = exc.cause.clone();
+        }
+        out
+    }
+
+    /// Whether the cause chain (including this exception) contains `ty`.
+    pub fn chain_contains(&self, ty: &str) -> bool {
+        self.cause_chain().iter().any(|t| t == ty)
+    }
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(Rc::new(s.into()))
+    }
+
+    /// A short name of the value's runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "string",
+            Value::Null => "null",
+            Value::Object(_) => "object",
+            Value::Queue(_) => "queue",
+            Value::List(_) => "list",
+            Value::Map(_) => "map",
+            Value::Exception(_) => "exception",
+        }
+    }
+
+    /// Structural/reference equality, mirroring Java `==` for primitives and
+    /// reference identity for containers and objects. Strings compare by
+    /// value (Javelin has no interning subtleties).
+    pub fn value_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Null, Value::Null) => true,
+            (Value::Object(a), Value::Object(b)) => Rc::ptr_eq(a, b),
+            (Value::Queue(a), Value::Queue(b)) => Rc::ptr_eq(a, b),
+            (Value::List(a), Value::List(b)) => Rc::ptr_eq(a, b),
+            (Value::Map(a), Value::Map(b)) => Rc::ptr_eq(a, b),
+            (Value::Exception(a), Value::Exception(b)) => Rc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Renders the value for `log` output and string concatenation.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Int(v) => v.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Str(s) => s.as_ref().clone(),
+            Value::Null => "null".to_string(),
+            Value::Object(o) => format!("<{}>", o.borrow().class),
+            Value::Queue(q) => format!("<queue:{}>", q.borrow().entries.len()),
+            Value::List(l) => format!("<list:{}>", l.borrow().len()),
+            Value::Map(m) => format!("<map:{}>", m.borrow().len()),
+            Value::Exception(e) => {
+                if e.message.is_empty() {
+                    format!("{}", e.ty)
+                } else {
+                    format!("{}: {}", e.ty, e.message)
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_equality() {
+        assert!(Value::Int(3).value_eq(&Value::Int(3)));
+        assert!(!Value::Int(3).value_eq(&Value::Int(4)));
+        assert!(Value::str("a").value_eq(&Value::str("a")));
+        assert!(Value::Null.value_eq(&Value::Null));
+        assert!(!Value::Int(0).value_eq(&Value::Bool(false)));
+    }
+
+    #[test]
+    fn reference_equality_for_containers() {
+        let a = Value::List(Rc::new(RefCell::new(vec![])));
+        let b = Value::List(Rc::new(RefCell::new(vec![])));
+        assert!(a.value_eq(&a.clone()));
+        assert!(!a.value_eq(&b));
+    }
+
+    #[test]
+    fn exception_cause_chain() {
+        let inner = Rc::new(ExceptionValue {
+            ty: "AccessControlException".into(),
+            message: "denied".into(),
+            cause: None,
+            raised_at: vec![],
+            injected: true,
+        });
+        let outer = ExceptionValue {
+            ty: "HadoopException".into(),
+            message: "wrapped".into(),
+            cause: Some(inner),
+            raised_at: vec![],
+            injected: false,
+        };
+        assert_eq!(
+            outer.cause_chain(),
+            vec!["HadoopException", "AccessControlException"]
+        );
+        assert!(outer.chain_contains("AccessControlException"));
+        assert!(!outer.chain_contains("IOException"));
+    }
+
+    #[test]
+    fn map_keys_from_values() {
+        assert_eq!(MapKey::from_value(&Value::Int(1)), Some(MapKey::Int(1)));
+        assert_eq!(
+            MapKey::from_value(&Value::str("k")),
+            Some(MapKey::Str("k".into()))
+        );
+        assert_eq!(MapKey::from_value(&Value::Null), None);
+    }
+
+    #[test]
+    fn render_is_stable() {
+        assert_eq!(Value::Int(-4).render(), "-4");
+        assert_eq!(Value::str("x").render(), "x");
+        assert_eq!(Value::Null.render(), "null");
+    }
+}

@@ -1,0 +1,212 @@
+//! The four bug patterns from §2 of the paper (Listings 1–4), encoded in
+//! Javelin and run through the relevant WASABI machinery.
+//!
+//! Run with `cargo run --example paper_listings`.
+
+use wasabi::analysis::ifratio::{if_ratio_reports, IfOptions};
+use wasabi::analysis::loops::{all_retry_locations, LoopQueryOptions};
+use wasabi::analysis::resolve::ProjectIndex;
+use wasabi::core::dynamic::{run_dynamic, DynamicOptions};
+use wasabi::core::identify::identify;
+use wasabi::lang::project::Project;
+use wasabi::llm::simulated::SimulatedLlm;
+
+/// Listing 2 — HADOOP-16683: AccessControlException is correctly not
+/// retried, but other paths wrap it inside HadoopException, which is.
+const LISTING2: &str = r#"
+exception IOException;
+exception AccessControlException extends IOException;
+exception ConnectException extends IOException;
+exception HadoopException;
+
+class WebHdfsFileSystem {
+    field maxAttempts = 5;
+    method connect(url) throws AccessControlException, ConnectException, HadoopException {
+        return "conn";
+    }
+    method getResponse(conn) throws IOException { return "ok"; }
+    method run() throws IOException {
+        for (var retry = 0; retry < this.maxAttempts; retry = retry + 1) {
+            try {
+                var conn = this.connect("hdfs://nn");
+                return this.getResponse(conn);
+            }
+            catch (AccessControlException e) { break; }
+            catch (HadoopException he) {
+                // The buggy version retries HadoopException even when it
+                // wraps a non-recoverable AccessControlException.
+                log("wrapped error, retrying");
+            }
+            catch (ConnectException ce) { }
+            sleep(1000);
+        }
+        return null;
+    }
+    test tRun() { assert(this.run() == "ok"); }
+}
+"#;
+
+/// Listing 3 — HIVE-23894: a cancelled task is re-submitted as if failed.
+const LISTING3: &str = r#"
+exception TaskException;
+
+class TezTask {
+    field isShutdown = false;
+    field done = false;
+    method executeTez() throws TaskException { this.done = true; return "ok"; }
+}
+
+class TaskProcessor {
+    field taskQueue;
+    method init() { this.taskQueue = queue(); }
+    method submit(task) { this.taskQueue.put(task); }
+    method run() {
+        while (!this.taskQueue.isEmpty()) {
+            var task = this.taskQueue.take();
+            try { task.executeTez(); }
+            catch (TaskException e) {
+                // FIX (paper): only resubmit if not cancelled.
+                if (task.isShutdown == false) {
+                    this.taskQueue.putDelayed(task, 100);
+                }
+            }
+        }
+        return "drained";
+    }
+}
+"#;
+
+/// Listing 4 — HBASE-20492: a state-machine step retries with no delay.
+const LISTING4: &str = r#"
+exception MetaException;
+
+class UnassignProcedure {
+    field state = "REGION_TRANSITION_DISPATCH";
+    field finished = false;
+    field failures = 2;
+    method markRegionAsClosing() throws MetaException {
+        if (this.failures > 0) {
+            this.failures = this.failures - 1;
+            throw new MetaException("meta table not ready");
+        }
+        return "marked";
+    }
+    method execute() throws MetaException {
+        switch (this.state) {
+            case "REGION_TRANSITION_DISPATCH": {
+                try {
+                    this.markRegionAsClosing();
+                    this.state = "REGION_TRANSITION_FINISH";
+                }
+                catch (MetaException e) {
+                    // Fix adds delay before the implicit retry:
+                    // sleep(1000 * pow(2, attemptCount));
+                    log("step failed; executor will retry this state");
+                }
+            }
+            case "REGION_TRANSITION_FINISH": { this.finished = true; }
+        }
+        return null;
+    }
+    method drive() throws MetaException {
+        while (!this.finished) { this.execute(); }
+        return "done";
+    }
+    test tDrive() { assert(this.drive() == "done"); }
+}
+"#;
+
+/// Listing 1 — KAFKA-6829 flavored as the IF-ratio analysis sees it: the
+/// same exception retried in most loops but forgotten in one.
+fn listing1_project() -> Project {
+    let mut src = String::from(
+        "exception UnknownTopicOrPartition;\n\
+         class Broker { method commitOffset() throws UnknownTopicOrPartition { return 1; } }\n",
+    );
+    for i in 0..4 {
+        src.push_str(&format!(
+            "class Handler{i} {{\n\
+               method run(broker) {{\n\
+                 for (var retry = 0; retry < 5; retry = retry + 1) {{\n\
+                   try {{ return broker.commitOffset(); }}\n\
+                   catch (UnknownTopicOrPartition e) {{ sleep(50); }}\n\
+                 }}\n\
+                 return null;\n\
+               }}\n\
+             }}\n"
+        ));
+    }
+    // The forgotten handler: commit errors propagate instead of retrying.
+    src.push_str(
+        "exception Transient;\n\
+         class ResponseHandler {\n\
+           method flaky() throws Transient { return 1; }\n\
+           method run(broker) {\n\
+             for (var retry = 0; retry < 5; retry = retry + 1) {\n\
+               try { broker.commitOffset(); return this.flaky(); }\n\
+               catch (Transient e) { sleep(50); }\n\
+             }\n\
+             return null;\n\
+           }\n\
+         }\n",
+    );
+    Project::compile("kafka-6829", vec![("handlers.jav", src)]).expect("compile")
+}
+
+fn main() {
+    // Listing 1: the IF-ratio checker flags the forgotten handler.
+    println!("== Listing 1 (KAFKA-6829): IF-policy outlier ==");
+    let project = listing1_project();
+    let index = ProjectIndex::build(&project);
+    for report in if_ratio_reports(&index, &IfOptions::default()) {
+        println!(
+            "{} retried in {}/{} retry loops; outliers: {}",
+            report.exception,
+            report.r,
+            report.n,
+            report
+                .outliers
+                .iter()
+                .map(|o| o.coordinator.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+
+    // Listing 2: the loop query extracts the retry-location triplets.
+    println!("\n== Listing 2 (HADOOP-16683): retry locations ==");
+    let project = Project::compile("hadoop-16683", vec![("webhdfs.jav", LISTING2)]).unwrap();
+    let index = ProjectIndex::build(&project);
+    for (retry_loop, locations) in all_retry_locations(&index, &LoopQueryOptions::default()) {
+        println!(
+            "retry loop in {} catches {:?}",
+            retry_loop.coordinator, retry_loop.reaching_catches
+        );
+        for location in locations {
+            println!("  location: {} may throw {}", location.retried, location.exception);
+        }
+    }
+
+    // Listing 3: queue-based retry is invisible to the loop query but the
+    // LLM flags it.
+    println!("\n== Listing 3 (HIVE-23894): queue-based retry ==");
+    let project = Project::compile("hive-23894", vec![("processor.jav", LISTING3)]).unwrap();
+    let index = ProjectIndex::build(&project);
+    let loops = all_retry_locations(&index, &LoopQueryOptions::default());
+    println!("control-flow query found {} retry loops (expected 0)", loops.len());
+    let mut llm = SimulatedLlm::with_seed(3);
+    let identified = identify(&project, &mut llm);
+    for (_, coordinator) in &identified.llm_coordinators {
+        println!("LLM flagged coordinator: {coordinator}");
+    }
+
+    // Listing 4: the dynamic workflow exposes the missing delay.
+    println!("\n== Listing 4 (HBASE-20492): state-machine missing delay ==");
+    let project = Project::compile("hbase-20492", vec![("unassign.jav", LISTING4)]).unwrap();
+    let mut llm = SimulatedLlm::with_seed(3);
+    let identified = identify(&project, &mut llm);
+    let result = run_dynamic(&project, &identified.locations, &DynamicOptions::default());
+    for bug in &result.bugs {
+        println!("[{}] {}", bug.kind, bug.representative().detail);
+    }
+}

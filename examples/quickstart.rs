@@ -1,0 +1,64 @@
+//! Quickstart: point WASABI at a small program with a buggy retry loop and
+//! watch both workflows find the bugs.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use wasabi::core::dynamic::{run_dynamic, DynamicOptions};
+use wasabi::core::identify::identify;
+use wasabi::lang::project::Project;
+use wasabi::llm::simulated::SimulatedLlm;
+
+const SOURCE: &str = r#"
+exception ConnectException;
+
+class NameNodeClient {
+    method connect() throws ConnectException { return "ok"; }
+
+    // BUG (WHEN x2): retries forever, with no backoff.
+    method fetchBlock() {
+        while (true) {
+            try { return this.connect(); }
+            catch (ConnectException e) { log("retrying fetch"); }
+        }
+    }
+
+    test tFetch() { assert(this.fetchBlock() == "ok"); }
+}
+"#;
+
+fn main() {
+    let project =
+        Project::compile("quickstart", vec![("namenode_client.jav", SOURCE)]).expect("compile");
+
+    // Identification: control-flow query + (simulated) LLM.
+    let mut llm = SimulatedLlm::with_seed(42);
+    let identified = identify(&project, &mut llm);
+    println!("== identification ==");
+    for location in &identified.locations {
+        println!(
+            "retry location: {} calls {} (trigger {}, via {:?})",
+            location.coordinator, location.retried, location.exception, location.mechanism
+        );
+    }
+
+    // Static checking: the LLM's WHEN findings.
+    println!("\n== static checking (LLM) ==");
+    for finding in &identified.llm_sweep.findings {
+        println!("{}: {} in {}", finding.kind, finding.method, finding.path);
+    }
+
+    // Dynamic testing: repurpose the unit test with fault injection.
+    println!("\n== dynamic testing (repurposed unit tests) ==");
+    let result = run_dynamic(&project, &identified.locations, &DynamicOptions::default());
+    println!(
+        "plan: {} injected runs over {} covering test(s)",
+        result.runs_planned,
+        result.profile.tests_covering_retry()
+    );
+    for bug in &result.bugs {
+        let report = bug.representative();
+        println!("[{}] at {} — {}", bug.kind, report.location.coordinator, report.detail);
+    }
+    assert_eq!(result.bugs.len(), 2, "missing cap + missing delay");
+    println!("\nfound {} distinct retry bugs", result.bugs.len());
+}

@@ -1,0 +1,93 @@
+//! Static-checking sweep over a synthetic application: Figure-4-style
+//! identification breakdown plus the LLM WHEN findings and IF-ratio
+//! outliers, with API-cost accounting.
+//!
+//! Run with `cargo run --example static_sweep [APP]` (default HB).
+
+use wasabi::analysis::ifratio::{if_ratio_reports, IfOptions};
+use wasabi::analysis::resolve::ProjectIndex;
+use wasabi::core::identify::identify;
+use wasabi::corpus::spec::{paper_apps, Scale};
+use wasabi::corpus::synth::{compile_app, generate_app};
+use wasabi::llm::simulated::SimulatedLlm;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "HB".to_string());
+    let spec = paper_apps()
+        .into_iter()
+        .find(|s| s.short == which)
+        .unwrap_or_else(|| panic!("unknown app `{which}` (HA HD MA YA HB HI CA EL)"));
+    let app = generate_app(&spec, Scale::Tiny);
+    let project = compile_app(&app);
+
+    let mut llm = SimulatedLlm::with_seed(spec.seed);
+    let identified = identify(&project, &mut llm);
+
+    // Identification breakdown against ground truth.
+    let mut loops_codeql = 0;
+    let mut loops_llm = 0;
+    let mut nonloop_llm = 0;
+    let codeql: std::collections::BTreeSet<String> = identified
+        .codeql_loops
+        .iter()
+        .map(|l| l.coordinator.to_string())
+        .collect();
+    let llm_files: std::collections::BTreeSet<&str> = identified
+        .llm_sweep
+        .retry_files
+        .iter()
+        .filter(|r| !r.poll_excluded)
+        .map(|r| r.path.as_str())
+        .collect();
+    for s in &app.truth.structures {
+        let by_codeql = codeql.contains(&s.coordinator.to_string());
+        let by_llm = llm_files.contains(s.file_path.as_str());
+        if s.kind.is_loop() {
+            if by_codeql {
+                loops_codeql += 1;
+            }
+            if by_llm {
+                loops_llm += 1;
+            }
+        } else if by_llm {
+            nonloop_llm += 1;
+        }
+    }
+    println!("== {} ({}) identification ==", spec.short, spec.name);
+    println!(
+        "ground truth: {} structures ({} loops, {} queues, {} state machines)",
+        app.truth.structures.len(),
+        app.truth.structures.iter().filter(|s| s.kind.is_loop()).count(),
+        spec.queues,
+        spec.fsms
+    );
+    println!("control-flow query found {loops_codeql} loops (non-loop retry is invisible to it)");
+    println!("LLM found {loops_llm} loops and {nonloop_llm} queue/state-machine structures");
+
+    println!("\n== LLM WHEN findings ==");
+    for finding in &identified.llm_sweep.findings {
+        println!("{}: {} ({})", finding.kind, finding.method, finding.path);
+    }
+
+    println!("\n== IF-ratio outliers ==");
+    let index = ProjectIndex::build(&project);
+    for report in if_ratio_reports(&index, &IfOptions::default()) {
+        println!(
+            "{} retried in {}/{} loops ({:?}); {} outlier(s)",
+            report.exception,
+            report.r,
+            report.n,
+            report.kind,
+            report.outliers.len()
+        );
+    }
+
+    let usage = identified.llm_sweep.usage;
+    println!(
+        "\nLLM cost: {} calls, {:.2} MB, {:.2} M tokens, ${:.2}",
+        usage.calls,
+        usage.bytes_sent as f64 / 1e6,
+        usage.tokens as f64 / 1e6,
+        usage.cost_usd()
+    );
+}

@@ -1,0 +1,248 @@
+//! The `wasabi` command-line tool: run the retry-bug detectors on Javelin
+//! source files.
+//!
+//! ```text
+//! wasabi analyze [--json] <file.jav>...   # retry loops, locations, IF outliers
+//! wasabi sweep   [--json] <file.jav>...   # LLM static sweep (WHEN findings)
+//! wasabi test    [--json] <file.jav>...   # dynamic workflow (inject + oracles)
+//! wasabi corpus  <APP> <out-dir>          # write a synthetic app to disk
+//! ```
+
+use serde_json::{json, Value};
+use std::process::ExitCode;
+use wasabi::analysis::ifratio::{if_ratio_reports, IfOptions};
+use wasabi::analysis::loops::{all_retry_locations, LoopQueryOptions};
+use wasabi::analysis::resolve::ProjectIndex;
+use wasabi::core::dynamic::{run_dynamic, DynamicOptions};
+use wasabi::core::identify::identify;
+use wasabi::lang::project::Project;
+use wasabi::llm::simulated::SimulatedLlm;
+
+const USAGE: &str = "usage:
+  wasabi analyze [--json] <file.jav>...
+  wasabi sweep   [--json] <file.jav>...
+  wasabi test    [--json] <file.jav>...
+  wasabi corpus  <APP> <out-dir>     (APP = HA HD MA YA HB HI CA EL)";
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let command = args.remove(0);
+    let json = args.iter().any(|a| a == "--json");
+    args.retain(|a| a != "--json");
+
+    match command.as_str() {
+        "analyze" => with_project(&args, |project| analyze(project, json)),
+        "sweep" => with_project(&args, |project| sweep(project, json)),
+        "test" => with_project(&args, |project| test(project, json)),
+        "corpus" => corpus(&args),
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn with_project(paths: &[String], run: impl FnOnce(&Project) -> ExitCode) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("no input files\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut sources = Vec::new();
+    for path in paths {
+        match std::fs::read_to_string(path) {
+            Ok(source) => sources.push((path.clone(), source)),
+            Err(err) => {
+                eprintln!("cannot read {path}: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match Project::compile("cli", sources) {
+        Ok(project) => run(&project),
+        Err(errors) => {
+            for error in errors.iter().take(20) {
+                eprintln!("{error}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn analyze(project: &Project, json: bool) -> ExitCode {
+    let index = ProjectIndex::build(project);
+    let loops = all_retry_locations(&index, &LoopQueryOptions::default());
+    let if_reports = if_ratio_reports(&index, &IfOptions::default());
+    if json {
+        let value = json!({
+            "retry_loops": loops.iter().map(|(l, locations)| json!({
+                "coordinator": l.coordinator.to_string(),
+                "at": project.locate(l.file, l.span),
+                "catches": l.reaching_catches,
+                "locations": locations.iter().map(|loc| json!({
+                    "retried": loc.retried.to_string(),
+                    "exception": loc.exception,
+                    "site": loc.site.to_string(),
+                })).collect::<Vec<Value>>(),
+            })).collect::<Vec<Value>>(),
+            "if_outliers": if_reports.iter().map(|r| json!({
+                "exception": r.exception,
+                "retried": r.r,
+                "throwable": r.n,
+                "outliers": r.outliers.iter()
+                    .map(|o| o.coordinator.to_string())
+                    .collect::<Vec<String>>(),
+            })).collect::<Vec<Value>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&value).expect("serialize"));
+        return ExitCode::SUCCESS;
+    }
+    println!("retry loops: {}", loops.len());
+    for (retry_loop, locations) in &loops {
+        println!(
+            "  {} at {} (catches {:?})",
+            retry_loop.coordinator,
+            project.locate(retry_loop.file, retry_loop.span),
+            retry_loop.reaching_catches
+        );
+        for location in locations {
+            println!("    retries {} on {}", location.retried, location.exception);
+        }
+    }
+    if !if_reports.is_empty() {
+        println!("IF-policy outliers:");
+        for report in &if_reports {
+            println!(
+                "  {} retried in {}/{} loops; check: {}",
+                report.exception,
+                report.r,
+                report.n,
+                report
+                    .outliers
+                    .iter()
+                    .map(|o| o.coordinator.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn sweep(project: &Project, json: bool) -> ExitCode {
+    let mut llm = SimulatedLlm::with_seed(0);
+    let sweep = wasabi::llm::detector::sweep_project(project, &mut llm);
+    if json {
+        let value = json!({
+            "retry_files": sweep.retry_files.iter().map(|r| json!({
+                "path": r.path,
+                "poll_excluded": r.poll_excluded,
+                "methods": r.retry_methods,
+                "sleeps_before_retry": r.sleeps_before_retry,
+                "has_cap": r.has_cap,
+            })).collect::<Vec<Value>>(),
+            "findings": sweep.findings.iter().map(|f| json!({
+                "kind": f.kind.to_string(),
+                "path": f.path,
+                "method": f.method,
+            })).collect::<Vec<Value>>(),
+            "usage": {
+                "calls": sweep.usage.calls,
+                "bytes_sent": sweep.usage.bytes_sent,
+                "tokens": sweep.usage.tokens,
+                "cost_usd": sweep.usage.cost_usd(),
+            },
+        });
+        println!("{}", serde_json::to_string_pretty(&value).expect("serialize"));
+        return ExitCode::SUCCESS;
+    }
+    for finding in &sweep.findings {
+        println!("[{}] {} in {}", finding.kind, finding.method, finding.path);
+    }
+    println!(
+        "({} files flagged as retry; {} LLM calls, ${:.2})",
+        sweep.retry_files.len(),
+        sweep.usage.calls,
+        sweep.usage.cost_usd()
+    );
+    ExitCode::SUCCESS
+}
+
+fn test(project: &Project, json: bool) -> ExitCode {
+    let mut llm = SimulatedLlm::with_seed(0);
+    let identified = identify(project, &mut llm);
+    let result = run_dynamic(project, &identified.locations, &DynamicOptions::default());
+    if json {
+        let value = json!({
+            "locations": identified.locations.len(),
+            "covering_tests": result.profile.tests_covering_retry(),
+            "runs_planned": result.runs_planned,
+            "runs_naive": result.runs_naive,
+            "pinned_configs": result.restoration.pinned,
+            "bugs": result.bugs.iter().map(|b| json!({
+                "kind": b.kind.to_string(),
+                "coordinator": b.representative().location.coordinator.to_string(),
+                "exception": b.representative().location.exception,
+                "detail": b.representative().detail,
+                "reports": b.reports.len(),
+            })).collect::<Vec<Value>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&value).expect("serialize"));
+    } else {
+        println!(
+            "{} retry locations; {} injected runs ({} without planning)",
+            identified.locations.len(),
+            result.runs_planned,
+            result.runs_naive
+        );
+        for bug in &result.bugs {
+            let report = bug.representative();
+            println!("[{}] {} — {}", bug.kind, report.location.coordinator, report.detail);
+        }
+        println!("{} distinct retry bug(s)", result.bugs.len());
+    }
+    if result.bugs.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn corpus(args: &[String]) -> ExitCode {
+    let (Some(app), Some(out_dir)) = (args.first(), args.get(1)) else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let Some(spec) = wasabi::corpus::spec::paper_apps()
+        .into_iter()
+        .find(|s| s.short == *app)
+    else {
+        eprintln!("unknown app `{app}` (HA HD MA YA HB HI CA EL)");
+        return ExitCode::from(2);
+    };
+    let generated =
+        wasabi::corpus::synth::generate_app(&spec, wasabi::corpus::spec::Scale::Small);
+    for (path, source) in &generated.files {
+        let full = std::path::Path::new(out_dir).join(path);
+        if let Some(parent) = full.parent() {
+            if let Err(err) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {err}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(err) = std::fs::write(&full, source) {
+            eprintln!("cannot write {}: {err}", full.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "wrote {} files ({} retry structures, {} unit tests) to {out_dir}",
+        generated.files.len(),
+        generated.truth.structures.len(),
+        generated.tests_generated
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,25 @@
+#![forbid(unsafe_code)]
+//! WASABI — detecting retry bugs in software systems.
+//!
+//! This facade crate re-exports the whole workspace; see the individual
+//! crates for detail:
+//!
+//! - [`lang`] — Javelin, the Java-like modeling language;
+//! - [`vm`] — interpreter, virtual clock, trace, and unit-test runner;
+//! - [`inject`] — fault-injection handlers (the AspectJ substitute);
+//! - [`analysis`] — CFG-based retry detection and IF-policy checks;
+//! - [`llm`] — the `LanguageModel` trait, prompts, and the simulated LLM;
+//! - [`oracles`] — missing-cap / missing-delay / different-exception oracles;
+//! - [`planner`] — coverage profiling and fault-injection planning;
+//! - [`corpus`] — the bug-study dataset and the synthetic 8-app corpus;
+//! - [`core`] — the WASABI orchestrator (dynamic + static workflows).
+
+pub use wasabi_analysis as analysis;
+pub use wasabi_core as core;
+pub use wasabi_corpus as corpus;
+pub use wasabi_inject as inject;
+pub use wasabi_lang as lang;
+pub use wasabi_llm as llm;
+pub use wasabi_oracles as oracles;
+pub use wasabi_planner as planner;
+pub use wasabi_vm as vm;

@@ -1,0 +1,169 @@
+//! Cross-crate integration: the full WASABI pipeline on the synthetic
+//! corpus, scored against ground truth.
+
+use wasabi::core::dynamic::DynamicOptions;
+use wasabi::core::score::{evaluate_app, Aggregate};
+use wasabi::corpus::spec::{paper_apps, Scale};
+use wasabi::corpus::synth::generate_app;
+
+fn evaluate_all(scale: Scale) -> Aggregate {
+    let options = DynamicOptions::default();
+    let mut aggregate = Aggregate::default();
+    for spec in paper_apps() {
+        let app = generate_app(&spec, scale);
+        aggregate.apps.push(evaluate_app(&app, &options));
+    }
+    aggregate
+}
+
+#[test]
+fn table3_dynamic_bug_counts_match_the_paper_exactly() {
+    let aggregate = evaluate_all(Scale::Tiny);
+    let cap = aggregate.cell_sum(|a| a.dyn_cap);
+    let delay = aggregate.cell_sum(|a| a.dyn_delay);
+    let how = aggregate.cell_sum(|a| a.dyn_how);
+    assert_eq!((cap.reported(), cap.fp), (28, 8), "missing-cap row of Table 3");
+    assert_eq!((delay.reported(), delay.fp), (25, 8), "missing-delay row");
+    assert_eq!((how.reported(), how.fp), (10, 5), "HOW row");
+}
+
+#[test]
+fn figure3_bug_totals_hold_shape() {
+    let aggregate = evaluate_all(Scale::Tiny);
+    assert_eq!(aggregate.dynamic_bugs(), 42, "42 bugs via repurposed unit testing");
+    let static_bugs = aggregate.static_bugs();
+    assert!(
+        (80..=92).contains(&static_bugs),
+        "static bugs near the paper's 87, got {static_bugs}"
+    );
+    assert_eq!(aggregate.overlap(), 20, "20 bugs found by both workflows");
+    let total = aggregate.total_bugs();
+    assert!(
+        (100..=115).contains(&total),
+        "total distinct bugs near the paper's 109, got {total}"
+    );
+}
+
+#[test]
+fn table4_llm_detector_shape() {
+    let aggregate = evaluate_all(Scale::Tiny);
+    let cap = aggregate.cell_sum(|a| a.llm_cap);
+    let delay = aggregate.cell_sum(|a| a.llm_delay);
+    // The LLM finds more WHEN bugs than unit testing but with a worse FP
+    // rate (paper: 60_33 cap, 79_27 delay; ~1.4 TP per FP overall).
+    assert!((50..=70).contains(&cap.reported()), "cap reported {}", cap.reported());
+    assert!((70..=95).contains(&delay.reported()), "delay reported {}", delay.reported());
+    let tp = cap.tp + delay.tp;
+    let fp = cap.fp + delay.fp;
+    assert!(tp > fp, "more true than false positives ({tp} vs {fp})");
+    assert!(fp * 3 > tp, "but a substantial FP rate, like the paper's");
+}
+
+#[test]
+fn table5_identification_matches_per_app() {
+    let aggregate = evaluate_all(Scale::Tiny);
+    let identified: Vec<usize> = aggregate.apps.iter().map(|a| a.identified_any).collect();
+    assert_eq!(identified, vec![38, 41, 16, 18, 98, 59, 15, 38], "Table 5 identified");
+    for (app, paper_tested) in aggregate.apps.iter().zip([12, 27, 12, 11, 48, 14, 6, 5]) {
+        let diff = app.tested.abs_diff(paper_tested);
+        assert!(diff <= 1, "{}: tested {} vs paper {paper_tested}", app.app, app.tested);
+    }
+}
+
+#[test]
+fn figure4_identification_complementarity() {
+    let aggregate = evaluate_all(Scale::Tiny);
+    let loops_total: usize = aggregate.apps.iter().map(|a| a.loops_total).sum();
+    let loops_codeql: usize = aggregate.apps.iter().map(|a| a.loops_codeql).sum();
+    let loops_llm: usize = aggregate.apps.iter().map(|a| a.loops_llm).sum();
+    assert_eq!(loops_total, 239);
+    // CodeQL finds ~85% of loops; the LLM misses ~100 in large files.
+    assert!(loops_codeql >= 200, "codeql loops {loops_codeql}");
+    let llm_missed = loops_total - loops_llm;
+    assert!(
+        (85..=115).contains(&llm_missed),
+        "LLM-missed loops near 100, got {llm_missed}"
+    );
+    // Non-loop structures are found only by the LLM.
+    let nonloop_llm: usize = aggregate
+        .apps
+        .iter()
+        .map(|a| a.identified_llm - a.loops_llm)
+        .sum();
+    assert!(nonloop_llm >= 70, "queue/FSM structures via LLM: {nonloop_llm}");
+}
+
+#[test]
+fn if_analysis_finds_the_seeded_outliers() {
+    let aggregate = evaluate_all(Scale::Tiny);
+    let tp: usize = aggregate.apps.iter().map(|a| a.if_tp).sum();
+    let fp: usize = aggregate.apps.iter().map(|a| a.if_fp).sum();
+    let instances: usize = aggregate.apps.iter().map(|a| a.if_outlier_instances).sum();
+    assert_eq!(tp, 5, "five true exception groups");
+    assert_eq!(fp, 1, "the FileNotFoundException boolean-flag FP");
+    assert_eq!(instances, 8, "eight true outlier instances (paper: 8 of 9)");
+    // The exact ratios.
+    let mut ratios: Vec<(String, usize, usize)> = aggregate
+        .apps
+        .iter()
+        .flat_map(|a| a.if_ratios.clone())
+        .collect();
+    ratios.sort();
+    let expect = [
+        ("ExitException", 1, 3),
+        ("FileNotFoundException", 1, 4),
+        ("IllegalArgumentException", 2, 9),
+        ("IllegalStateException", 1, 3),
+        ("KeeperException", 17, 20),
+        ("TTransportException", 2, 3),
+    ];
+    assert_eq!(ratios.len(), expect.len());
+    for ((exc, r, n), (pe, pr, pn)) in ratios.iter().zip(expect) {
+        assert_eq!((exc.as_str(), *r, *n), (pe, pr, pn));
+    }
+}
+
+#[test]
+fn fp_taxonomy_matches_section_4_3() {
+    let aggregate = evaluate_all(Scale::Tiny);
+    let count = |key: &str| -> usize {
+        aggregate
+            .apps
+            .iter()
+            .map(|a| a.fp_taxonomy.get(key).copied().unwrap_or(0))
+            .sum()
+    };
+    assert_eq!(count("dyn-cap-harness-swallow"), 8);
+    assert_eq!(count("dyn-delay-not-needed"), 8);
+    assert_eq!(count("dyn-how-wrapped-exception"), 5);
+    assert_eq!(count("if-boolean-flag-control-flow"), 1);
+    assert!(count("llm-single-file-helper") >= 14, "single-file FPs near 16");
+    assert!(count("llm-non-retry-file") >= 20, "non-retry-file FPs near 29");
+}
+
+#[test]
+fn oracle_filtering_suppresses_rethrows() {
+    let aggregate = evaluate_all(Scale::Tiny);
+    let crashed: usize = aggregate.apps.iter().map(|a| a.crashed_runs).sum();
+    let rethrows: usize = aggregate.apps.iter().map(|a| a.rethrow_filtered).sum();
+    assert!(crashed > 0);
+    assert!(
+        rethrows * 10 >= crashed * 5,
+        "a large share of crashes are filtered rethrows ({rethrows}/{crashed}); paper ~90%"
+    );
+}
+
+#[test]
+fn planning_reduces_runs_at_small_scale() {
+    // The reduction only emerges when many tests cover each structure.
+    let options = DynamicOptions::default();
+    let spec = paper_apps().into_iter().find(|s| s.short == "CA").expect("CA");
+    let app = generate_app(&spec, Scale::Small);
+    let eval = evaluate_app(&app, &options);
+    assert!(
+        eval.runs_naive >= 5 * eval.runs_planned,
+        "planning cuts runs: {} naive vs {} planned",
+        eval.runs_naive,
+        eval.runs_planned
+    );
+}

@@ -1,0 +1,220 @@
+//! Property-based tests over the language front end, the CFG, and the
+//! planner.
+
+use proptest::prelude::*;
+use wasabi::lang::lexer::Lexer;
+use wasabi::lang::parser::parse_file;
+use wasabi::lang::printer::print_items;
+
+// ---- Source generation strategies -----------------------------------------
+
+/// A small expression in concrete syntax.
+fn arb_expr(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (0i64..1000).prop_map(|v| v.to_string()),
+        Just("true".to_string()),
+        Just("false".to_string()),
+        Just("null".to_string()),
+        Just("x".to_string()),
+        Just("this.f".to_string()),
+        Just("\"lit\"".to_string()),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let inner = arb_expr(depth - 1);
+    prop_oneof![
+        leaf,
+        (inner.clone(), inner.clone(), prop_oneof![
+            Just("+"), Just("-"), Just("*"), Just("=="), Just("!="),
+            Just("<"), Just(">="), Just("&&"), Just("||"),
+        ])
+            .prop_map(|(a, b, op)| {
+                // Logical operators need boolean operands at run time, but
+                // parsing/printing does not evaluate, so any shape is fine.
+                format!("({a} {op} {b})")
+            }),
+        inner.clone().prop_map(|e| format!("!({e})")),
+        inner.clone().prop_map(|e| format!("this.m({e})")),
+        (inner.clone(), inner).prop_map(|(a, b)| format!("this.g({a}, {b})")),
+    ]
+    .boxed()
+}
+
+/// A statement in concrete syntax.
+fn arb_stmt(depth: u32) -> BoxedStrategy<String> {
+    let expr = arb_expr(2);
+    let simple = prop_oneof![
+        expr.clone().prop_map(|e| format!("var v = {e};")),
+        expr.clone().prop_map(|e| format!("x = {e};")),
+        expr.clone().prop_map(|e| format!("log({e});")),
+        expr.clone().prop_map(|e| format!("sleep(5);\n log({e});")),
+        expr.clone().prop_map(|e| format!("return {e};")),
+        Just("break;".to_string()),
+        Just("continue;".to_string()),
+        Just("throw new E(\"boom\");".to_string()),
+    ];
+    if depth == 0 {
+        return simple.boxed();
+    }
+    let inner = arb_stmt(depth - 1);
+    prop_oneof![
+        simple,
+        (expr.clone(), inner.clone(), inner.clone())
+            .prop_map(|(c, a, b)| format!("if ({c}) {{ {a} }} else {{ {b} }}")),
+        (expr.clone(), inner.clone()).prop_map(|(c, s)| format!("while ({c}) {{ {s} }}")),
+        (expr.clone(), inner.clone())
+            .prop_map(|(c, s)| format!("for (var i = 0; {c}; i = i + 1) {{ {s} }}")),
+        (inner.clone(), inner.clone())
+            .prop_map(|(a, b)| format!("try {{ {a} }} catch (E e) {{ {b} }}")),
+        (expr, inner.clone(), inner)
+            .prop_map(|(c, a, b)| {
+                format!("switch ({c}) {{ case 1: {{ {a} }} default: {{ {b} }} }}")
+            }),
+    ]
+    .boxed()
+}
+
+fn arb_file() -> impl Strategy<Value = String> {
+    proptest::collection::vec(arb_stmt(3), 1..6).prop_map(|stmts| {
+        format!(
+            "exception E;\nclass C {{\n  field f = 0;\n  method m(x) {{\n    {}\n  }}\n  method g(a, b) {{ return a; }}\n}}\n",
+            stmts.join("\n    ")
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The lexer never panics and either tokenizes or reports an error.
+    #[test]
+    fn lexer_total_on_arbitrary_input(input in ".{0,200}") {
+        let _ = Lexer::tokenize(&input);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total_on_arbitrary_input(input in ".{0,300}") {
+        let _ = parse_file(&input);
+    }
+
+    /// Printing is a fixed point through the parser: print(parse(print(p)))
+    /// equals print(p) for every generated program.
+    #[test]
+    fn printer_roundtrip_fixed_point(source in arb_file()) {
+        let items = parse_file(&source).expect("generated source parses");
+        let printed = print_items(&items);
+        let reparsed = parse_file(&printed)
+            .unwrap_or_else(|e| panic!("printed source failed to parse: {e}\n{printed}"));
+        let reprinted = print_items(&reparsed);
+        prop_assert_eq!(printed, reprinted);
+    }
+
+    /// CFG construction is total on generated programs, every edge targets a
+    /// valid block, and loop headers are unique per loop id.
+    #[test]
+    fn cfg_structural_invariants(source in arb_file()) {
+        use wasabi::analysis::cfg::Cfg;
+        use wasabi::lang::ast::Item;
+        let items = parse_file(&source).expect("parse");
+        for item in &items {
+            let Item::Class(class) = item else { continue };
+            for method in &class.methods {
+                let cfg = Cfg::build(&method.body);
+                let blocks = cfg.blocks.len();
+                let mut headers = std::collections::HashSet::new();
+                for block in &cfg.blocks {
+                    for succ in &block.succs {
+                        prop_assert!((succ.0 as usize) < blocks, "edge out of range");
+                    }
+                    if let Some(id) = block.loop_header {
+                        prop_assert!(headers.insert(id), "duplicate header for {id}");
+                    }
+                }
+                // Reachability from the entry never escapes the graph.
+                let reachable = cfg.reachable_from(cfg.entry());
+                prop_assert!(reachable.len() <= blocks);
+            }
+        }
+    }
+
+    /// Retry-loop detection is deterministic and keyword filtering only
+    /// removes loops (never adds).
+    #[test]
+    fn keyword_filter_is_monotone(source in arb_file()) {
+        use wasabi::analysis::loops::{find_retry_loops, LoopQueryOptions};
+        use wasabi::analysis::resolve::ProjectIndex;
+        use wasabi::lang::project::Project;
+        let Ok(project) = Project::compile("p", vec![("f.jav", source)]) else {
+            return Ok(()); // e.g. `x = ...` before declaration is still valid; compile errors are fine
+        };
+        let index = ProjectIndex::build(&project);
+        let with = find_retry_loops(&index, &LoopQueryOptions::default());
+        let mut options = LoopQueryOptions::default();
+        options.keyword_filter = false;
+        let without = find_retry_loops(&index, &options);
+        prop_assert!(with.len() <= without.len());
+        let unfiltered: std::collections::HashSet<_> =
+            without.iter().map(|l| (l.file, l.loop_id)).collect();
+        for retry_loop in &with {
+            prop_assert!(unfiltered.contains(&(retry_loop.file, retry_loop.loop_id)));
+        }
+    }
+}
+
+// ---- Planner properties ----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every coverable site appears exactly once in the plan, and only
+    /// covering tests are used.
+    #[test]
+    fn plan_covers_each_site_exactly_once(
+        coverage in proptest::collection::vec(
+            proptest::collection::btree_set(0u32..20, 0..6),
+            1..12,
+        )
+    ) {
+        use std::collections::BTreeSet;
+        use wasabi::lang::ast::CallId;
+        use wasabi::lang::project::{CallSite, FileId, MethodId};
+        use wasabi::planner::coverage::CoverageProfile;
+        use wasabi::planner::plan::plan;
+
+        let site = |c: u32| CallSite { file: FileId(0), call: CallId(c) };
+        let mut profile = CoverageProfile::default();
+        profile.tests_total = coverage.len();
+        for (i, sites) in coverage.iter().enumerate() {
+            if sites.is_empty() {
+                continue;
+            }
+            let test = MethodId::new("T", format!("t{i:02}"));
+            let sites: Vec<CallSite> = sites.iter().map(|c| site(*c)).collect();
+            for s in &sites {
+                profile.site_to_tests.entry(*s).or_default().push(test.clone());
+            }
+            profile.per_test.insert(test, sites);
+        }
+        let all_sites: BTreeSet<CallSite> = (0u32..25).map(site).collect();
+        let test_plan = plan(&profile, &all_sites);
+
+        // Exactly-once coverage of every coverable site.
+        let mut planned: Vec<CallSite> = test_plan.entries.iter().map(|e| e.site).collect();
+        planned.sort();
+        let mut expected: Vec<CallSite> = profile.covered_sites().into_iter().collect();
+        expected.sort();
+        prop_assert_eq!(planned.clone(), expected);
+        // Plan entries reference real covering tests.
+        for entry in &test_plan.entries {
+            let sites = &profile.per_test[&entry.test];
+            prop_assert!(sites.contains(&entry.site));
+        }
+        // Uncovered = all minus covered.
+        prop_assert_eq!(
+            test_plan.uncovered_sites.len(),
+            all_sites.len() - profile.covered_sites().len()
+        );
+    }
+}
