@@ -1,10 +1,12 @@
 //! Component microbenchmarks: parser, CFG construction, retry-loop query,
-//! interpreter, and injection overhead.
+//! interpreter, and injection overhead. Built on the in-repo
+//! `wasabi_bench::harness` (no external framework); run with
+//! `cargo bench --features bench-criterion --bench components`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use wasabi_analysis::cfg::Cfg;
-use wasabi_analysis::loops::{find_retry_loops, LoopQueryOptions};
+use wasabi_analysis::loops::{all_retry_locations, find_retry_loops, LoopQueryOptions};
 use wasabi_analysis::resolve::ProjectIndex;
+use wasabi_bench::harness::bench;
 use wasabi_inject::InjectionHandler;
 use wasabi_lang::ast::Item;
 use wasabi_lang::parser::parse_file;
@@ -27,7 +29,7 @@ const RETRY_SOURCE: &str = "exception ConnectException;\n\
       test tRun() { assert(this.run() == \"ok\"); }\n\
     }\n";
 
-fn bench_parser(c: &mut Criterion) {
+fn bench_parser() {
     // A multi-class file, repeated to ~64 KiB.
     let mut source = String::from("exception ConnectException;\n");
     let unit = RETRY_SOURCE.replace("exception ConnectException;\n", "");
@@ -36,24 +38,19 @@ fn bench_parser(c: &mut Criterion) {
         source.push_str(&unit.replace("Client", &format!("Client{i}")));
         i += 1;
     }
-    let mut group = c.benchmark_group("parser");
-    group.throughput(Throughput::Bytes(source.len() as u64));
-    group.bench_function("parse_64KiB", |b| {
-        b.iter(|| parse_file(&source).expect("parse"));
-    });
-    group.finish();
+    let summary = bench("parser/parse_64KiB", || parse_file(&source).expect("parse"));
+    let throughput = source.len() as f64 / summary.median.as_secs_f64() / 1e6;
+    println!("  ({throughput:.1} MB/s at the median)");
 }
 
-fn bench_cfg(c: &mut Criterion) {
+fn bench_cfg() {
     let items = parse_file(RETRY_SOURCE).expect("parse");
     let Item::Class(class) = &items[1] else { panic!("class expected") };
     let body = &class.methods[2].body;
-    c.bench_function("cfg/build_retry_loop", |b| {
-        b.iter(|| Cfg::build(body));
-    });
+    bench("cfg/build_retry_loop", || Cfg::build(body));
 }
 
-fn bench_retry_loop_query(c: &mut Criterion) {
+fn bench_retry_loop_query() {
     // 50 retry structures in one project.
     let mut files = vec![("exc.jav".to_string(), "exception ConnectException;".to_string())];
     let unit = RETRY_SOURCE.replace("exception ConnectException;\n", "");
@@ -61,26 +58,22 @@ fn bench_retry_loop_query(c: &mut Criterion) {
         files.push((format!("client{i}.jav"), unit.replace("Client", &format!("Client{i}"))));
     }
     let project = Project::compile("bench", files).expect("compile");
-    c.bench_function("analysis/retry_loop_query_50_structures", |b| {
-        b.iter_batched(
-            || ProjectIndex::build(&project),
-            |index| find_retry_loops(&index, &LoopQueryOptions::default()),
-            BatchSize::SmallInput,
-        );
+    bench("analysis/retry_loop_query_50_structures", || {
+        let index = ProjectIndex::build(&project);
+        find_retry_loops(&index, &LoopQueryOptions::default())
     });
 }
 
-fn bench_interpreter(c: &mut Criterion) {
+fn bench_interpreter() {
     let project = Project::compile("bench", vec![("c.jav", RETRY_SOURCE)]).expect("compile");
     let test = MethodId::new("Client", "tRun");
     let options = RunOptions::default();
-    c.bench_function("vm/run_test_no_injection", |b| {
-        b.iter(|| run_test(&project, &test, &mut NoopInterceptor, &options));
+    bench("vm/run_test_no_injection", || {
+        run_test(&project, &test, &mut NoopInterceptor, &options)
     });
 }
 
-fn bench_injection_overhead(c: &mut Criterion) {
-    use wasabi_analysis::loops::all_retry_locations;
+fn bench_injection_overhead() {
     let project = Project::compile("bench", vec![("c.jav", RETRY_SOURCE)]).expect("compile");
     let index = ProjectIndex::build(&project);
     let location = all_retry_locations(&index, &LoopQueryOptions::default())
@@ -90,20 +83,16 @@ fn bench_injection_overhead(c: &mut Criterion) {
         .expect("one location");
     let test = MethodId::new("Client", "tRun");
     let options = RunOptions::default();
-    c.bench_function("vm/run_test_with_injection_k100", |b| {
-        b.iter(|| {
-            let mut handler = InjectionHandler::single(location.clone(), 100);
-            run_test(&project, &test, &mut handler, &options)
-        });
+    bench("vm/run_test_with_injection_k100", || {
+        let mut handler = InjectionHandler::single(location.clone(), 100);
+        run_test(&project, &test, &mut handler, &options)
     });
 }
 
-criterion_group!(
-    benches,
-    bench_parser,
-    bench_cfg,
-    bench_retry_loop_query,
-    bench_interpreter,
-    bench_injection_overhead
-);
-criterion_main!(benches);
+fn main() {
+    bench_parser();
+    bench_cfg();
+    bench_retry_loop_query();
+    bench_interpreter();
+    bench_injection_overhead();
+}

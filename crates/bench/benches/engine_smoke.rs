@@ -1,0 +1,87 @@
+//! Engine smoke benchmark: the parallel campaign engine vs. serial
+//! execution on a synthetic HDFS application.
+//!
+//! Always built (no feature gate) so `cargo bench --bench engine_smoke`
+//! works out of the box. It checks two things:
+//!
+//! 1. **Determinism** — the dynamic workflow's reports and bugs are
+//!    identical at `jobs = 1` and `jobs = N`;
+//! 2. **Speedup** — on machines with at least 4 cores, `jobs = N` must be
+//!    at least 2x faster than serial. On smaller machines the timings are
+//!    only reported (a 1-core container cannot demonstrate parallelism).
+
+use std::time::{Duration, Instant};
+use wasabi_corpus::spec::{paper_apps, Scale};
+use wasabi_corpus::synth::{compile_app, generate_app};
+use wasabi_core::dynamic::{run_dynamic, DynamicOptions, DynamicResult};
+use wasabi_core::identify::identify;
+use wasabi_llm::simulated::SimulatedLlm;
+
+fn timed(
+    project: &wasabi_lang::project::Project,
+    locations: &[wasabi_analysis::loops::RetryLocation],
+    jobs: usize,
+) -> (DynamicResult, Duration) {
+    let options = DynamicOptions {
+        jobs,
+        ..DynamicOptions::default()
+    };
+    let start = Instant::now();
+    let result = run_dynamic(project, locations, &options);
+    (result, start.elapsed())
+}
+
+fn render(result: &DynamicResult) -> String {
+    format!("{:?}\n{:?}\n{:?}", result.reports, result.bugs, result.stats)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let spec = paper_apps().into_iter().find(|s| s.short == "HD").expect("HD");
+    let app = generate_app(&spec, Scale::Small);
+    let project = compile_app(&app);
+    let mut llm = SimulatedLlm::with_seed(app.spec.seed);
+    let identified = identify(&project, &mut llm);
+    println!(
+        "engine_smoke: HDFS (Small), {} retry locations, {} core(s)",
+        identified.locations.len(),
+        cores
+    );
+
+    // Warm up caches once, untimed.
+    let _ = timed(&project, &identified.locations, 1);
+
+    let (serial, serial_time) = timed(&project, &identified.locations, 1);
+    let (parallel, parallel_time) = timed(&project, &identified.locations, cores);
+    println!(
+        "  jobs=1: {:>8.2} ms  ({} runs, {} reports, {} bugs)",
+        serial_time.as_secs_f64() * 1e3,
+        serial.stats.runs_executed,
+        serial.reports.len(),
+        serial.bugs.len()
+    );
+    println!(
+        "  jobs={cores}: {:>8.2} ms  (worker runs: {:?})",
+        parallel_time.as_secs_f64() * 1e3,
+        parallel.campaign.worker_runs
+    );
+
+    assert_eq!(
+        render(&serial),
+        render(&parallel),
+        "parallel campaign must reproduce the serial reports byte for byte"
+    );
+    println!("  determinism: reports identical at jobs=1 and jobs={cores}");
+
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-9);
+    println!("  speedup: {speedup:.2}x");
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "expected >= 2x speedup with {cores} cores, measured {speedup:.2}x"
+        );
+        println!("  speedup target met (>= 2x on {cores} cores)");
+    } else {
+        println!("  speedup target skipped (needs >= 4 cores, have {cores})");
+    }
+}

@@ -1,11 +1,12 @@
 //! Pipeline benchmarks: one per evaluation artifact family — identification
 //! (Figure 4), the dynamic workflow (Tables 3/5/6), the LLM static sweep
 //! (Table 4), and the IF-ratio analysis (§4.1) — measured on a synthetic
-//! application at Tiny scale.
+//! application at Tiny scale. Built on the in-repo `wasabi_bench::harness`;
+//! run with `cargo bench --features bench-criterion --bench pipelines`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use wasabi_analysis::ifratio::{if_ratio_reports, IfOptions};
 use wasabi_analysis::resolve::ProjectIndex;
+use wasabi_bench::harness::bench;
 use wasabi_corpus::spec::{paper_apps, Scale};
 use wasabi_corpus::synth::{compile_app, generate_app};
 use wasabi_core::dynamic::{run_dynamic, DynamicOptions};
@@ -20,62 +21,49 @@ fn hdfs_project() -> (wasabi_corpus::synth::GeneratedApp, wasabi_lang::project::
     (app, project)
 }
 
-fn bench_generation(c: &mut Criterion) {
+fn bench_generation() {
     let spec = paper_apps().into_iter().find(|s| s.short == "HD").expect("HD");
-    c.bench_function("corpus/generate_hdfs_tiny", |b| {
-        b.iter(|| generate_app(&spec, Scale::Tiny));
-    });
+    bench("corpus/generate_hdfs_tiny", || generate_app(&spec, Scale::Tiny));
 }
 
-fn bench_identification(c: &mut Criterion) {
+fn bench_identification() {
     let (app, project) = hdfs_project();
-    c.bench_function("pipeline/identify_hdfs", |b| {
-        b.iter_batched(
-            || SimulatedLlm::with_seed(app.spec.seed),
-            |mut llm| identify(&project, &mut llm),
-            BatchSize::SmallInput,
-        );
+    bench("pipeline/identify_hdfs", || {
+        let mut llm = SimulatedLlm::with_seed(app.spec.seed);
+        identify(&project, &mut llm)
     });
 }
 
-fn bench_llm_sweep(c: &mut Criterion) {
+fn bench_llm_sweep() {
     let (app, project) = hdfs_project();
-    c.bench_function("pipeline/llm_static_sweep_hdfs", |b| {
-        b.iter_batched(
-            || SimulatedLlm::with_seed(app.spec.seed),
-            |mut llm| sweep_project(&project, &mut llm),
-            BatchSize::SmallInput,
-        );
+    bench("pipeline/llm_static_sweep_hdfs", || {
+        let mut llm = SimulatedLlm::with_seed(app.spec.seed);
+        sweep_project(&project, &mut llm)
     });
 }
 
-fn bench_dynamic_workflow(c: &mut Criterion) {
+fn bench_dynamic_workflow() {
     let (app, project) = hdfs_project();
     let mut llm = SimulatedLlm::with_seed(app.spec.seed);
     let identified = identify(&project, &mut llm);
     let options = DynamicOptions::default();
-    c.bench_function("pipeline/dynamic_workflow_hdfs", |b| {
-        b.iter(|| run_dynamic(&project, &identified.locations, &options));
+    bench("pipeline/dynamic_workflow_hdfs", || {
+        run_dynamic(&project, &identified.locations, &options)
     });
 }
 
-fn bench_if_ratio(c: &mut Criterion) {
+fn bench_if_ratio() {
     let (_, project) = hdfs_project();
-    c.bench_function("pipeline/if_ratio_hdfs", |b| {
-        b.iter_batched(
-            || ProjectIndex::build(&project),
-            |index| if_ratio_reports(&index, &IfOptions::default()),
-            BatchSize::SmallInput,
-        );
+    bench("pipeline/if_ratio_hdfs", || {
+        let index = ProjectIndex::build(&project);
+        if_ratio_reports(&index, &IfOptions::default())
     });
 }
 
-criterion_group!(
-    benches,
-    bench_generation,
-    bench_identification,
-    bench_llm_sweep,
-    bench_dynamic_workflow,
-    bench_if_ratio
-);
-criterion_main!(benches);
+fn main() {
+    bench_generation();
+    bench_identification();
+    bench_llm_sweep();
+    bench_dynamic_workflow();
+    bench_if_ratio();
+}

@@ -3,8 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--scale tiny|small|paper] <artifact>...
-//! repro --scale paper all
+//! repro [--scale tiny|small|paper] [--jobs N] <artifact>...
+//! repro --scale paper --jobs 8 all
 //! ```
 //!
 //! Artifacts: `table1 table2 study-stats table3 table4 table5 table6 fig3
@@ -29,6 +29,7 @@ use wasabi_core::score::{evaluate_app, Aggregate};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
+    let mut jobs = 1usize;
     let mut artifacts: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -41,6 +42,16 @@ fn main() {
                     "paper" => Scale::Paper,
                     other => {
                         eprintln!("unknown scale `{other}` (tiny|small|paper)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--jobs" => {
+                let value = iter.next().unwrap_or_default();
+                jobs = match value.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("--jobs expects a positive integer, got `{value}`");
                         std::process::exit(2);
                     }
                 };
@@ -73,8 +84,13 @@ fn main() {
     .any(|a| wants(a));
 
     let aggregate = if needs_pipeline {
-        eprintln!("# running the full WASABI pipeline on all 8 apps (scale {scale:?})...");
-        let options = DynamicOptions::default();
+        eprintln!(
+            "# running the full WASABI pipeline on all 8 apps (scale {scale:?}, {jobs} job(s))..."
+        );
+        let options = DynamicOptions {
+            jobs,
+            ..DynamicOptions::default()
+        };
         let mut aggregate = Aggregate::default();
         for spec in paper_apps() {
             eprintln!("#   {} ({})", spec.short, spec.name);

@@ -1,0 +1,151 @@
+//! A small statistical benchmark harness with no external dependencies.
+//!
+//! The component and pipeline benches (`cargo bench --features
+//! bench-criterion`) are built on this instead of an external framework so
+//! the workspace resolves fully offline. It is deliberately minimal:
+//! warm-up, a fixed sample budget, and min/median/mean over wall-clock
+//! samples — enough to spot order-of-magnitude regressions, not a
+//! substitute for a rigorous harness.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Sampling policy for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOptions {
+    /// Un-timed warm-up iterations before sampling starts.
+    pub warmup_iters: u32,
+    /// Number of timed samples to collect (each sample is one call).
+    pub samples: u32,
+    /// Stop sampling early once this much time has been spent.
+    pub time_budget: Duration,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            warmup_iters: 3,
+            samples: 30,
+            time_budget: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Timing summary over the collected samples.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Benchmark name.
+    pub name: String,
+    /// Samples actually collected (the budget may cut collection short).
+    pub samples: u32,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+}
+
+impl Summary {
+    /// Renders the summary as a fixed-width report line.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<44} {:>12} min {:>12} median {:>12} mean ({} samples)",
+            self.name,
+            fmt_duration(self.min),
+            fmt_duration(self.median),
+            fmt_duration(self.mean),
+            self.samples
+        )
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Runs `f` under the given sampling policy and returns the summary.
+///
+/// The closure's return value is passed through [`black_box`] so the
+/// optimizer cannot delete the measured work.
+pub fn bench_with<R>(name: &str, options: &BenchOptions, mut f: impl FnMut() -> R) -> Summary {
+    for _ in 0..options.warmup_iters {
+        black_box(f());
+    }
+    let budget_start = Instant::now();
+    let mut samples = Vec::with_capacity(options.samples as usize);
+    for _ in 0..options.samples.max(1) {
+        let start = Instant::now();
+        black_box(f());
+        samples.push(start.elapsed());
+        if budget_start.elapsed() >= options.time_budget {
+            break;
+        }
+    }
+    samples.sort_unstable();
+    let total: Duration = samples.iter().sum();
+    Summary {
+        name: name.to_string(),
+        samples: samples.len() as u32,
+        min: samples[0],
+        median: samples[samples.len() / 2],
+        mean: total / samples.len() as u32,
+    }
+}
+
+/// Runs `f` with the default policy and prints the report line to stdout.
+pub fn bench<R>(name: &str, f: impl FnMut() -> R) -> Summary {
+    let summary = bench_with(name, &BenchOptions::default(), f);
+    println!("{}", summary.line());
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_the_requested_samples() {
+        let options = BenchOptions {
+            warmup_iters: 1,
+            samples: 5,
+            time_budget: Duration::from_secs(10),
+        };
+        let mut calls = 0u32;
+        let summary = bench_with("noop", &options, || calls += 1);
+        assert_eq!(summary.samples, 5);
+        assert_eq!(calls, 6, "1 warmup + 5 samples");
+        assert!(summary.min <= summary.median && summary.median >= summary.min);
+    }
+
+    #[test]
+    fn time_budget_cuts_sampling_short() {
+        let options = BenchOptions {
+            warmup_iters: 0,
+            samples: 1_000_000,
+            time_budget: Duration::from_millis(20),
+        };
+        let summary = bench_with("sleepy", &options, || {
+            std::thread::sleep(Duration::from_millis(5))
+        });
+        assert!(summary.samples < 1_000_000);
+        assert!(summary.samples >= 1);
+    }
+
+    #[test]
+    fn duration_formatting_covers_all_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.00 us");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(4)), "4.00 s");
+    }
+}

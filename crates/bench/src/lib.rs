@@ -1,7 +1,9 @@
 #![forbid(unsafe_code)]
-//! Experiment-reproduction support: plain-text table rendering and the
-//! paper's reference numbers, shared by the `repro` binary and the
-//! integration tests.
+//! Experiment-reproduction support: plain-text table rendering, the
+//! paper's reference numbers (shared by the `repro` binary and the
+//! integration tests), and a dependency-free statistical harness for the
+//! bench targets.
 
+pub mod harness;
 pub mod paper;
 pub mod tables;

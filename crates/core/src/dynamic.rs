@@ -1,16 +1,23 @@
 //! The dynamic testing workflow (§3.1, Figure 1): config restoration →
 //! coverage profiling → planning → fault injection → oracles → dedup.
+//!
+//! Campaign execution (step 4) is delegated to `wasabi-engine`: serial
+//! execution is simply `jobs = 1` through the engine's worker pool, and
+//! any other `jobs` value produces byte-identical reports thanks to the
+//! engine's key-ordered merge.
 
 use std::collections::BTreeSet;
+use std::time::Duration;
 use wasabi_analysis::loops::RetryLocation;
-use wasabi_inject::InjectionHandler;
+use wasabi_engine::campaign::{run_campaign, CampaignOptions, CampaignStats, RunOutcome};
+use wasabi_engine::observer::{EngineObserver, NullObserver};
 use wasabi_lang::project::Project;
 use wasabi_oracles::dedup::{dedup_reports, DistinctBug};
-use wasabi_oracles::judge::{judge_run, OracleConfig, OracleReport};
+use wasabi_oracles::judge::{OracleConfig, OracleReport};
 use wasabi_planner::configfix::{restore_retry_configs, ConfigRestoration};
 use wasabi_planner::coverage::{profile_coverage, CoverageProfile};
-use wasabi_planner::plan::{expand_plan, naive_run_count, plan, InjectionRun, TestPlan};
-use wasabi_vm::runner::{run_test, RunOptions};
+use wasabi_planner::plan::{expand_plan, naive_run_count, plan, TestPlan};
+use wasabi_vm::runner::RunOptions;
 
 /// Options for the dynamic workflow.
 #[derive(Debug, Clone)]
@@ -22,6 +29,12 @@ pub struct DynamicOptions {
     pub run_options: RunOptions,
     /// Oracle thresholds.
     pub oracle: OracleConfig,
+    /// Campaign worker count; 1 (the default) runs serially.
+    pub jobs: usize,
+    /// Optional wall-clock budget per injected run, in milliseconds. Runs
+    /// exceeding it are cancelled and counted in
+    /// [`DynamicStats::timed_out`].
+    pub run_budget_ms: Option<u64>,
 }
 
 impl Default for DynamicOptions {
@@ -30,6 +43,8 @@ impl Default for DynamicOptions {
             ks: vec![1, 100],
             run_options: RunOptions::default(),
             oracle: OracleConfig::default(),
+            jobs: 1,
+            run_budget_ms: None,
         }
     }
 }
@@ -47,6 +62,8 @@ pub struct DynamicStats {
     pub not_a_trigger: usize,
     /// Runs that crashed in any way.
     pub crashed: usize,
+    /// Runs cancelled by the per-run wall-clock budget.
+    pub timed_out: usize,
     /// Total virtual milliseconds across injected runs.
     pub virtual_ms: u64,
 }
@@ -73,13 +90,26 @@ pub struct DynamicResult {
     /// Structure keys (see [`RetryLocation::structure_key`]) covered by the
     /// plan — the Table 5 "tested" measure.
     pub tested_structures: BTreeSet<String>,
+    /// The engine's campaign statistics (includes per-worker utilization).
+    pub campaign: CampaignStats,
 }
 
-/// Runs the full dynamic workflow.
+/// Runs the full dynamic workflow without progress reporting.
 pub fn run_dynamic(
     project: &Project,
     locations: &[RetryLocation],
     options: &DynamicOptions,
+) -> DynamicResult {
+    run_dynamic_with_observer(project, locations, options, &mut NullObserver)
+}
+
+/// Runs the full dynamic workflow, streaming campaign progress into
+/// `observer` (e.g. [`wasabi_engine::StderrProgress`]).
+pub fn run_dynamic_with_observer(
+    project: &Project,
+    locations: &[RetryLocation],
+    options: &DynamicOptions,
+    observer: &mut dyn EngineObserver,
 ) -> DynamicResult {
     // 1. Restore default retry configurations (§3.1.4).
     let restoration = restore_retry_configs(project);
@@ -95,29 +125,34 @@ pub fn run_dynamic(
     let runs = expand_plan(&test_plan, locations, &options.ks);
     let runs_naive = naive_run_count(&profile, locations, &options.ks);
 
-    // 4. Execute each injected run and judge it.
-    let mut reports = Vec::new();
-    let mut stats = DynamicStats {
-        runs_executed: runs.len(),
-        ..DynamicStats::default()
+    // 4. Hand the campaign to the engine: workers, isolation, budget, and
+    //    the deterministic key-ordered merge all live there.
+    let campaign_options = CampaignOptions {
+        jobs: options.jobs,
+        run_options,
+        oracle: options.oracle,
+        run_budget: options.run_budget_ms.map(Duration::from_millis),
     };
-    let mut tested_structures = BTreeSet::new();
-    for InjectionRun { test, spec } in &runs {
-        tested_structures.insert(spec.location.structure_key());
-        let mut handler = InjectionHandler::single(spec.location.clone(), spec.k);
-        let run = run_test(project, test, &mut handler, &run_options);
-        stats.virtual_ms += run.virtual_ms;
-        if !run.outcome.is_pass() {
-            stats.crashed += 1;
+    let campaign = run_campaign(project, &runs, &campaign_options, observer);
+
+    let tested_structures: BTreeSet<String> = runs
+        .iter()
+        .map(|run| run.spec.location.structure_key())
+        .collect();
+    let stats = DynamicStats {
+        runs_executed: campaign.stats.runs_total,
+        rethrow_filtered: campaign.stats.rethrow_filtered,
+        not_a_trigger: campaign.stats.not_a_trigger,
+        crashed: campaign.stats.crashed,
+        timed_out: campaign.stats.timed_out,
+        virtual_ms: campaign.stats.virtual_ms,
+    };
+    let mut reports = Vec::new();
+    for record in &campaign.records {
+        if matches!(record.outcome, RunOutcome::TimedOut) {
+            continue;
         }
-        let verdict = judge_run(&run, spec, &options.oracle);
-        if verdict.rethrow_filtered {
-            stats.rethrow_filtered += 1;
-        }
-        if verdict.not_a_trigger {
-            stats.not_a_trigger += 1;
-        }
-        reports.extend(verdict.reports);
+        reports.extend(record.reports.iter().cloned());
     }
 
     let bugs = dedup_reports(reports.clone());
@@ -131,6 +166,7 @@ pub fn run_dynamic(
         bugs,
         stats,
         tested_structures,
+        campaign: campaign.stats,
     }
 }
 

@@ -1,0 +1,510 @@
+//! Campaign execution: a fixed-size worker pool over a sharded run queue,
+//! with a deterministic merge of results.
+//!
+//! # Determinism contract
+//!
+//! The engine guarantees that [`CampaignResult::records`] is a pure
+//! function of `(project, runs, options)` — independent of `jobs` and of
+//! how the OS schedules the workers:
+//!
+//! - runs execute in **isolated interpreters**: each worker constructs its
+//!   own `Interp` (own virtual clock, config store, trace buffer) and its
+//!   own `InjectionHandler` per run, so no state crosses runs;
+//! - results land in **key-addressed slots**: the engine orders runs by
+//!   [`RunKey`] up front and each worker writes its record into the slot
+//!   for that key, so the merged vector has the same order no matter which
+//!   worker finished first;
+//! - **timed-out runs are normalized**: a run aborted by the wall-clock
+//!   budget records a bare [`RunOutcome::TimedOut`] with zeroed
+//!   nondeterministic fields (virtual time, steps, injections) and is never
+//!   judged by the oracles, because *where* the abort landed depends on
+//!   host speed.
+//!
+//! Scheduling-dependent observations (per-worker run counts, wall time)
+//! are confined to [`CampaignStats::worker_runs`] / [`CampaignStats::wall_ms`]
+//! and the observer event stream; nothing in `records` derives from them.
+
+use crate::observer::{EngineEvent, EngineObserver};
+use crate::queue::ShardedQueue;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+use wasabi_inject::InjectionHandler;
+use wasabi_lang::project::Project;
+use wasabi_oracles::judge::{judge_run, OracleConfig, OracleReport};
+use wasabi_planner::plan::{InjectionRun, RunKey};
+use wasabi_vm::runner::{run_test, RunOptions};
+use wasabi_vm::trace::TestOutcome;
+
+/// Options for one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Worker count. `1` executes serially through the same code path as
+    /// any other value (one worker thread, one shard).
+    pub jobs: usize,
+    /// Per-run interpreter options (limits, pinned configs).
+    pub run_options: RunOptions,
+    /// Oracle thresholds for judging completed runs.
+    pub oracle: OracleConfig,
+    /// Optional wall-clock budget per run. A run that exceeds it is
+    /// cancelled cooperatively (the interpreter checks the deadline every
+    /// few thousand steps) and recorded as [`RunOutcome::TimedOut`];
+    /// the campaign itself never hangs on one stuck run.
+    pub run_budget: Option<Duration>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            jobs: 1,
+            run_options: RunOptions::default(),
+            oracle: OracleConfig::default(),
+            run_budget: None,
+        }
+    }
+}
+
+/// How one campaign run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The interpreter ran the test to an outcome within budget.
+    Completed(TestOutcome),
+    /// The wall-clock budget expired; the partial run was discarded.
+    TimedOut,
+}
+
+/// The merged result of one injection run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The run's identity; records are sorted by this key.
+    pub key: RunKey,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Oracle findings (empty for timed-out runs, which are not judged).
+    pub reports: Vec<OracleReport>,
+    /// The run crashed by re-throwing the injected exception (correct
+    /// give-up behaviour, filtered by the different-exception oracle).
+    pub rethrow_filtered: bool,
+    /// The injected exception escaped without any retry (the location was
+    /// not actually a retry trigger).
+    pub not_a_trigger: bool,
+    /// Virtual milliseconds the run consumed (0 if timed out).
+    pub virtual_ms: u64,
+    /// Interpreter steps the run consumed (0 if timed out).
+    pub steps: u64,
+    /// Faults injected during the run (0 if timed out).
+    pub injections: u32,
+}
+
+/// Aggregate campaign statistics.
+///
+/// All fields except `worker_runs` and `wall_ms` are deterministic given
+/// the same runs and options.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignStats {
+    /// Total runs executed.
+    pub runs_total: usize,
+    /// Runs that completed within budget.
+    pub completed: usize,
+    /// Runs cancelled by the wall-clock budget.
+    pub timed_out: usize,
+    /// Completed runs that did not pass.
+    pub crashed: usize,
+    /// Runs filtered as correct give-up rethrows.
+    pub rethrow_filtered: usize,
+    /// Runs evidencing a misidentified trigger.
+    pub not_a_trigger: usize,
+    /// Total oracle reports across runs.
+    pub reports: usize,
+    /// Total faults injected.
+    pub injections: u64,
+    /// Total virtual milliseconds across completed runs.
+    pub virtual_ms: u64,
+    /// Worker count used.
+    pub jobs: usize,
+    /// Runs executed per worker (scheduling-dependent; utilization only).
+    pub worker_runs: Vec<usize>,
+    /// Campaign wall time in milliseconds (scheduling-dependent).
+    pub wall_ms: u64,
+}
+
+/// A finished campaign: records in [`RunKey`] order plus statistics.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// One record per input run, sorted by key.
+    pub records: Vec<RunRecord>,
+    /// Aggregate statistics.
+    pub stats: CampaignStats,
+}
+
+/// What a worker sends back to the coordinator.
+enum Message {
+    Started {
+        slot: usize,
+        worker: usize,
+        key: RunKey,
+    },
+    Finished {
+        slot: usize,
+        worker: usize,
+        record: RunRecord,
+    },
+}
+
+/// Executes `runs` on `options.jobs` workers and merges the results
+/// deterministically. See the module docs for the determinism contract.
+pub fn run_campaign(
+    project: &Project,
+    runs: &[InjectionRun],
+    options: &CampaignOptions,
+    observer: &mut dyn EngineObserver,
+) -> CampaignResult {
+    let started_at = Instant::now();
+    let jobs = options.jobs.max(1).min(runs.len().max(1));
+    observer.on_event(&EngineEvent::Started {
+        total_runs: runs.len(),
+        jobs,
+    });
+
+    // The engine re-derives key order itself rather than trusting the
+    // caller to have sorted: slot i of the output always holds the i-th
+    // run in key order.
+    let mut order: Vec<usize> = (0..runs.len()).collect();
+    order.sort_by_key(|&i| runs[i].key());
+
+    let mut slots: Vec<Option<RunRecord>> = Vec::new();
+    slots.resize_with(runs.len(), || None);
+    let mut worker_runs = vec![0usize; jobs];
+
+    if !runs.is_empty() {
+        let queue = ShardedQueue::prefilled(0..runs.len(), jobs);
+        let (sender, receiver) = mpsc::channel::<Message>();
+        thread::scope(|scope| {
+            let (queue, order) = (&queue, &order);
+            for worker in 0..jobs {
+                let sender = sender.clone();
+                scope.spawn(move || {
+                    while let Some(slot) = queue.pop(worker) {
+                        let run = &runs[order[slot]];
+                        if sender
+                            .send(Message::Started {
+                                slot,
+                                worker,
+                                key: run.key(),
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                        let record = execute_run(project, run, options);
+                        if sender
+                            .send(Message::Finished {
+                                slot,
+                                worker,
+                                record,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                });
+            }
+            drop(sender);
+            // Replay worker messages into the observer on this thread, so
+            // observers need no locking; the receive loop ends when every
+            // worker has dropped its sender.
+            for message in receiver {
+                match message {
+                    Message::Started { slot, worker, key } => {
+                        observer.on_event(&EngineEvent::RunStarted {
+                            index: slot,
+                            key: &key,
+                            worker,
+                        });
+                    }
+                    Message::Finished {
+                        slot,
+                        worker,
+                        record,
+                    } => {
+                        worker_runs[worker] += 1;
+                        observer.on_event(&EngineEvent::RunFinished {
+                            index: slot,
+                            key: &record.key,
+                            worker,
+                            outcome: &record.outcome,
+                            injections: record.injections,
+                            reports: record.reports.len(),
+                        });
+                        slots[slot] = Some(record);
+                    }
+                }
+            }
+        });
+    }
+
+    let records: Vec<RunRecord> = slots
+        .into_iter()
+        .map(|slot| slot.expect("every queued run produces a record"))
+        .collect();
+
+    let mut stats = CampaignStats {
+        runs_total: records.len(),
+        jobs,
+        worker_runs,
+        wall_ms: started_at.elapsed().as_millis() as u64,
+        ..CampaignStats::default()
+    };
+    for record in &records {
+        match &record.outcome {
+            RunOutcome::TimedOut => stats.timed_out += 1,
+            RunOutcome::Completed(outcome) => {
+                stats.completed += 1;
+                if !outcome.is_pass() {
+                    stats.crashed += 1;
+                }
+            }
+        }
+        stats.rethrow_filtered += record.rethrow_filtered as usize;
+        stats.not_a_trigger += record.not_a_trigger as usize;
+        stats.reports += record.reports.len();
+        stats.injections += u64::from(record.injections);
+        stats.virtual_ms += record.virtual_ms;
+    }
+    observer.on_event(&EngineEvent::Finished { stats: &stats });
+    CampaignResult { records, stats }
+}
+
+/// Executes one run in a fresh, fully isolated interpreter and judges it.
+fn execute_run(project: &Project, run: &InjectionRun, options: &CampaignOptions) -> RunRecord {
+    let key = run.key();
+    let mut run_options = options.run_options.clone();
+    if let Some(budget) = options.run_budget {
+        run_options.limits.wall_deadline = Some(Instant::now() + budget);
+    }
+    let mut handler = InjectionHandler::single(run.spec.location.clone(), run.spec.k);
+    let test_run = run_test(project, &run.test, &mut handler, &run_options);
+    if matches!(test_run.outcome, TestOutcome::WallClockExceeded) {
+        // Normalize: where the abort landed is host-dependent, so nothing
+        // from the partial run may reach the report.
+        return RunRecord {
+            key,
+            outcome: RunOutcome::TimedOut,
+            reports: Vec::new(),
+            rethrow_filtered: false,
+            not_a_trigger: false,
+            virtual_ms: 0,
+            steps: 0,
+            injections: 0,
+        };
+    }
+    let verdict = judge_run(&test_run, &run.spec, &options.oracle);
+    RunRecord {
+        key,
+        outcome: RunOutcome::Completed(test_run.outcome.clone()),
+        reports: verdict.reports,
+        rethrow_filtered: verdict.rethrow_filtered,
+        not_a_trigger: verdict.not_a_trigger,
+        virtual_ms: test_run.virtual_ms,
+        steps: test_run.steps,
+        injections: handler.total_injected(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::NullObserver;
+    use std::collections::BTreeSet;
+    use wasabi_analysis::loops::{all_retry_locations, LoopQueryOptions};
+    use wasabi_analysis::resolve::ProjectIndex;
+    use wasabi_planner::coverage::profile_coverage;
+    use wasabi_planner::plan::{expand_plan, plan};
+
+    // Both tests burn >4096 interpreter steps up front (`spin`), so a
+    // zero wall-clock budget is guaranteed to hit a deadline check —
+    // the interpreter only polls the deadline every WALL_CHECK_INTERVAL
+    // steps.
+    const SOURCE: &str = "\
+exception ConnectException;\nexception SocketException;\n\
+class Flaky {\n\
+  method spin() { var i = 0; while (i < 6000) { i = i + 1; } return i; }\n\
+  method op() throws ConnectException { return \"ok\"; }\n\
+  method run() {\n\
+    while (true) {\n\
+      try { return this.op(); } catch (ConnectException e) { log(\"retrying\"); }\n\
+    }\n\
+  }\n\
+  test tFlaky() { this.spin(); assert(this.run() == \"ok\"); }\n\
+}\n\
+class Solid {\n\
+  field maxAttempts = 4;\n\
+  method spin() { var i = 0; while (i < 6000) { i = i + 1; } return i; }\n\
+  method fetch() throws SocketException { return \"ok\"; }\n\
+  method run() {\n\
+    for (var retry = 0; retry < this.maxAttempts; retry = retry + 1) {\n\
+      try { return this.fetch(); } catch (SocketException e) { sleep(25); }\n\
+    }\n\
+    throw new SocketException(\"giving up\");\n\
+  }\n\
+  test tSolid() { this.spin(); assert(this.run() == \"ok\"); }\n\
+}\n";
+
+    fn campaign_runs(project: &Project) -> Vec<InjectionRun> {
+        let index = ProjectIndex::build(project);
+        let locations: Vec<_> = all_retry_locations(&index, &LoopQueryOptions::default())
+            .into_iter()
+            .flat_map(|(_, locations)| locations)
+            .collect();
+        let run_options = RunOptions::default();
+        let profile = profile_coverage(project, &locations, &run_options);
+        let all_sites: BTreeSet<_> = locations.iter().map(|l| l.site).collect();
+        let test_plan = plan(&profile, &all_sites);
+        expand_plan(&test_plan, &locations, &[1, 100])
+    }
+
+    fn render(records: &[RunRecord]) -> Vec<String> {
+        records.iter().map(|r| format!("{r:?}")).collect()
+    }
+
+    #[test]
+    fn records_are_identical_across_job_counts() {
+        let project = Project::compile("t", vec![("t.jav", SOURCE)]).expect("compile");
+        let runs = campaign_runs(&project);
+        assert!(runs.len() >= 4, "expected >= 4 runs, got {}", runs.len());
+
+        let baseline = run_campaign(
+            &project,
+            &runs,
+            &CampaignOptions::default(),
+            &mut NullObserver,
+        );
+        for jobs in [2, 4, 8] {
+            let parallel = run_campaign(
+                &project,
+                &runs,
+                &CampaignOptions {
+                    jobs,
+                    ..CampaignOptions::default()
+                },
+                &mut NullObserver,
+            );
+            assert_eq!(
+                render(&baseline.records),
+                render(&parallel.records),
+                "records diverge at jobs={jobs}"
+            );
+            assert_eq!(parallel.stats.completed, baseline.stats.completed);
+            assert_eq!(parallel.stats.crashed, baseline.stats.crashed);
+            assert_eq!(parallel.stats.reports, baseline.stats.reports);
+            assert_eq!(parallel.stats.virtual_ms, baseline.stats.virtual_ms);
+        }
+    }
+
+    #[test]
+    fn records_come_back_in_key_order_even_from_shuffled_input() {
+        let project = Project::compile("t", vec![("t.jav", SOURCE)]).expect("compile");
+        let mut runs = campaign_runs(&project);
+        runs.reverse();
+        let result = run_campaign(
+            &project,
+            &runs,
+            &CampaignOptions {
+                jobs: 4,
+                ..CampaignOptions::default()
+            },
+            &mut NullObserver,
+        );
+        let keys: Vec<RunKey> = result.records.iter().map(|r| r.key.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "records must be in key order");
+    }
+
+    #[test]
+    fn zero_budget_times_every_run_out_identically() {
+        let project = Project::compile("t", vec![("t.jav", SOURCE)]).expect("compile");
+        let runs = campaign_runs(&project);
+        let options = CampaignOptions {
+            run_budget: Some(Duration::ZERO),
+            ..CampaignOptions::default()
+        };
+        let serial = run_campaign(&project, &runs, &options, &mut NullObserver);
+        assert_eq!(serial.stats.timed_out, runs.len());
+        assert_eq!(serial.stats.reports, 0, "timed-out runs are not judged");
+        let parallel = run_campaign(
+            &project,
+            &runs,
+            &CampaignOptions { jobs: 8, ..options },
+            &mut NullObserver,
+        );
+        assert_eq!(
+            render(&serial.records),
+            render(&parallel.records),
+            "timed-out runs must be reported identically regardless of worker"
+        );
+        for record in &serial.records {
+            assert_eq!(record.outcome, RunOutcome::TimedOut);
+            assert_eq!((record.virtual_ms, record.steps, record.injections), (0, 0, 0));
+        }
+    }
+
+    #[test]
+    fn empty_campaign_finishes_cleanly() {
+        let project = Project::compile("t", vec![("t.jav", SOURCE)]).expect("compile");
+        let result = run_campaign(
+            &project,
+            &[],
+            &CampaignOptions {
+                jobs: 4,
+                ..CampaignOptions::default()
+            },
+            &mut NullObserver,
+        );
+        assert!(result.records.is_empty());
+        assert_eq!(result.stats.runs_total, 0);
+    }
+
+    #[test]
+    fn observer_sees_every_run_start_and_finish() {
+        #[derive(Default)]
+        struct Counter {
+            started: usize,
+            finished: usize,
+            campaign_started: usize,
+            campaign_finished: usize,
+        }
+        impl EngineObserver for Counter {
+            fn on_event(&mut self, event: &EngineEvent<'_>) {
+                match event {
+                    EngineEvent::Started { .. } => self.campaign_started += 1,
+                    EngineEvent::RunStarted { .. } => self.started += 1,
+                    EngineEvent::RunFinished { .. } => self.finished += 1,
+                    EngineEvent::Finished { .. } => self.campaign_finished += 1,
+                }
+            }
+        }
+        let project = Project::compile("t", vec![("t.jav", SOURCE)]).expect("compile");
+        let runs = campaign_runs(&project);
+        let mut counter = Counter::default();
+        let result = run_campaign(
+            &project,
+            &runs,
+            &CampaignOptions {
+                jobs: 3,
+                ..CampaignOptions::default()
+            },
+            &mut counter,
+        );
+        assert_eq!(counter.campaign_started, 1);
+        assert_eq!(counter.campaign_finished, 1);
+        assert_eq!(counter.started, runs.len());
+        assert_eq!(counter.finished, runs.len());
+        assert_eq!(
+            result.stats.worker_runs.iter().sum::<usize>(),
+            runs.len(),
+            "worker utilization accounts for every run"
+        );
+    }
+}

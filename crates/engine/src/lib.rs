@@ -1,0 +1,33 @@
+#![forbid(unsafe_code)]
+//! The WASABI campaign engine: parallel execution of fault-injection
+//! campaigns with a deterministic result merge.
+//!
+//! The paper's dynamic workflow is embarrassingly parallel — every
+//! `{unit test, retry location, exception, K}` injection run is an
+//! independent interpreter execution — and this crate owns running them:
+//!
+//! - [`queue::ShardedQueue`] — a work queue sharded per worker with
+//!   stealing, built only on `std::sync::{Mutex, Condvar}`;
+//! - [`campaign::run_campaign`] — a fixed-size `std::thread` worker pool
+//!   with per-run interpreter isolation, an optional per-run wall-clock
+//!   budget (graceful cancellation → [`RunOutcome::TimedOut`]), and a
+//!   merge that orders results by [`wasabi_planner::plan::RunKey`] so
+//!   reports are byte-identical for any `jobs` value;
+//! - [`observer::EngineObserver`] — structured progress events, with a
+//!   stderr reporter ([`StderrProgress`]) and, behind the `json-reports`
+//!   feature, a JSON summary sink ([`observer::JsonSummarySink`]).
+//!
+//! `wasabi-core`'s `run_dynamic` delegates here; serial execution is just
+//! `jobs = 1` through the same code path.
+
+pub mod campaign;
+pub mod observer;
+pub mod queue;
+
+pub use campaign::{
+    run_campaign, CampaignOptions, CampaignResult, CampaignStats, RunOutcome, RunRecord,
+};
+pub use observer::{EngineEvent, EngineObserver, NullObserver, StderrProgress, Tee};
+
+#[cfg(feature = "json-reports")]
+pub use observer::JsonSummarySink;

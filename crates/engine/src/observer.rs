@@ -1,0 +1,200 @@
+//! Structured campaign progress events.
+//!
+//! Workers never talk to an observer directly: they send events over an
+//! `mpsc` channel and the campaign's coordinating thread replays them into
+//! the observer in arrival order. Observers therefore need no internal
+//! locking and may hold mutable state (`&mut self` methods).
+
+use crate::campaign::{CampaignStats, RunOutcome};
+use wasabi_planner::plan::RunKey;
+
+/// One progress event from a running campaign.
+#[derive(Debug)]
+pub enum EngineEvent<'a> {
+    /// The campaign is about to execute `total_runs` runs on `jobs` workers.
+    Started {
+        /// Number of runs in the campaign.
+        total_runs: usize,
+        /// Worker count.
+        jobs: usize,
+    },
+    /// A worker picked up a run.
+    RunStarted {
+        /// Index of the run in campaign (key) order.
+        index: usize,
+        /// The run's identity.
+        key: &'a RunKey,
+        /// The worker executing it.
+        worker: usize,
+    },
+    /// A worker finished a run.
+    RunFinished {
+        /// Index of the run in campaign (key) order.
+        index: usize,
+        /// The run's identity.
+        key: &'a RunKey,
+        /// The worker that executed it.
+        worker: usize,
+        /// How the run ended.
+        outcome: &'a RunOutcome,
+        /// Number of faults injected during the run.
+        injections: u32,
+        /// Number of oracle reports the run produced.
+        reports: usize,
+    },
+    /// All runs finished; `stats` is the final aggregate.
+    Finished {
+        /// Final campaign statistics.
+        stats: &'a CampaignStats,
+    },
+}
+
+/// Receiver for campaign progress events.
+///
+/// Events arrive on one thread, in a deterministic order only for
+/// `Started`/`Finished`; `RunStarted`/`RunFinished` interleave according to
+/// real scheduling, so observers must not feed anything derived from their
+/// arrival order back into campaign results.
+pub trait EngineObserver {
+    /// Called for every event.
+    fn on_event(&mut self, event: &EngineEvent<'_>);
+}
+
+/// Ignores all events: the default for library callers.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl EngineObserver for NullObserver {
+    fn on_event(&mut self, _event: &EngineEvent<'_>) {}
+}
+
+/// Prints campaign progress to stderr: a header, a line every
+/// `every` completed runs (and for every timed-out run), and a summary.
+#[derive(Debug)]
+pub struct StderrProgress {
+    every: usize,
+    completed: usize,
+    reports: usize,
+}
+
+impl StderrProgress {
+    /// Reports every `every`-th completed run (clamped to at least 1).
+    pub fn new(every: usize) -> Self {
+        StderrProgress {
+            every: every.max(1),
+            completed: 0,
+            reports: 0,
+        }
+    }
+}
+
+impl Default for StderrProgress {
+    fn default() -> Self {
+        StderrProgress::new(25)
+    }
+}
+
+impl EngineObserver for StderrProgress {
+    fn on_event(&mut self, event: &EngineEvent<'_>) {
+        match event {
+            EngineEvent::Started { total_runs, jobs } => {
+                eprintln!("[engine] campaign: {total_runs} runs on {jobs} worker(s)");
+            }
+            EngineEvent::RunStarted { .. } => {}
+            EngineEvent::RunFinished {
+                key,
+                worker,
+                outcome,
+                reports,
+                ..
+            } => {
+                self.completed += 1;
+                self.reports += reports;
+                let timed_out = matches!(outcome, RunOutcome::TimedOut);
+                if timed_out || self.completed % self.every == 0 {
+                    let note = if timed_out { " [timed out]" } else { "" };
+                    eprintln!(
+                        "[engine] {} runs done ({} report(s)) — last: {} @ {} K={} on worker {}{}",
+                        self.completed, self.reports, key.test, key.site, key.k, worker, note
+                    );
+                }
+            }
+            EngineEvent::Finished { stats } => {
+                eprintln!(
+                    "[engine] done: {} runs, {} timed out, {} crashed, {} report(s), {} injections, {} ms wall",
+                    stats.runs_total,
+                    stats.timed_out,
+                    stats.crashed,
+                    stats.reports,
+                    stats.injections,
+                    stats.wall_ms
+                );
+            }
+        }
+    }
+}
+
+/// Collects the final campaign statistics as a JSON document
+/// (`wasabi-util`'s writer; no external dependencies).
+#[cfg(feature = "json-reports")]
+#[derive(Debug, Default)]
+pub struct JsonSummarySink {
+    summary: Option<String>,
+}
+
+#[cfg(feature = "json-reports")]
+impl JsonSummarySink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        JsonSummarySink::default()
+    }
+
+    /// The JSON summary, available once the campaign finished.
+    pub fn summary(&self) -> Option<&str> {
+        self.summary.as_deref()
+    }
+}
+
+#[cfg(feature = "json-reports")]
+impl EngineObserver for JsonSummarySink {
+    fn on_event(&mut self, event: &EngineEvent<'_>) {
+        use wasabi_util::Json;
+        let EngineEvent::Finished { stats } = event else {
+            return;
+        };
+        let value = Json::obj([
+            ("runs_total", Json::from(stats.runs_total)),
+            ("completed", Json::from(stats.completed)),
+            ("timed_out", Json::from(stats.timed_out)),
+            ("crashed", Json::from(stats.crashed)),
+            ("rethrow_filtered", Json::from(stats.rethrow_filtered)),
+            ("not_a_trigger", Json::from(stats.not_a_trigger)),
+            ("reports", Json::from(stats.reports)),
+            ("injections", Json::from(stats.injections as i64)),
+            ("virtual_ms", Json::from(stats.virtual_ms as i64)),
+            ("wall_ms", Json::from(stats.wall_ms as i64)),
+            ("jobs", Json::from(stats.jobs)),
+            (
+                "worker_runs",
+                Json::arr(stats.worker_runs.iter().map(|&n| Json::from(n))),
+            ),
+        ]);
+        self.summary = Some(value.pretty());
+    }
+}
+
+/// Fans one event stream out to two observers, so a caller can have both
+/// progress lines and a JSON summary without writing a combinator.
+pub struct Tee<'a, 'b> {
+    /// First observer.
+    pub first: &'a mut dyn EngineObserver,
+    /// Second observer.
+    pub second: &'b mut dyn EngineObserver,
+}
+
+impl EngineObserver for Tee<'_, '_> {
+    fn on_event(&mut self, event: &EngineEvent<'_>) {
+        self.first.on_event(event);
+        self.second.on_event(event);
+    }
+}

@@ -1,0 +1,185 @@
+//! A sharded work queue built purely on `std::sync::{Mutex, Condvar}`.
+//!
+//! The campaign's work items (run indexes) are distributed round-robin over
+//! one shard per worker at construction time, so under even load each worker
+//! drains its own shard without ever contending on a global lock. When a
+//! worker's shard runs dry it steals from the other shards, which keeps all
+//! workers busy through the tail of a campaign where run durations are
+//! skewed (a handful of K=100 runs can outlast everything else).
+//!
+//! The queue also supports blocking pops for open-ended producers
+//! ([`ShardedQueue::push`] + [`ShardedQueue::pop_blocking`]); the campaign
+//! engine itself pre-fills the queue and uses the non-blocking
+//! [`ShardedQueue::pop`], but the blocking path is what a streaming planner
+//! would use and is covered by tests so it stays honest.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A multi-shard MPMC queue of work items.
+pub struct ShardedQueue<T> {
+    shards: Vec<Mutex<VecDeque<T>>>,
+    /// Signalled on every push and on close; blocking pops wait on it.
+    signal: Condvar,
+    /// Guards the closed flag; also the Condvar's companion lock.
+    state: Mutex<bool>,
+}
+
+impl<T> ShardedQueue<T> {
+    /// Creates a queue with `shards` shards (at least 1).
+    pub fn new(shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedQueue {
+            shards: (0..shards).map(|_| Mutex::new(VecDeque::new())).collect(),
+            signal: Condvar::new(),
+            state: Mutex::new(false),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Creates a queue pre-filled with `items`, dealt round-robin across
+    /// `shards` shards. This is the campaign path: all work is known up
+    /// front, so the queue is closed immediately and pops never block.
+    pub fn prefilled(items: impl IntoIterator<Item = T>, shards: usize) -> Self {
+        let queue = ShardedQueue::new(shards);
+        for (index, item) in items.into_iter().enumerate() {
+            let shard = index % queue.shards.len();
+            queue.shards[shard].lock().expect("shard lock").push_back(item);
+        }
+        queue.close();
+        queue
+    }
+
+    /// Pushes an item onto `shard` (modulo the shard count) and wakes one
+    /// blocked popper.
+    pub fn push(&self, shard: usize, item: T) {
+        let shard = shard % self.shards.len();
+        self.shards[shard].lock().expect("shard lock").push_back(item);
+        // Notify while holding the state lock: a blocked popper scans the
+        // shards under this lock before waiting, so the notification cannot
+        // land in the gap between its empty scan and its wait.
+        let _state = self.state.lock().expect("state lock");
+        self.signal.notify_one();
+    }
+
+    /// Marks the queue closed: blocked pops return `None` once drained.
+    pub fn close(&self) {
+        *self.state.lock().expect("state lock") = true;
+        self.signal.notify_all();
+    }
+
+    /// Non-blocking pop for worker `home`: tries the home shard first, then
+    /// steals from the others in order. Returns `None` when every shard is
+    /// empty at the time of the scan.
+    pub fn pop(&self, home: usize) -> Option<T> {
+        let count = self.shards.len();
+        let home = home % count;
+        for offset in 0..count {
+            let shard = (home + offset) % count;
+            if let Some(item) = self.shards[shard].lock().expect("shard lock").pop_front() {
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Blocking pop: waits until an item is available anywhere or the queue
+    /// is closed and fully drained.
+    pub fn pop_blocking(&self, home: usize) -> Option<T> {
+        let mut closed = self.state.lock().expect("state lock");
+        loop {
+            // Scanning under the state lock pairs with `push` notifying
+            // under it: an item inserted after this scan will find either a
+            // waiter to wake or no one holding the lock.
+            if let Some(item) = self.pop(home) {
+                return Some(item);
+            }
+            if *closed {
+                return None;
+            }
+            closed = self.signal.wait(closed).expect("condvar wait");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread;
+
+    #[test]
+    fn prefilled_round_robins_items_across_shards() {
+        let queue = ShardedQueue::prefilled(0..10, 3);
+        assert_eq!(queue.shard_count(), 3);
+        // Shard 0 gets 0,3,6,9; shard 1 gets 1,4,7; shard 2 gets 2,5,8.
+        assert_eq!(queue.pop(0), Some(0));
+        assert_eq!(queue.pop(1), Some(1));
+        assert_eq!(queue.pop(2), Some(2));
+    }
+
+    #[test]
+    fn pop_drains_home_shard_then_steals() {
+        let queue = ShardedQueue::prefilled(0..4, 2);
+        // Home shard 0 holds 0 and 2; stealing then yields shard 1's items.
+        assert_eq!(queue.pop(0), Some(0));
+        assert_eq!(queue.pop(0), Some(2));
+        assert_eq!(queue.pop(0), Some(1));
+        assert_eq!(queue.pop(0), Some(3));
+        assert_eq!(queue.pop(0), None);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let queue = ShardedQueue::prefilled([7], 0);
+        assert_eq!(queue.shard_count(), 1);
+        assert_eq!(queue.pop(0), Some(7));
+    }
+
+    #[test]
+    fn concurrent_workers_drain_every_item_exactly_once() {
+        const ITEMS: usize = 1000;
+        const WORKERS: usize = 8;
+        let queue = ShardedQueue::prefilled(0..ITEMS, WORKERS);
+        let popped = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            let (queue, popped, sum) = (&queue, &popped, &sum);
+            for worker in 0..WORKERS {
+                scope.spawn(move || {
+                    while let Some(item) = queue.pop(worker) {
+                        popped.fetch_add(1, Ordering::Relaxed);
+                        sum.fetch_add(item, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(popped.load(Ordering::Relaxed), ITEMS);
+        assert_eq!(sum.load(Ordering::Relaxed), ITEMS * (ITEMS - 1) / 2);
+    }
+
+    #[test]
+    fn blocking_pop_waits_for_pushes_and_ends_on_close() {
+        let queue = ShardedQueue::new(2);
+        let drained = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            let (queue, drained) = (&queue, &drained);
+            for worker in 0..2 {
+                scope.spawn(move || {
+                    while queue.pop_blocking(worker).is_some() {
+                        drained.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for item in 0..100 {
+                queue.push(item, item);
+            }
+            queue.close();
+        });
+        assert_eq!(drained.load(Ordering::Relaxed), 100);
+    }
+}

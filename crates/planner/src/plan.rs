@@ -72,8 +72,66 @@ pub struct InjectionRun {
     pub spec: InjectionSpec,
 }
 
+/// The stable identity of an [`InjectionRun`] within a campaign:
+/// `(test, call site, exception, K)`. Within one campaign a key is unique —
+/// the plan pairs each site with exactly one test, and the expansion emits
+/// one run per `(exception, K)` at that site.
+///
+/// This key is the *only* ordering the workspace uses for runs: the
+/// planner sorts its expansion by it, and the campaign engine merges
+/// parallel results back into it, so serial (`jobs=1`) and parallel
+/// (`jobs=N`) executions produce byte-identical reports.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RunKey {
+    /// The test being repurposed.
+    pub test: MethodId,
+    /// The injected call site.
+    pub site: CallSite,
+    /// The injected exception type.
+    pub exception: String,
+    /// The injection count bound K.
+    pub k: u32,
+}
+
+impl InjectionRun {
+    /// The run's stable campaign-wide sort key.
+    pub fn key(&self) -> RunKey {
+        RunKey {
+            test: self.test.clone(),
+            site: self.spec.location.site,
+            exception: self.spec.location.exception.clone(),
+            k: self.spec.k,
+        }
+    }
+}
+
+/// Runs compare by [`RunKey`] alone: two runs are equal iff they name the
+/// same `(test, site, exception, K)`, which identifies a run uniquely
+/// within a campaign.
+impl PartialEq for InjectionRun {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for InjectionRun {}
+
+impl PartialOrd for InjectionRun {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for InjectionRun {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
 /// Expands a plan into concrete runs: one per (entry, exception at the
-/// site, K value).
+/// site, K value), sorted by [`RunKey`]. The sort makes run order a pure
+/// function of the plan — independent of coverage-profile iteration order
+/// and of how a campaign engine schedules the runs.
 pub fn expand_plan(
     plan: &TestPlan,
     locations: &[RetryLocation],
@@ -90,6 +148,7 @@ pub fn expand_plan(
             }
         }
     }
+    runs.sort();
     runs
 }
 
@@ -212,6 +271,26 @@ mod tests {
         assert_eq!(with, 4);
         assert_eq!(without, 200);
         assert!(without / with >= 27, "reduction {}x", without / with);
+    }
+
+    #[test]
+    fn expansion_is_sorted_by_run_key() {
+        let profile = profile(&[("t2", &[2]), ("t1", &[1])]);
+        let all: BTreeSet<CallSite> = [1, 2].into_iter().map(site).collect();
+        let plan = plan(&profile, &all);
+        let locations = vec![
+            location(2, "E2"),
+            location(1, "E1"),
+            location(1, "E0"),
+        ];
+        let runs = expand_plan(&plan, &locations, &[100, 1]);
+        let keys: Vec<_> = runs.iter().map(InjectionRun::key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "expand_plan returns runs in RunKey order");
+        assert_eq!(runs.len(), 6, "3 (site, exception) pairs × 2 K values");
+        // Within one (test, site, exception), K ascends.
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

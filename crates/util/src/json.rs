@@ -1,0 +1,246 @@
+//! A minimal JSON value model and writer, replacing `serde`/`serde_json`
+//! for report emission.
+//!
+//! Only what WASABI needs: building values programmatically and rendering
+//! them (compact or pretty) with correct string escaping. Objects preserve
+//! insertion order (`Vec<(String, Json)>` rather than a map) so emitted
+//! reports are stable byte-for-byte across runs — a requirement of the
+//! deterministic-merge contract in `wasabi-engine`.
+//!
+//! There is deliberately no parser: WASABI writes JSON, it never reads it.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object; keeps call sites terse.
+    pub fn obj(fields: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Convenience constructor for an array.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Compact rendering (no whitespace).
+    pub fn to_string(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation and a trailing newline,
+    /// matching the house style of the repo's golden outputs.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(f) => {
+                // JSON has no NaN/Infinity; render those as null so the
+                // document stays well-formed.
+                if f.is_finite() {
+                    let mut text = format!("{f}");
+                    // `{}` prints integral floats without a decimal point;
+                    // add one so the value round-trips as a float.
+                    if !text.contains('.') && !text.contains('e') {
+                        text.push_str(".0");
+                    }
+                    out.push_str(&text);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Int(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Int(n as i64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::Int(n as i64)
+    }
+}
+
+impl From<u64> for Json {
+    /// Values beyond `i64::MAX` saturate (JSON writers that emit `u64`
+    /// verbatim break many parsers anyway, and no WASABI counter gets
+    /// anywhere near the limit).
+    fn from(n: u64) -> Json {
+        Json::Int(i64::try_from(n).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::Float(f)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let v = Json::obj([
+            ("name", Json::from("wasabi")),
+            ("runs", Json::arr([Json::Int(1), Json::Int(2)])),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"name":"wasabi","runs":[1,2],"ok":true,"none":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering() {
+        let v = Json::obj([("a", Json::Int(1)), ("b", Json::arr([Json::from("x")]))]);
+        assert_eq!(v.pretty(), "{\n  \"a\": 1,\n  \"b\": [\n    \"x\"\n  ]\n}\n");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = Json::from("a\"b\\c\nd\te\u{01}");
+        assert_eq!(v.to_string(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(Json::Float(1.5).to_string(), "1.5");
+        assert_eq!(Json::Float(2.0).to_string(), "2.0");
+        assert_eq!(Json::Float(-3.0).to_string(), "-3.0");
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn empty_containers_stay_inline_when_pretty() {
+        let v = Json::obj([("a", Json::Arr(vec![])), ("b", Json::Obj(vec![]))]);
+        assert_eq!(v.pretty(), "{\n  \"a\": [],\n  \"b\": {}\n}\n");
+    }
+
+    #[test]
+    fn field_order_is_insertion_order() {
+        let v = Json::obj([("z", Json::Int(1)), ("a", Json::Int(2))]);
+        assert_eq!(v.to_string(), r#"{"z":1,"a":2}"#);
+    }
+}

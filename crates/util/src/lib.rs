@@ -1,0 +1,19 @@
+#![forbid(unsafe_code)]
+//! Dependency-free utilities shared across the WASABI workspace.
+//!
+//! The workspace must build and test with **zero network access** (the
+//! tier-1 gate is `cargo build --release && cargo test -q` on an offline
+//! machine), so everything that used to come from crates.io lives here
+//! instead:
+//!
+//! - [`rng`] — a seeded SplitMix64/xorshift generator replacing `rand`,
+//!   used by the randomized property tests and anywhere the corpus or the
+//!   simulated LLM needs reproducible pseudo-randomness;
+//! - [`json`] — a minimal JSON value model and writer replacing
+//!   `serde`/`serde_json` for report emission.
+
+pub mod json;
+pub mod rng;
+
+pub use json::Json;
+pub use rng::Rng;

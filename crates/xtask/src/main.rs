@@ -1,0 +1,59 @@
+//! Workspace automation: `cargo tier1` and `cargo xtask <task>`.
+//!
+//! Cargo aliases cannot chain commands, so the `tier1` alias in
+//! `.cargo/config.toml` runs this binary, which shells out to cargo for
+//! each stage. Tasks:
+//!
+//! - `tier1` — the tier-1 verification gate: `cargo build --release`
+//!   followed by `cargo test -q --workspace`, both with default
+//!   (offline-safe) features. Fails fast on the first failing stage.
+//! - `ci`    — tier1 plus `cargo build --all-features` and the
+//!   all-features test suite (every feature is offline-safe in this
+//!   workspace, so both extra stages must pass too).
+
+use std::env;
+use std::process::{exit, Command};
+
+fn main() {
+    let task = env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: cargo xtask <tier1|ci>");
+        exit(2);
+    });
+    match task.as_str() {
+        "tier1" => {
+            run_stage("build --release", &["build", "--release"]);
+            run_stage("test -q --workspace", &["test", "-q", "--workspace"]);
+            eprintln!("tier1: OK");
+        }
+        "ci" => {
+            run_stage("build --release", &["build", "--release"]);
+            run_stage("test -q --workspace", &["test", "-q", "--workspace"]);
+            run_stage("build --all-features", &["build", "--all-features"]);
+            run_stage(
+                "test -q --workspace --all-features",
+                &["test", "-q", "--workspace", "--all-features"],
+            );
+            eprintln!("ci: OK");
+        }
+        other => {
+            eprintln!("unknown task `{other}`; expected tier1 or ci");
+            exit(2);
+        }
+    }
+}
+
+fn run_stage(label: &str, args: &[&str]) {
+    eprintln!("==> cargo {label}");
+    let cargo = env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let status = Command::new(cargo)
+        .args(args)
+        .status()
+        .unwrap_or_else(|e| {
+            eprintln!("failed to spawn cargo: {e}");
+            exit(1);
+        });
+    if !status.success() {
+        eprintln!("stage `cargo {label}` failed");
+        exit(status.code().unwrap_or(1));
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point. Two stages:
+#
+#   1. tier-1: the gate every change must pass — release build + full test
+#      suite with default features, exactly what `cargo tier1` runs.
+#   2. all-features: compile check with every optional feature enabled
+#      (json-reports, proptest-suite, bench-criterion) plus the
+#      feature-gated test suites, so gated code can never rot.
+#
+# Everything resolves offline: the workspace has no registry dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== stage 1: tier-1 (default features) =="
+cargo build --release
+cargo test -q --workspace
+
+echo "== stage 2: all features =="
+cargo build --all-features
+cargo test -q --workspace --all-features
+
+echo "== ci: all stages passed =="

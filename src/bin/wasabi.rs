@@ -2,26 +2,27 @@
 //! source files.
 //!
 //! ```text
-//! wasabi analyze [--json] <file.jav>...   # retry loops, locations, IF outliers
-//! wasabi sweep   [--json] <file.jav>...   # LLM static sweep (WHEN findings)
-//! wasabi test    [--json] <file.jav>...   # dynamic workflow (inject + oracles)
-//! wasabi corpus  <APP> <out-dir>          # write a synthetic app to disk
+//! wasabi analyze [--json] <file.jav>...            # retry loops, locations, IF outliers
+//! wasabi sweep   [--json] <file.jav>...            # LLM static sweep (WHEN findings)
+//! wasabi test    [--json] [--jobs N] <file.jav>... # dynamic workflow (inject + oracles)
+//! wasabi corpus  <APP> <out-dir>                   # write a synthetic app to disk
 //! ```
 
-use serde_json::{json, Value};
 use std::process::ExitCode;
 use wasabi::analysis::ifratio::{if_ratio_reports, IfOptions};
 use wasabi::analysis::loops::{all_retry_locations, LoopQueryOptions};
 use wasabi::analysis::resolve::ProjectIndex;
-use wasabi::core::dynamic::{run_dynamic, DynamicOptions};
+use wasabi::core::dynamic::{run_dynamic_with_observer, DynamicOptions};
+use wasabi::engine::StderrProgress;
 use wasabi::core::identify::identify;
 use wasabi::lang::project::Project;
 use wasabi::llm::simulated::SimulatedLlm;
+use wasabi::util::Json;
 
 const USAGE: &str = "usage:
   wasabi analyze [--json] <file.jav>...
   wasabi sweep   [--json] <file.jav>...
-  wasabi test    [--json] <file.jav>...
+  wasabi test    [--json] [--jobs N] <file.jav>...
   wasabi corpus  <APP> <out-dir>     (APP = HA HD MA YA HB HI CA EL)";
 
 fn main() -> ExitCode {
@@ -33,17 +34,54 @@ fn main() -> ExitCode {
     let command = args.remove(0);
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
+    let jobs = match take_jobs(&mut args) {
+        Ok(jobs) => jobs,
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
 
     match command.as_str() {
         "analyze" => with_project(&args, |project| analyze(project, json)),
         "sweep" => with_project(&args, |project| sweep(project, json)),
-        "test" => with_project(&args, |project| test(project, json)),
+        "test" => with_project(&args, |project| test(project, json, jobs)),
         "corpus" => corpus(&args),
         other => {
             eprintln!("unknown command `{other}`\n{USAGE}");
             ExitCode::from(2)
         }
     }
+}
+
+/// Extracts `--jobs N` (or `--jobs=N`) from the argument list. Returns the
+/// worker count, defaulting to 1 (serial) when the flag is absent.
+fn take_jobs(args: &mut Vec<String>) -> Result<usize, String> {
+    let mut jobs = 1usize;
+    let mut index = 0;
+    while index < args.len() {
+        let arg = args[index].clone();
+        if arg == "--jobs" {
+            let Some(value) = args.get(index + 1) else {
+                return Err("--jobs requires a value".to_string());
+            };
+            jobs = value
+                .parse::<usize>()
+                .map_err(|_| format!("invalid --jobs value `{value}`"))?;
+            args.drain(index..index + 2);
+        } else if let Some(value) = arg.strip_prefix("--jobs=") {
+            jobs = value
+                .parse::<usize>()
+                .map_err(|_| format!("invalid --jobs value `{value}`"))?;
+            args.remove(index);
+        } else {
+            index += 1;
+        }
+    }
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".to_string());
+    }
+    Ok(jobs)
 }
 
 fn with_project(paths: &[String], run: impl FnOnce(&Project) -> ExitCode) -> ExitCode {
@@ -77,27 +115,50 @@ fn analyze(project: &Project, json: bool) -> ExitCode {
     let loops = all_retry_locations(&index, &LoopQueryOptions::default());
     let if_reports = if_ratio_reports(&index, &IfOptions::default());
     if json {
-        let value = json!({
-            "retry_loops": loops.iter().map(|(l, locations)| json!({
-                "coordinator": l.coordinator.to_string(),
-                "at": project.locate(l.file, l.span),
-                "catches": l.reaching_catches,
-                "locations": locations.iter().map(|loc| json!({
-                    "retried": loc.retried.to_string(),
-                    "exception": loc.exception,
-                    "site": loc.site.to_string(),
-                })).collect::<Vec<Value>>(),
-            })).collect::<Vec<Value>>(),
-            "if_outliers": if_reports.iter().map(|r| json!({
-                "exception": r.exception,
-                "retried": r.r,
-                "throwable": r.n,
-                "outliers": r.outliers.iter()
-                    .map(|o| o.coordinator.to_string())
-                    .collect::<Vec<String>>(),
-            })).collect::<Vec<Value>>(),
-        });
-        println!("{}", serde_json::to_string_pretty(&value).expect("serialize"));
+        let value = Json::obj([
+            (
+                "retry_loops",
+                Json::arr(loops.iter().map(|(l, locations)| {
+                    Json::obj([
+                        ("coordinator", Json::from(l.coordinator.to_string())),
+                        ("at", Json::from(project.locate(l.file, l.span))),
+                        (
+                            "catches",
+                            Json::arr(l.reaching_catches.iter().map(|c| Json::from(c.as_str()))),
+                        ),
+                        (
+                            "locations",
+                            Json::arr(locations.iter().map(|loc| {
+                                Json::obj([
+                                    ("retried", Json::from(loc.retried.to_string())),
+                                    ("exception", Json::from(loc.exception.as_str())),
+                                    ("site", Json::from(loc.site.to_string())),
+                                ])
+                            })),
+                        ),
+                    ])
+                })),
+            ),
+            (
+                "if_outliers",
+                Json::arr(if_reports.iter().map(|r| {
+                    Json::obj([
+                        ("exception", Json::from(r.exception.as_str())),
+                        ("retried", Json::from(r.r)),
+                        ("throwable", Json::from(r.n)),
+                        (
+                            "outliers",
+                            Json::arr(
+                                r.outliers
+                                    .iter()
+                                    .map(|o| Json::from(o.coordinator.to_string())),
+                            ),
+                        ),
+                    ])
+                })),
+            ),
+        ]);
+        print!("{}", value.pretty());
         return ExitCode::SUCCESS;
     }
     println!("retry loops: {}", loops.len());
@@ -136,27 +197,40 @@ fn sweep(project: &Project, json: bool) -> ExitCode {
     let mut llm = SimulatedLlm::with_seed(0);
     let sweep = wasabi::llm::detector::sweep_project(project, &mut llm);
     if json {
-        let value = json!({
-            "retry_files": sweep.retry_files.iter().map(|r| json!({
-                "path": r.path,
-                "poll_excluded": r.poll_excluded,
-                "methods": r.retry_methods,
-                "sleeps_before_retry": r.sleeps_before_retry,
-                "has_cap": r.has_cap,
-            })).collect::<Vec<Value>>(),
-            "findings": sweep.findings.iter().map(|f| json!({
-                "kind": f.kind.to_string(),
-                "path": f.path,
-                "method": f.method,
-            })).collect::<Vec<Value>>(),
-            "usage": {
-                "calls": sweep.usage.calls,
-                "bytes_sent": sweep.usage.bytes_sent,
-                "tokens": sweep.usage.tokens,
-                "cost_usd": sweep.usage.cost_usd(),
-            },
-        });
-        println!("{}", serde_json::to_string_pretty(&value).expect("serialize"));
+        let value = Json::obj([
+            (
+                "retry_files",
+                Json::arr(sweep.retry_files.iter().map(|r| {
+                    Json::obj([
+                        ("path", Json::from(r.path.as_str())),
+                        ("poll_excluded", Json::from(r.poll_excluded)),
+                        ("methods", Json::arr(r.retry_methods.iter().map(|m| Json::from(m.as_str())))),
+                        ("sleeps_before_retry", Json::from(r.sleeps_before_retry)),
+                        ("has_cap", Json::from(r.has_cap)),
+                    ])
+                })),
+            ),
+            (
+                "findings",
+                Json::arr(sweep.findings.iter().map(|f| {
+                    Json::obj([
+                        ("kind", Json::from(f.kind.to_string())),
+                        ("path", Json::from(f.path.as_str())),
+                        ("method", Json::from(f.method.as_str())),
+                    ])
+                })),
+            ),
+            (
+                "usage",
+                Json::obj([
+                    ("calls", Json::from(sweep.usage.calls)),
+                    ("bytes_sent", Json::from(sweep.usage.bytes_sent)),
+                    ("tokens", Json::from(sweep.usage.tokens)),
+                    ("cost_usd", Json::from(sweep.usage.cost_usd())),
+                ]),
+            ),
+        ]);
+        print!("{}", value.pretty());
         return ExitCode::SUCCESS;
     }
     for finding in &sweep.findings {
@@ -171,26 +245,50 @@ fn sweep(project: &Project, json: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn test(project: &Project, json: bool) -> ExitCode {
+fn test(project: &Project, json: bool, jobs: usize) -> ExitCode {
     let mut llm = SimulatedLlm::with_seed(0);
     let identified = identify(project, &mut llm);
-    let result = run_dynamic(project, &identified.locations, &DynamicOptions::default());
+    let options = DynamicOptions {
+        jobs,
+        ..DynamicOptions::default()
+    };
+    // Progress goes to stderr, so `--json` output on stdout stays clean.
+    let mut progress = StderrProgress::default();
+    let result =
+        run_dynamic_with_observer(project, &identified.locations, &options, &mut progress);
     if json {
-        let value = json!({
-            "locations": identified.locations.len(),
-            "covering_tests": result.profile.tests_covering_retry(),
-            "runs_planned": result.runs_planned,
-            "runs_naive": result.runs_naive,
-            "pinned_configs": result.restoration.pinned,
-            "bugs": result.bugs.iter().map(|b| json!({
-                "kind": b.kind.to_string(),
-                "coordinator": b.representative().location.coordinator.to_string(),
-                "exception": b.representative().location.exception,
-                "detail": b.representative().detail,
-                "reports": b.reports.len(),
-            })).collect::<Vec<Value>>(),
-        });
-        println!("{}", serde_json::to_string_pretty(&value).expect("serialize"));
+        let value = Json::obj([
+            ("locations", Json::from(identified.locations.len())),
+            (
+                "covering_tests",
+                Json::from(result.profile.tests_covering_retry()),
+            ),
+            ("runs_planned", Json::from(result.runs_planned)),
+            ("runs_naive", Json::from(result.runs_naive)),
+            (
+                "pinned_configs",
+                Json::arr(result.restoration.pinned.iter().map(|k| Json::from(k.as_str()))),
+            ),
+            (
+                "bugs",
+                Json::arr(result.bugs.iter().map(|b| {
+                    Json::obj([
+                        ("kind", Json::from(b.kind.to_string())),
+                        (
+                            "coordinator",
+                            Json::from(b.representative().location.coordinator.to_string()),
+                        ),
+                        (
+                            "exception",
+                            Json::from(b.representative().location.exception.as_str()),
+                        ),
+                        ("detail", Json::from(b.representative().detail.as_str())),
+                        ("reports", Json::from(b.reports.len())),
+                    ])
+                })),
+            ),
+        ]);
+        print!("{}", value.pretty());
     } else {
         println!(
             "{} retry locations; {} injected runs ({} without planning)",

@@ -11,15 +11,19 @@
 //! - [`llm`] — the `LanguageModel` trait, prompts, and the simulated LLM;
 //! - [`oracles`] — missing-cap / missing-delay / different-exception oracles;
 //! - [`planner`] — coverage profiling and fault-injection planning;
+//! - [`engine`] — the parallel campaign engine (worker pool + deterministic merge);
 //! - [`corpus`] — the bug-study dataset and the synthetic 8-app corpus;
-//! - [`core`] — the WASABI orchestrator (dynamic + static workflows).
+//! - [`core`] — the WASABI orchestrator (dynamic + static workflows);
+//! - [`util`] — seeded PRNG and the dependency-free JSON writer.
 
 pub use wasabi_analysis as analysis;
 pub use wasabi_core as core;
 pub use wasabi_corpus as corpus;
+pub use wasabi_engine as engine;
 pub use wasabi_inject as inject;
 pub use wasabi_lang as lang;
 pub use wasabi_llm as llm;
 pub use wasabi_oracles as oracles;
 pub use wasabi_planner as planner;
+pub use wasabi_util as util;
 pub use wasabi_vm as vm;

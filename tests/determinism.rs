@@ -1,0 +1,131 @@
+//! Campaign determinism: the dynamic workflow must produce byte-identical
+//! results for every `--jobs` value. This is the engine's central contract
+//! — parallelism is an implementation detail that must never leak into
+//! reports, bug lists, or statistics.
+
+use wasabi::analysis::loops::RetryLocation;
+use wasabi::core::dynamic::{run_dynamic, DynamicOptions, DynamicResult};
+use wasabi::core::identify::identify;
+use wasabi::corpus::spec::{paper_apps, Scale};
+use wasabi::corpus::synth::{compile_app, generate_app};
+use wasabi::lang::project::Project;
+use wasabi::llm::simulated::SimulatedLlm;
+
+fn hdfs_small() -> (Project, Vec<RetryLocation>) {
+    let spec = paper_apps().into_iter().find(|s| s.short == "HD").expect("HD");
+    let app = generate_app(&spec, Scale::Small);
+    let project = compile_app(&app);
+    let mut llm = SimulatedLlm::with_seed(app.spec.seed);
+    let identified = identify(&project, &mut llm);
+    assert!(!identified.locations.is_empty(), "HDFS has retry locations");
+    (project, identified.locations)
+}
+
+/// Everything in the result that callers consume, rendered to one string.
+/// Scheduling-dependent engine fields (per-worker utilization, wall time)
+/// are deliberately excluded — they are the only values allowed to vary.
+fn render(result: &DynamicResult) -> String {
+    format!(
+        "reports: {:#?}\nbugs: {:#?}\nstats: {:?}\nplanned: {} naive: {}\ntested: {:?}\n\
+         campaign: runs={} completed={} timed_out={} crashed={} rethrow={} not_trigger={} \
+         reports={} injections={} virtual_ms={}",
+        result.reports,
+        result.bugs,
+        result.stats,
+        result.runs_planned,
+        result.runs_naive,
+        result.tested_structures,
+        result.campaign.runs_total,
+        result.campaign.completed,
+        result.campaign.timed_out,
+        result.campaign.crashed,
+        result.campaign.rethrow_filtered,
+        result.campaign.not_a_trigger,
+        result.campaign.reports,
+        result.campaign.injections,
+        result.campaign.virtual_ms,
+    )
+}
+
+#[test]
+fn reports_are_byte_identical_for_any_job_count() {
+    let (project, locations) = hdfs_small();
+    let run = |jobs: usize| {
+        let options = DynamicOptions {
+            jobs,
+            ..DynamicOptions::default()
+        };
+        render(&run_dynamic(&project, &locations, &options))
+    };
+    let serial = run(1);
+    assert!(serial.contains("reports:"), "sanity: non-empty render");
+    for jobs in [2, 8] {
+        let parallel = run(jobs);
+        assert_eq!(
+            serial, parallel,
+            "dynamic workflow diverged between jobs=1 and jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn timed_out_runs_are_reported_identically_on_every_worker_count() {
+    // Corpus tests finish well under WALL_CHECK_INTERVAL steps, so they
+    // never reach a deadline check; this project spins >4096 steps before
+    // retrying, guaranteeing a zero budget cancels its runs. The quick
+    // class stays under the interval and must keep completing.
+    let src = "exception ConnectException;\nexception SocketException;\n\
+         class Slow {\n\
+           method spin() { var i = 0; while (i < 6000) { i = i + 1; } return i; }\n\
+           method op() throws ConnectException { return \"ok\"; }\n\
+           method run() {\n\
+             while (true) {\n\
+               try { return this.op(); } catch (ConnectException e) { log(\"retrying\"); }\n\
+             }\n\
+           }\n\
+           test tSlow() { this.spin(); assert(this.run() == \"ok\"); }\n\
+         }\n\
+         class Quick {\n\
+           field maxAttempts = 4;\n\
+           method fetch() throws SocketException { return \"ok\"; }\n\
+           method run() {\n\
+             for (var retry = 0; retry < this.maxAttempts; retry = retry + 1) {\n\
+               try { return this.fetch(); } catch (SocketException e) { sleep(25); }\n\
+             }\n\
+             throw new SocketException(\"giving up\");\n\
+           }\n\
+           test tQuick() { assert(this.run() == \"ok\"); }\n\
+         }";
+    let project = Project::compile("t", vec![("t.jav", src)]).expect("compile");
+    let mut llm = SimulatedLlm::with_seed(5);
+    let identified = identify(&project, &mut llm);
+    assert!(identified.locations.len() >= 2);
+    let run = |jobs: usize| {
+        let options = DynamicOptions {
+            jobs,
+            // A zero budget cancels every run that reaches a deadline
+            // check; the resulting timed-out/completed mix must not
+            // depend on which worker executed which run.
+            run_budget_ms: Some(0),
+            ..DynamicOptions::default()
+        };
+        run_dynamic(&project, &identified.locations, &options)
+    };
+    let serial = run(1);
+    assert!(
+        serial.stats.timed_out > 0,
+        "zero budget must cancel at least one run (got {:?})",
+        serial.stats
+    );
+    assert!(
+        serial.stats.timed_out < serial.stats.runs_executed,
+        "short runs still complete (got {:?})",
+        serial.stats
+    );
+    let parallel = run(8);
+    assert_eq!(
+        render(&serial),
+        render(&parallel),
+        "timed-out campaign diverged between jobs=1 and jobs=8"
+    );
+}

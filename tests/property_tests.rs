@@ -1,123 +1,172 @@
-//! Property-based tests over the language front end, the CFG, and the
-//! planner.
+//! Randomized property tests over the language front end, the CFG, and the
+//! planner, driven by the in-repo seeded PRNG (`wasabi::util::Rng`) so the
+//! suite needs no external framework and every failure is reproducible
+//! from the printed seed.
+//!
+//! Gated behind the `proptest-suite` feature:
+//! `cargo test --features proptest-suite --test property_tests`.
 
-use proptest::prelude::*;
-use wasabi::lang::lexer::Lexer;
-use wasabi::lang::parser::parse_file;
-use wasabi::lang::printer::print_items;
+use wasabi::util::Rng;
 
-// ---- Source generation strategies -----------------------------------------
+// ---- Source generators -----------------------------------------------------
 
 /// A small expression in concrete syntax.
-fn arb_expr(depth: u32) -> BoxedStrategy<String> {
-    let leaf = prop_oneof![
-        (0i64..1000).prop_map(|v| v.to_string()),
-        Just("true".to_string()),
-        Just("false".to_string()),
-        Just("null".to_string()),
-        Just("x".to_string()),
-        Just("this.f".to_string()),
-        Just("\"lit\"".to_string()),
-    ];
+fn gen_expr(rng: &mut Rng, depth: u32) -> String {
+    let leaf = |rng: &mut Rng| match rng.below(7) {
+        0 => rng.below(1000).to_string(),
+        1 => "true".to_string(),
+        2 => "false".to_string(),
+        3 => "null".to_string(),
+        4 => "x".to_string(),
+        5 => "this.f".to_string(),
+        _ => "\"lit\"".to_string(),
+    };
     if depth == 0 {
-        return leaf.boxed();
+        return leaf(rng);
     }
-    let inner = arb_expr(depth - 1);
-    prop_oneof![
-        leaf,
-        (inner.clone(), inner.clone(), prop_oneof![
-            Just("+"), Just("-"), Just("*"), Just("=="), Just("!="),
-            Just("<"), Just(">="), Just("&&"), Just("||"),
-        ])
-            .prop_map(|(a, b, op)| {
-                // Logical operators need boolean operands at run time, but
-                // parsing/printing does not evaluate, so any shape is fine.
-                format!("({a} {op} {b})")
-            }),
-        inner.clone().prop_map(|e| format!("!({e})")),
-        inner.clone().prop_map(|e| format!("this.m({e})")),
-        (inner.clone(), inner).prop_map(|(a, b)| format!("this.g({a}, {b})")),
-    ]
-    .boxed()
+    match rng.below(5) {
+        0 => leaf(rng),
+        1 => {
+            let a = gen_expr(rng, depth - 1);
+            let b = gen_expr(rng, depth - 1);
+            let op = *rng.pick(&["+", "-", "*", "==", "!=", "<", ">=", "&&", "||"]);
+            // Logical operators need boolean operands at run time, but
+            // parsing/printing does not evaluate, so any shape is fine.
+            format!("({a} {op} {b})")
+        }
+        2 => format!("!({})", gen_expr(rng, depth - 1)),
+        3 => format!("this.m({})", gen_expr(rng, depth - 1)),
+        _ => {
+            let a = gen_expr(rng, depth - 1);
+            let b = gen_expr(rng, depth - 1);
+            format!("this.g({a}, {b})")
+        }
+    }
 }
 
 /// A statement in concrete syntax.
-fn arb_stmt(depth: u32) -> BoxedStrategy<String> {
-    let expr = arb_expr(2);
-    let simple = prop_oneof![
-        expr.clone().prop_map(|e| format!("var v = {e};")),
-        expr.clone().prop_map(|e| format!("x = {e};")),
-        expr.clone().prop_map(|e| format!("log({e});")),
-        expr.clone().prop_map(|e| format!("sleep(5);\n log({e});")),
-        expr.clone().prop_map(|e| format!("return {e};")),
-        Just("break;".to_string()),
-        Just("continue;".to_string()),
-        Just("throw new E(\"boom\");".to_string()),
-    ];
+fn gen_stmt(rng: &mut Rng, depth: u32) -> String {
+    let simple = |rng: &mut Rng| match rng.below(8) {
+        0 => format!("var v = {};", gen_expr(rng, 2)),
+        1 => format!("x = {};", gen_expr(rng, 2)),
+        2 => format!("log({});", gen_expr(rng, 2)),
+        3 => format!("sleep(5);\n log({});", gen_expr(rng, 2)),
+        4 => format!("return {};", gen_expr(rng, 2)),
+        5 => "break;".to_string(),
+        6 => "continue;".to_string(),
+        _ => "throw new E(\"boom\");".to_string(),
+    };
     if depth == 0 {
-        return simple.boxed();
+        return simple(rng);
     }
-    let inner = arb_stmt(depth - 1);
-    prop_oneof![
-        simple,
-        (expr.clone(), inner.clone(), inner.clone())
-            .prop_map(|(c, a, b)| format!("if ({c}) {{ {a} }} else {{ {b} }}")),
-        (expr.clone(), inner.clone()).prop_map(|(c, s)| format!("while ({c}) {{ {s} }}")),
-        (expr.clone(), inner.clone())
-            .prop_map(|(c, s)| format!("for (var i = 0; {c}; i = i + 1) {{ {s} }}")),
-        (inner.clone(), inner.clone())
-            .prop_map(|(a, b)| format!("try {{ {a} }} catch (E e) {{ {b} }}")),
-        (expr, inner.clone(), inner)
-            .prop_map(|(c, a, b)| {
-                format!("switch ({c}) {{ case 1: {{ {a} }} default: {{ {b} }} }}")
-            }),
-    ]
-    .boxed()
+    match rng.below(6) {
+        0 => simple(rng),
+        1 => {
+            let c = gen_expr(rng, 2);
+            let a = gen_stmt(rng, depth - 1);
+            let b = gen_stmt(rng, depth - 1);
+            format!("if ({c}) {{ {a} }} else {{ {b} }}")
+        }
+        2 => {
+            let c = gen_expr(rng, 2);
+            let s = gen_stmt(rng, depth - 1);
+            format!("while ({c}) {{ {s} }}")
+        }
+        3 => {
+            let c = gen_expr(rng, 2);
+            let s = gen_stmt(rng, depth - 1);
+            format!("for (var i = 0; {c}; i = i + 1) {{ {s} }}")
+        }
+        4 => {
+            let a = gen_stmt(rng, depth - 1);
+            let b = gen_stmt(rng, depth - 1);
+            format!("try {{ {a} }} catch (E e) {{ {b} }}")
+        }
+        _ => {
+            let c = gen_expr(rng, 2);
+            let a = gen_stmt(rng, depth - 1);
+            let b = gen_stmt(rng, depth - 1);
+            format!("switch ({c}) {{ case 1: {{ {a} }} default: {{ {b} }} }}")
+        }
+    }
 }
 
-fn arb_file() -> impl Strategy<Value = String> {
-    proptest::collection::vec(arb_stmt(3), 1..6).prop_map(|stmts| {
-        format!(
-            "exception E;\nclass C {{\n  field f = 0;\n  method m(x) {{\n    {}\n  }}\n  method g(a, b) {{ return a; }}\n}}\n",
-            stmts.join("\n    ")
-        )
-    })
+fn gen_file(rng: &mut Rng) -> String {
+    let count = rng.range(1, 6) as usize;
+    let stmts: Vec<String> = (0..count).map(|_| gen_stmt(rng, 3)).collect();
+    format!(
+        "exception E;\nclass C {{\n  field f = 0;\n  method m(x) {{\n    {}\n  }}\n  method g(a, b) {{ return a; }}\n}}\n",
+        stmts.join("\n    ")
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// An arbitrary (mostly garbage) input string for totality tests: a mix of
+/// ASCII printables, language punctuation, and a few multi-byte chars.
+fn gen_garbage(rng: &mut Rng, max_len: usize) -> String {
+    const POOL: &[char] = &[
+        'a', 'z', 'A', 'Z', '0', '9', '_', ' ', '\n', '\t', '{', '}', '(', ')', ';', '"', '\\',
+        '+', '-', '*', '/', '<', '>', '=', '!', '&', '|', '.', ',', ':', '\'', '\u{e9}',
+        '\u{2603}', '\u{1f980}',
+    ];
+    let len = rng.below(max_len as u64 + 1) as usize;
+    (0..len).map(|_| *rng.pick(POOL)).collect()
+}
 
-    /// The lexer never panics and either tokenizes or reports an error.
-    #[test]
-    fn lexer_total_on_arbitrary_input(input in ".{0,200}") {
+// ---- Front-end properties --------------------------------------------------
+
+/// The lexer never panics and either tokenizes or reports an error.
+#[test]
+fn lexer_total_on_arbitrary_input() {
+    use wasabi::lang::lexer::Lexer;
+    for case in 0..128u64 {
+        let mut rng = Rng::new(0x1e7e5_0000 + case);
+        let input = gen_garbage(&mut rng, 200);
         let _ = Lexer::tokenize(&input);
     }
+}
 
-    /// The parser never panics on arbitrary input.
-    #[test]
-    fn parser_total_on_arbitrary_input(input in ".{0,300}") {
+/// The parser never panics on arbitrary input.
+#[test]
+fn parser_total_on_arbitrary_input() {
+    use wasabi::lang::parser::parse_file;
+    for case in 0..128u64 {
+        let mut rng = Rng::new(0x9a25e_0000 + case);
+        let input = gen_garbage(&mut rng, 300);
         let _ = parse_file(&input);
     }
+}
 
-    /// Printing is a fixed point through the parser: print(parse(print(p)))
-    /// equals print(p) for every generated program.
-    #[test]
-    fn printer_roundtrip_fixed_point(source in arb_file()) {
-        let items = parse_file(&source).expect("generated source parses");
+/// Printing is a fixed point through the parser: print(parse(print(p)))
+/// equals print(p) for every generated program.
+#[test]
+fn printer_roundtrip_fixed_point() {
+    use wasabi::lang::parser::parse_file;
+    use wasabi::lang::printer::print_items;
+    for case in 0..128u64 {
+        let mut rng = Rng::new(0x9021_0000 + case);
+        let source = gen_file(&mut rng);
+        let items = parse_file(&source)
+            .unwrap_or_else(|e| panic!("[case {case}] generated source failed to parse: {e}"));
         let printed = print_items(&items);
-        let reparsed = parse_file(&printed)
-            .unwrap_or_else(|e| panic!("printed source failed to parse: {e}\n{printed}"));
+        let reparsed = parse_file(&printed).unwrap_or_else(|e| {
+            panic!("[case {case}] printed source failed to parse: {e}\n{printed}")
+        });
         let reprinted = print_items(&reparsed);
-        prop_assert_eq!(printed, reprinted);
+        assert_eq!(printed, reprinted, "[case {case}] printer not a fixed point");
     }
+}
 
-    /// CFG construction is total on generated programs, every edge targets a
-    /// valid block, and loop headers are unique per loop id.
-    #[test]
-    fn cfg_structural_invariants(source in arb_file()) {
-        use wasabi::analysis::cfg::Cfg;
-        use wasabi::lang::ast::Item;
-        let items = parse_file(&source).expect("parse");
+/// CFG construction is total on generated programs, every edge targets a
+/// valid block, and loop headers are unique per loop id.
+#[test]
+fn cfg_structural_invariants() {
+    use wasabi::analysis::cfg::Cfg;
+    use wasabi::lang::ast::Item;
+    use wasabi::lang::parser::parse_file;
+    for case in 0..128u64 {
+        let mut rng = Rng::new(0xcf9_0000 + case);
+        let source = gen_file(&mut rng);
+        let items = parse_file(&source).expect("generated source parses");
         for item in &items {
             let Item::Class(class) = item else { continue };
             for method in &class.methods {
@@ -126,64 +175,76 @@ proptest! {
                 let mut headers = std::collections::HashSet::new();
                 for block in &cfg.blocks {
                     for succ in &block.succs {
-                        prop_assert!((succ.0 as usize) < blocks, "edge out of range");
+                        assert!((succ.0 as usize) < blocks, "[case {case}] edge out of range");
                     }
                     if let Some(id) = block.loop_header {
-                        prop_assert!(headers.insert(id), "duplicate header for {id}");
+                        assert!(headers.insert(id), "[case {case}] duplicate header for {id}");
                     }
                 }
                 // Reachability from the entry never escapes the graph.
                 let reachable = cfg.reachable_from(cfg.entry());
-                prop_assert!(reachable.len() <= blocks);
+                assert!(reachable.len() <= blocks, "[case {case}] reachability escaped");
             }
         }
     }
+}
 
-    /// Retry-loop detection is deterministic and keyword filtering only
-    /// removes loops (never adds).
-    #[test]
-    fn keyword_filter_is_monotone(source in arb_file()) {
-        use wasabi::analysis::loops::{find_retry_loops, LoopQueryOptions};
-        use wasabi::analysis::resolve::ProjectIndex;
-        use wasabi::lang::project::Project;
+/// Retry-loop detection is deterministic and keyword filtering only
+/// removes loops (never adds).
+#[test]
+fn keyword_filter_is_monotone() {
+    use wasabi::analysis::loops::{find_retry_loops, LoopQueryOptions};
+    use wasabi::analysis::resolve::ProjectIndex;
+    use wasabi::lang::parser::parse_file;
+    use wasabi::lang::project::Project;
+    for case in 0..128u64 {
+        let mut rng = Rng::new(0x1007_0000 + case);
+        let source = gen_file(&mut rng);
+        let _ = parse_file(&source).expect("generated source parses");
         let Ok(project) = Project::compile("p", vec![("f.jav", source)]) else {
-            return Ok(()); // e.g. `x = ...` before declaration is still valid; compile errors are fine
+            continue; // e.g. `x = ...` before declaration; compile errors are fine
         };
         let index = ProjectIndex::build(&project);
         let with = find_retry_loops(&index, &LoopQueryOptions::default());
         let mut options = LoopQueryOptions::default();
         options.keyword_filter = false;
         let without = find_retry_loops(&index, &options);
-        prop_assert!(with.len() <= without.len());
+        assert!(with.len() <= without.len(), "[case {case}] filter added loops");
         let unfiltered: std::collections::HashSet<_> =
             without.iter().map(|l| (l.file, l.loop_id)).collect();
         for retry_loop in &with {
-            prop_assert!(unfiltered.contains(&(retry_loop.file, retry_loop.loop_id)));
+            assert!(
+                unfiltered.contains(&(retry_loop.file, retry_loop.loop_id)),
+                "[case {case}] filtered set is not a subset"
+            );
         }
     }
 }
 
 // ---- Planner properties ----------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Every coverable site appears exactly once in the plan, and only
+/// covering tests are used.
+#[test]
+fn plan_covers_each_site_exactly_once() {
+    use std::collections::BTreeSet;
+    use wasabi::lang::ast::CallId;
+    use wasabi::lang::project::{CallSite, FileId, MethodId};
+    use wasabi::planner::coverage::CoverageProfile;
+    use wasabi::planner::plan::plan;
 
-    /// Every coverable site appears exactly once in the plan, and only
-    /// covering tests are used.
-    #[test]
-    fn plan_covers_each_site_exactly_once(
-        coverage in proptest::collection::vec(
-            proptest::collection::btree_set(0u32..20, 0..6),
-            1..12,
-        )
-    ) {
-        use std::collections::BTreeSet;
-        use wasabi::lang::ast::CallId;
-        use wasabi::lang::project::{CallSite, FileId, MethodId};
-        use wasabi::planner::coverage::CoverageProfile;
-        use wasabi::planner::plan::plan;
+    let site = |c: u32| CallSite { file: FileId(0), call: CallId(c) };
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x91a9_0000 + case);
+        // 1..12 tests, each covering a random set of 0..6 sites from 0..20.
+        let tests = rng.range(1, 12) as usize;
+        let coverage: Vec<BTreeSet<u32>> = (0..tests)
+            .map(|_| {
+                let count = rng.below(6);
+                (0..count).map(|_| rng.below(20) as u32).collect()
+            })
+            .collect();
 
-        let site = |c: u32| CallSite { file: FileId(0), call: CallId(c) };
         let mut profile = CoverageProfile::default();
         profile.tests_total = coverage.len();
         for (i, sites) in coverage.iter().enumerate() {
@@ -205,16 +266,17 @@ proptest! {
         planned.sort();
         let mut expected: Vec<CallSite> = profile.covered_sites().into_iter().collect();
         expected.sort();
-        prop_assert_eq!(planned.clone(), expected);
+        assert_eq!(planned, expected, "[case {case}]");
         // Plan entries reference real covering tests.
         for entry in &test_plan.entries {
             let sites = &profile.per_test[&entry.test];
-            prop_assert!(sites.contains(&entry.site));
+            assert!(sites.contains(&entry.site), "[case {case}]");
         }
         // Uncovered = all minus covered.
-        prop_assert_eq!(
+        assert_eq!(
             test_plan.uncovered_sites.len(),
-            all_sites.len() - profile.covered_sites().len()
+            all_sites.len() - profile.covered_sites().len(),
+            "[case {case}]"
         );
     }
 }
