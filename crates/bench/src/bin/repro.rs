@@ -3,9 +3,14 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--scale tiny|small|paper] [--jobs N] <artifact>...
-//! repro --scale paper --jobs 8 all
+//! repro [--scale tiny|small|paper] [--jobs N] [--max-attempts N]
+//!       [--journal DIR] [--resume DIR] [--quiet] <artifact>...
+//! repro --scale paper --jobs 8 --journal runs/ all
 //! ```
+//!
+//! `--journal DIR` checkpoints each app's campaign to `DIR/<short>.jsonl`;
+//! `--resume DIR` reloads those files (apps without one run from scratch),
+//! so an interrupted `all` at paper scale restarts where it died.
 //!
 //! Artifacts: `table1 table2 study-stats table3 table4 table5 table6 fig3
 //! fig4 if-bugs cost fp-taxonomy ablation-keyword ablation-oracles all`.
@@ -16,7 +21,10 @@
 //! generated at full fidelity at every scale).
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use wasabi_analysis::loops::{find_retry_loops, LoopQueryOptions};
+use wasabi_engine::campaign::RetryPolicy;
+use wasabi_engine::journal;
 use wasabi_analysis::resolve::ProjectIndex;
 use wasabi_bench::paper;
 use wasabi_bench::tables::{render, subscript};
@@ -30,6 +38,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
     let mut jobs = 1usize;
+    let mut max_attempts: Option<u8> = None;
+    let mut journal_dir: Option<PathBuf> = None;
+    let mut resume_dir: Option<PathBuf> = None;
+    let mut quiet = false;
     let mut artifacts: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
@@ -56,6 +68,23 @@ fn main() {
                     }
                 };
             }
+            "--max-attempts" => {
+                let value = iter.next().unwrap_or_default();
+                max_attempts = match value.parse::<u8>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => {
+                        eprintln!("--max-attempts expects a positive integer, got `{value}`");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--journal" => {
+                journal_dir = Some(PathBuf::from(iter.next().unwrap_or_default()));
+            }
+            "--resume" => {
+                resume_dir = Some(PathBuf::from(iter.next().unwrap_or_default()));
+            }
+            "--quiet" => quiet = true,
             other => artifacts.push(other.to_string()),
         }
     }
@@ -84,16 +113,45 @@ fn main() {
     .any(|a| wants(a));
 
     let aggregate = if needs_pipeline {
-        eprintln!(
-            "# running the full WASABI pipeline on all 8 apps (scale {scale:?}, {jobs} job(s))..."
-        );
-        let options = DynamicOptions {
+        if !quiet {
+            eprintln!(
+                "# running the full WASABI pipeline on all 8 apps (scale {scale:?}, {jobs} job(s))..."
+            );
+        }
+        if let Some(dir) = &journal_dir {
+            if let Err(err) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create journal dir {}: {err}", dir.display());
+                std::process::exit(2);
+            }
+        }
+        let base_options = DynamicOptions {
             jobs,
+            retry: match max_attempts {
+                Some(attempts) => RetryPolicy::with_max_attempts(attempts),
+                None => RetryPolicy::default(),
+            },
             ..DynamicOptions::default()
         };
         let mut aggregate = Aggregate::default();
         for spec in paper_apps() {
-            eprintln!("#   {} ({})", spec.short, spec.name);
+            if !quiet {
+                eprintln!("#   {} ({})", spec.short, spec.name);
+            }
+            let mut options = base_options.clone();
+            options.journal = journal_dir.as_ref().map(|dir| dir.join(format!("{}.jsonl", spec.short)));
+            if let Some(dir) = &resume_dir {
+                // Apps whose journal is absent simply run from scratch.
+                let path = dir.join(format!("{}.jsonl", spec.short));
+                if path.exists() {
+                    match journal::load_for_resume(&path) {
+                        Ok(records) => options.resume_records = records,
+                        Err(err) => {
+                            eprintln!("{err}");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
             let app = generate_app(&spec, scale);
             aggregate.apps.push(evaluate_app(&app, &options));
         }

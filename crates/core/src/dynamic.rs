@@ -7,9 +7,12 @@
 //! engine's key-ordered merge.
 
 use std::collections::BTreeSet;
+use std::path::PathBuf;
 use std::time::Duration;
 use wasabi_analysis::loops::RetryLocation;
-use wasabi_engine::campaign::{run_campaign, CampaignOptions, CampaignStats, RunOutcome};
+use wasabi_engine::campaign::{
+    run_campaign, CampaignOptions, CampaignStats, ChaosConfig, RetryPolicy, RunOutcome, RunRecord,
+};
 use wasabi_engine::observer::{EngineObserver, NullObserver};
 use wasabi_lang::project::Project;
 use wasabi_oracles::dedup::{dedup_reports, DistinctBug};
@@ -35,6 +38,18 @@ pub struct DynamicOptions {
     /// exceeding it are cancelled and counted in
     /// [`DynamicStats::timed_out`].
     pub run_budget_ms: Option<u64>,
+    /// Retry policy for transient run failures (crashes, timeouts); see
+    /// [`RetryPolicy`]. The default retries twice with jittered backoff.
+    pub retry: RetryPolicy,
+    /// Journal completed runs to this path for checkpoint/resume.
+    pub journal: Option<PathBuf>,
+    /// Records recovered from a previous journal (`--resume`); their keys
+    /// are skipped and the old records merged back in key order.
+    pub resume_records: Vec<RunRecord>,
+    /// Chaos self-test configuration: seeded, deterministic fault
+    /// injection into the engine itself (panics/delays in a fraction of
+    /// runs). Used by the CI chaos smoke; `None` in normal operation.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for DynamicOptions {
@@ -45,6 +60,10 @@ impl Default for DynamicOptions {
             oracle: OracleConfig::default(),
             jobs: 1,
             run_budget_ms: None,
+            retry: RetryPolicy::default(),
+            journal: None,
+            resume_records: Vec::new(),
+            chaos: None,
         }
     }
 }
@@ -60,7 +79,9 @@ pub struct DynamicStats {
     /// Runs where the injected exception escaped untouched (the location
     /// was not actually a retry trigger — analysis inaccuracy, §3.1.1).
     pub not_a_trigger: usize,
-    /// Runs that crashed in any way.
+    /// Runs whose test finished with a non-pass outcome (assertion
+    /// failure, escaped exception, exhausted limits). Engine-level panics
+    /// are counted separately in [`CampaignStats::crashed`].
     pub crashed: usize,
     /// Runs cancelled by the per-run wall-clock budget.
     pub timed_out: usize,
@@ -132,6 +153,11 @@ pub fn run_dynamic_with_observer(
         run_options,
         oracle: options.oracle,
         run_budget: options.run_budget_ms.map(Duration::from_millis),
+        retry: options.retry.clone(),
+        journal: options.journal.clone(),
+        resume: options.resume_records.clone(),
+        chaos: options.chaos.clone(),
+        ..CampaignOptions::default()
     };
     let campaign = run_campaign(project, &runs, &campaign_options, observer);
 
@@ -143,13 +169,16 @@ pub fn run_dynamic_with_observer(
         runs_executed: campaign.stats.runs_total,
         rethrow_filtered: campaign.stats.rethrow_filtered,
         not_a_trigger: campaign.stats.not_a_trigger,
-        crashed: campaign.stats.crashed,
+        crashed: campaign.stats.failed,
         timed_out: campaign.stats.timed_out,
         virtual_ms: campaign.stats.virtual_ms,
     };
     let mut reports = Vec::new();
     for record in &campaign.records {
-        if matches!(record.outcome, RunOutcome::TimedOut) {
+        if matches!(
+            record.outcome,
+            RunOutcome::TimedOut | RunOutcome::Crashed { .. }
+        ) {
             continue;
         }
         reports.extend(record.reports.iter().cloned());

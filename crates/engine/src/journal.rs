@@ -1,0 +1,902 @@
+//! The durable campaign journal: checkpoint/resume for long campaigns.
+//!
+//! A journal is an append-only text file with one JSON document per line:
+//!
+//! ```text
+//! {"kind":"wasabi-journal","schema_version":2}      <- header, always first
+//! {"key":{...},"outcome":{...},...}                 <- one line per record
+//! {"epoch":1,"completed":32}                        <- fsync'd marker
+//! ...
+//! ```
+//!
+//! The writer appends a record line for every finished run and an epoch
+//! marker (followed by `fsync`) every [`EPOCH_EVERY`] records, so at most
+//! one epoch of work can be lost to an OS crash and at most one *line*
+//! to a process kill mid-write. The reader ([`load`]) accepts a journal
+//! whose final line is half-written — it drops exactly that line — but
+//! rejects corruption anywhere earlier, because silent gaps would violate
+//! the engine's every-key-exactly-once guarantee.
+//!
+//! Record serialization is lossless: a [`RunRecord`] parsed back from its
+//! journal line is field-for-field identical to the original, which is
+//! what makes a resumed campaign's final report byte-identical to an
+//! uninterrupted one (see `tests/determinism.rs`). Keys are written in a
+//! fixed order so journal bytes are stable across runs too.
+
+use crate::campaign::{RunOutcome, RunRecord};
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use wasabi_analysis::loops::{Mechanism, RetryLocation};
+use wasabi_lang::ast::{CallId, LoopId};
+use wasabi_lang::project::{CallSite, FileId, MethodId};
+use wasabi_oracles::judge::{BugKind, OracleReport};
+use wasabi_planner::plan::RunKey;
+use wasabi_util::Json;
+use wasabi_vm::trace::{ExcSummary, TestOutcome};
+
+/// Journal (and JSON-summary) schema version. Version 1 is the implicit,
+/// unversioned PR-1 summary format; version 2 added `schema_version`,
+/// crash/retry/quarantine accounting, and the journal itself.
+pub const SCHEMA_VERSION: i64 = 2;
+
+/// Records per epoch: each epoch appends a marker line and fsyncs.
+const EPOCH_EVERY: usize = 32;
+
+/// An open journal being appended to by a running campaign.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+    /// Records appended by this process (not counting recovered lines).
+    appended: usize,
+    /// Records since the last epoch marker.
+    since_epoch: usize,
+    /// Epoch markers written.
+    epochs: usize,
+    /// Set after the first I/O error: the journal stops writing (the
+    /// campaign itself must not die to a full disk) and reports once.
+    disabled: bool,
+}
+
+impl Journal {
+    /// Opens `path` for appending, creating it (with a header line) if
+    /// absent. An existing file is first *repaired*: it is truncated to
+    /// its longest valid prefix (complete, parseable lines), so a tail
+    /// half-written by a killed process never corrupts the next session's
+    /// appends. Returns an error only for I/O failures or a schema/header
+    /// mismatch — a repaired-to-empty file is recreated fresh.
+    pub fn open(path: &Path) -> Result<Journal, String> {
+        let valid_len = match std::fs::read_to_string(path) {
+            Ok(text) => scan_valid_prefix(&text)?,
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(err) => return Err(format!("read {}: {err}", path.display())),
+        };
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|err| format!("open {}: {err}", path.display()))?;
+        file.set_len(valid_len as u64)
+            .map_err(|err| format!("truncate {}: {err}", path.display()))?;
+        file.seek(SeekFrom::End(0))
+            .map_err(|err| format!("seek {}: {err}", path.display()))?;
+        let mut journal = Journal {
+            file,
+            path: path.to_path_buf(),
+            appended: 0,
+            since_epoch: 0,
+            epochs: 0,
+            disabled: false,
+        };
+        if valid_len == 0 {
+            let header = Json::obj([
+                ("kind", Json::from("wasabi-journal")),
+                ("schema_version", Json::from(SCHEMA_VERSION)),
+            ]);
+            journal.write_line(&header);
+        }
+        Ok(journal)
+    }
+
+    /// Appends one record. Returns `Some(total appended)` when this
+    /// append completed an epoch (marker written and fsync'd) — the
+    /// campaign surfaces that as a `CheckpointWritten` event.
+    pub fn append(&mut self, record: &RunRecord) -> Option<usize> {
+        self.write_line(&record_to_json(record));
+        self.appended += 1;
+        self.since_epoch += 1;
+        if self.since_epoch >= EPOCH_EVERY {
+            return self.checkpoint();
+        }
+        None
+    }
+
+    /// Writes a final epoch marker and fsyncs. Returns the total record
+    /// count if a marker was written.
+    pub fn finish(&mut self) -> Option<usize> {
+        if self.since_epoch > 0 {
+            self.checkpoint()
+        } else {
+            None
+        }
+    }
+
+    fn checkpoint(&mut self) -> Option<usize> {
+        self.epochs += 1;
+        self.since_epoch = 0;
+        let marker = Json::obj([
+            ("epoch", Json::from(self.epochs)),
+            ("completed", Json::from(self.appended)),
+        ]);
+        self.write_line(&marker);
+        if !self.disabled {
+            if let Err(err) = self.file.sync_data() {
+                self.report_io_error(&err);
+                return None;
+            }
+        }
+        (!self.disabled).then_some(self.appended)
+    }
+
+    fn write_line(&mut self, value: &Json) {
+        if self.disabled {
+            return;
+        }
+        let mut line = value.to_string();
+        line.push('\n');
+        if let Err(err) = self.file.write_all(line.as_bytes()) {
+            self.report_io_error(&err);
+        }
+    }
+
+    /// Degrade, don't die: a full disk must cost the checkpoint, not the
+    /// campaign.
+    fn report_io_error(&mut self, err: &std::io::Error) {
+        self.disabled = true;
+        eprintln!(
+            "[engine] journal {} failed ({err}); journaling disabled for the rest of the campaign",
+            self.path.display()
+        );
+    }
+}
+
+/// What [`load`] recovered from a journal.
+#[derive(Debug, Default)]
+pub struct JournalLoad {
+    /// Recovered records, in journal (completion) order. Duplicate keys
+    /// are kept; the engine's resume merge takes the first occurrence.
+    pub records: Vec<RunRecord>,
+    /// A half-written final line was dropped during recovery.
+    pub dropped_tail: bool,
+}
+
+/// Reads a journal back for `--resume`. Tolerates exactly one half-written
+/// line at the end of the file (the line a killed process was writing);
+/// corruption anywhere else is an error, as is a missing or
+/// wrong-schema header.
+pub fn load(path: &Path) -> Result<JournalLoad, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|err| format!("read journal {}: {err}", path.display()))?;
+    let mut result = JournalLoad::default();
+    let lines: Vec<&str> = text.split_inclusive('\n').collect();
+    for (index, raw) in lines.iter().enumerate() {
+        let is_last = index + 1 == lines.len();
+        let line = raw.trim_end_matches('\n');
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = Json::parse(line).and_then(|value| classify(&value, index));
+        match parsed {
+            Ok(Line::Header) if index == 0 => {}
+            Ok(Line::Header) => {
+                return Err(format!("journal {}: duplicate header at line {}", path.display(), index + 1))
+            }
+            Ok(_) if index == 0 => {
+                return Err(format!("journal {}: missing header line", path.display()))
+            }
+            Ok(Line::Epoch) => {}
+            Ok(Line::Record(record)) => result.records.push(*record),
+            Err(err) => {
+                // A torn final line (no trailing newline, or cut mid-JSON)
+                // is the expected signature of a killed process: drop it.
+                // The header is never torn-tail material — a journal whose
+                // first line is unreadable or wrong-schema is unusable.
+                if is_last && index > 0 {
+                    result.dropped_tail = true;
+                    break;
+                }
+                return Err(format!(
+                    "journal {}: corrupt line {}: {err}",
+                    path.display(),
+                    index + 1
+                ));
+            }
+        }
+    }
+    if text.is_empty() {
+        return Err(format!("journal {}: empty file", path.display()));
+    }
+    Ok(result)
+}
+
+enum Line {
+    Header,
+    Epoch,
+    Record(Box<RunRecord>),
+}
+
+fn classify(value: &Json, index: usize) -> Result<Line, String> {
+    if value.get("kind").and_then(Json::as_str) == Some("wasabi-journal") {
+        let version = value.get("schema_version").and_then(Json::as_i64);
+        if version != Some(SCHEMA_VERSION) {
+            return Err(format!(
+                "schema_version {version:?} (this build reads {SCHEMA_VERSION})"
+            ));
+        }
+        return Ok(Line::Header);
+    }
+    if value.get("epoch").is_some() {
+        return Ok(Line::Epoch);
+    }
+    if value.get("key").is_some() {
+        return record_from_json(value).map(|r| Line::Record(Box::new(r)));
+    }
+    Err(format!("unrecognized journal line {}", index + 1))
+}
+
+// ---- RunRecord <-> Json ----------------------------------------------------
+//
+// Key order is fixed so journal bytes are stable; every field of every
+// nested type round-trips exactly (no floats appear anywhere in a record,
+// so there are no precision hazards).
+
+fn method_to_json(method: &MethodId) -> Json {
+    Json::arr([Json::from(method.class.as_str()), Json::from(method.name.as_str())])
+}
+
+fn method_from_json(value: &Json) -> Result<MethodId, String> {
+    let parts = value.as_arr().ok_or("method: expected array")?;
+    match parts {
+        [class, name] => Ok(MethodId::new(
+            class.as_str().ok_or("method class: expected string")?,
+            name.as_str().ok_or("method name: expected string")?,
+        )),
+        _ => Err("method: expected [class, name]".to_string()),
+    }
+}
+
+fn site_to_json(site: &CallSite) -> Json {
+    Json::arr([Json::from(site.file.0), Json::from(site.call.0)])
+}
+
+fn site_from_json(value: &Json) -> Result<CallSite, String> {
+    let parts = value.as_arr().ok_or("site: expected array")?;
+    match parts {
+        [file, call] => Ok(CallSite {
+            file: FileId(file.as_u64().ok_or("site file: expected int")? as u32),
+            call: CallId(call.as_u64().ok_or("site call: expected int")? as u32),
+        }),
+        _ => Err("site: expected [file, call]".to_string()),
+    }
+}
+
+fn key_to_json(key: &RunKey) -> Json {
+    Json::obj([
+        ("test", method_to_json(&key.test)),
+        ("site", site_to_json(&key.site)),
+        ("exc", Json::from(key.exception.as_str())),
+        ("k", Json::from(key.k)),
+    ])
+}
+
+fn key_from_json(value: &Json) -> Result<RunKey, String> {
+    Ok(RunKey {
+        test: method_from_json(value.get("test").ok_or("key: missing test")?)?,
+        site: site_from_json(value.get("site").ok_or("key: missing site")?)?,
+        exception: value
+            .get("exc")
+            .and_then(Json::as_str)
+            .ok_or("key: missing exc")?
+            .to_string(),
+        k: value.get("k").and_then(Json::as_u64).ok_or("key: missing k")? as u32,
+    })
+}
+
+fn exc_to_json(exc: &ExcSummary) -> Json {
+    Json::obj([
+        ("ty", Json::from(exc.ty.as_str())),
+        ("message", Json::from(exc.message.as_str())),
+        ("chain", Json::arr(exc.chain.iter().map(|c| Json::from(c.as_str())))),
+        ("raised_at", Json::arr(exc.raised_at.iter().map(method_to_json))),
+        ("injected", Json::from(exc.injected)),
+    ])
+}
+
+fn string_list(value: Option<&Json>, what: &str) -> Result<Vec<String>, String> {
+    value
+        .and_then(Json::as_arr)
+        .ok_or(format!("{what}: expected array"))?
+        .iter()
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or(format!("{what}: expected string element"))
+        })
+        .collect()
+}
+
+fn exc_from_json(value: &Json) -> Result<ExcSummary, String> {
+    Ok(ExcSummary {
+        ty: value
+            .get("ty")
+            .and_then(Json::as_str)
+            .ok_or("exc: missing ty")?
+            .to_string(),
+        message: value
+            .get("message")
+            .and_then(Json::as_str)
+            .ok_or("exc: missing message")?
+            .to_string(),
+        chain: string_list(value.get("chain"), "exc chain")?,
+        raised_at: value
+            .get("raised_at")
+            .and_then(Json::as_arr)
+            .ok_or("exc: missing raised_at")?
+            .iter()
+            .map(method_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+        injected: value
+            .get("injected")
+            .and_then(Json::as_bool)
+            .ok_or("exc: missing injected")?,
+    })
+}
+
+fn outcome_to_json(outcome: &RunOutcome) -> Json {
+    let kind = |k: &str| ("kind", Json::from(k));
+    match outcome {
+        RunOutcome::TimedOut => Json::obj([kind("timed_out")]),
+        RunOutcome::Crashed { message } => {
+            Json::obj([kind("crashed"), ("message", Json::from(message.as_str()))])
+        }
+        RunOutcome::Completed(test) => match test {
+            TestOutcome::Passed => Json::obj([kind("passed")]),
+            TestOutcome::AssertionFailed { message } => Json::obj([
+                kind("assertion_failed"),
+                ("message", Json::from(message.as_str())),
+            ]),
+            TestOutcome::ExceptionEscaped { exc } => {
+                Json::obj([kind("exception_escaped"), ("exc", exc_to_json(exc))])
+            }
+            TestOutcome::Timeout { virtual_ms } => {
+                Json::obj([kind("timeout"), ("virtual_ms", Json::from(*virtual_ms))])
+            }
+            TestOutcome::FuelExhausted => Json::obj([kind("fuel_exhausted")]),
+            TestOutcome::WallClockExceeded => Json::obj([kind("wall_clock_exceeded")]),
+            TestOutcome::VmFault { message } => Json::obj([
+                kind("vm_fault"),
+                ("message", Json::from(message.as_str())),
+            ]),
+        },
+    }
+}
+
+fn outcome_from_json(value: &Json) -> Result<RunOutcome, String> {
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("outcome: missing kind")?;
+    let message = || -> Result<String, String> {
+        Ok(value
+            .get("message")
+            .and_then(Json::as_str)
+            .ok_or("outcome: missing message")?
+            .to_string())
+    };
+    Ok(match kind {
+        "timed_out" => RunOutcome::TimedOut,
+        "crashed" => RunOutcome::Crashed { message: message()? },
+        "passed" => RunOutcome::Completed(TestOutcome::Passed),
+        "assertion_failed" => {
+            RunOutcome::Completed(TestOutcome::AssertionFailed { message: message()? })
+        }
+        "exception_escaped" => RunOutcome::Completed(TestOutcome::ExceptionEscaped {
+            exc: exc_from_json(value.get("exc").ok_or("outcome: missing exc")?)?,
+        }),
+        "timeout" => RunOutcome::Completed(TestOutcome::Timeout {
+            virtual_ms: value
+                .get("virtual_ms")
+                .and_then(Json::as_u64)
+                .ok_or("outcome: missing virtual_ms")?,
+        }),
+        "fuel_exhausted" => RunOutcome::Completed(TestOutcome::FuelExhausted),
+        "wall_clock_exceeded" => RunOutcome::Completed(TestOutcome::WallClockExceeded),
+        "vm_fault" => RunOutcome::Completed(TestOutcome::VmFault { message: message()? }),
+        other => return Err(format!("outcome: unknown kind `{other}`")),
+    })
+}
+
+fn location_to_json(location: &RetryLocation) -> Json {
+    Json::obj([
+        ("site", site_to_json(&location.site)),
+        ("coordinator", method_to_json(&location.coordinator)),
+        ("retried", method_to_json(&location.retried)),
+        ("exc", Json::from(location.exception.as_str())),
+        (
+            "mechanism",
+            match location.mechanism {
+                Mechanism::Loop(LoopId(id)) => Json::from(i64::from(id)),
+                Mechanism::LlmFlagged => Json::from("llm"),
+            },
+        ),
+    ])
+}
+
+fn location_from_json(value: &Json) -> Result<RetryLocation, String> {
+    let mechanism = match value.get("mechanism") {
+        Some(Json::Int(id)) => Mechanism::Loop(LoopId(*id as u32)),
+        Some(Json::Str(s)) if s == "llm" => Mechanism::LlmFlagged,
+        _ => return Err("location: bad mechanism".to_string()),
+    };
+    Ok(RetryLocation {
+        site: site_from_json(value.get("site").ok_or("location: missing site")?)?,
+        coordinator: method_from_json(value.get("coordinator").ok_or("location: missing coordinator")?)?,
+        retried: method_from_json(value.get("retried").ok_or("location: missing retried")?)?,
+        exception: value
+            .get("exc")
+            .and_then(Json::as_str)
+            .ok_or("location: missing exc")?
+            .to_string(),
+        mechanism,
+    })
+}
+
+fn bug_kind_to_str(kind: BugKind) -> &'static str {
+    match kind {
+        BugKind::MissingCap => "missing-cap",
+        BugKind::MissingDelay => "missing-delay",
+        BugKind::DifferentException => "different-exception",
+    }
+}
+
+fn bug_kind_from_str(text: &str) -> Result<BugKind, String> {
+    Ok(match text {
+        "missing-cap" => BugKind::MissingCap,
+        "missing-delay" => BugKind::MissingDelay,
+        "different-exception" => BugKind::DifferentException,
+        other => return Err(format!("unknown bug kind `{other}`")),
+    })
+}
+
+fn report_to_json(report: &OracleReport) -> Json {
+    Json::obj([
+        ("kind", Json::from(bug_kind_to_str(report.kind))),
+        ("test", method_to_json(&report.test)),
+        ("location", location_to_json(&report.location)),
+        ("detail", Json::from(report.detail.as_str())),
+        ("dedup_key", Json::from(report.dedup_key.as_str())),
+        (
+            "exc_chain",
+            Json::arr(report.exc_chain.iter().map(|c| Json::from(c.as_str()))),
+        ),
+    ])
+}
+
+fn report_from_json(value: &Json) -> Result<OracleReport, String> {
+    Ok(OracleReport {
+        kind: bug_kind_from_str(
+            value
+                .get("kind")
+                .and_then(Json::as_str)
+                .ok_or("report: missing kind")?,
+        )?,
+        test: method_from_json(value.get("test").ok_or("report: missing test")?)?,
+        location: location_from_json(value.get("location").ok_or("report: missing location")?)?,
+        detail: value
+            .get("detail")
+            .and_then(Json::as_str)
+            .ok_or("report: missing detail")?
+            .to_string(),
+        dedup_key: value
+            .get("dedup_key")
+            .and_then(Json::as_str)
+            .ok_or("report: missing dedup_key")?
+            .to_string(),
+        exc_chain: string_list(value.get("exc_chain"), "report exc_chain")?,
+    })
+}
+
+/// Serializes one record as a stable-key-order JSON object (one journal
+/// line, compact).
+pub fn record_to_json(record: &RunRecord) -> Json {
+    Json::obj([
+        ("key", key_to_json(&record.key)),
+        ("outcome", outcome_to_json(&record.outcome)),
+        ("reports", Json::arr(record.reports.iter().map(report_to_json))),
+        ("rethrow_filtered", Json::from(record.rethrow_filtered)),
+        ("not_a_trigger", Json::from(record.not_a_trigger)),
+        ("virtual_ms", Json::from(record.virtual_ms)),
+        ("steps", Json::from(record.steps)),
+        ("injections", Json::from(record.injections)),
+        ("attempts", Json::from(u32::from(record.attempts))),
+        ("quarantined", Json::from(record.quarantined)),
+    ])
+}
+
+/// Parses a record back; exact inverse of [`record_to_json`].
+pub fn record_from_json(value: &Json) -> Result<RunRecord, String> {
+    Ok(RunRecord {
+        key: key_from_json(value.get("key").ok_or("record: missing key")?)?,
+        outcome: outcome_from_json(value.get("outcome").ok_or("record: missing outcome")?)?,
+        reports: value
+            .get("reports")
+            .and_then(Json::as_arr)
+            .ok_or("record: missing reports")?
+            .iter()
+            .map(report_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+        rethrow_filtered: value
+            .get("rethrow_filtered")
+            .and_then(Json::as_bool)
+            .ok_or("record: missing rethrow_filtered")?,
+        not_a_trigger: value
+            .get("not_a_trigger")
+            .and_then(Json::as_bool)
+            .ok_or("record: missing not_a_trigger")?,
+        virtual_ms: value
+            .get("virtual_ms")
+            .and_then(Json::as_u64)
+            .ok_or("record: missing virtual_ms")?,
+        steps: value
+            .get("steps")
+            .and_then(Json::as_u64)
+            .ok_or("record: missing steps")?,
+        injections: value
+            .get("injections")
+            .and_then(Json::as_u64)
+            .ok_or("record: missing injections")? as u32,
+        attempts: value
+            .get("attempts")
+            .and_then(Json::as_u64)
+            .ok_or("record: missing attempts")? as u8,
+        quarantined: value
+            .get("quarantined")
+            .and_then(Json::as_bool)
+            .ok_or("record: missing quarantined")?,
+    })
+}
+
+/// Scans a journal's text and returns the byte length of its longest
+/// valid prefix: whole lines, each parseable and classifiable. Appending
+/// resumes after that prefix; everything beyond (a torn tail) is cut.
+fn scan_valid_prefix(text: &str) -> Result<usize, String> {
+    let mut valid = 0usize;
+    for (index, raw) in text.split_inclusive('\n').enumerate() {
+        if !raw.ends_with('\n') {
+            break; // torn tail: no trailing newline
+        }
+        let line = raw.trim_end_matches('\n');
+        if !line.is_empty() {
+            let ok = Json::parse(line).and_then(|v| classify(&v, index)).is_ok();
+            if !ok {
+                break;
+            }
+        }
+        valid += raw.len();
+    }
+    Ok(valid)
+}
+
+/// Reads the journal for `--resume`, reporting recovery as one stderr
+/// line. Missing files are an error — resuming from nothing is almost
+/// certainly a typo'd path, and silently running the full plan would
+/// masquerade as a resume.
+pub fn load_for_resume(path: &Path) -> Result<Vec<RunRecord>, String> {
+    let loaded = load(path)?;
+    if loaded.dropped_tail {
+        eprintln!(
+            "[engine] journal {}: dropped a half-written final line (process was killed mid-append)",
+            path.display()
+        );
+    }
+    eprintln!(
+        "[engine] resuming: {} completed run(s) recovered from {}",
+        loaded.records.len(),
+        path.display()
+    );
+    Ok(loaded.records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_campaign, CampaignOptions, ChaosConfig, RetryPolicy};
+    use crate::observer::NullObserver;
+    use std::collections::BTreeSet;
+    use std::time::Duration;
+    use wasabi_analysis::loops::{all_retry_locations, LoopQueryOptions};
+    use wasabi_analysis::resolve::ProjectIndex;
+    use wasabi_lang::project::Project;
+    use wasabi_planner::coverage::profile_coverage;
+    use wasabi_planner::plan::{expand_plan, plan, InjectionRun};
+    use wasabi_vm::runner::RunOptions;
+
+    const SOURCE: &str = "\
+exception ConnectException;\nexception SocketException;\n\
+class Flaky {\n\
+  method op() throws ConnectException { return \"ok\"; }\n\
+  method run() {\n\
+    while (true) {\n\
+      try { return this.op(); } catch (ConnectException e) { log(\"retrying\"); }\n\
+    }\n\
+  }\n\
+  test tFlaky() { assert(this.run() == \"ok\"); }\n\
+}\n\
+class Solid {\n\
+  field maxAttempts = 4;\n\
+  method fetch() throws SocketException { return \"ok\"; }\n\
+  method run() {\n\
+    for (var retry = 0; retry < this.maxAttempts; retry = retry + 1) {\n\
+      try { return this.fetch(); } catch (SocketException e) { sleep(25); }\n\
+    }\n\
+    throw new SocketException(\"giving up\");\n\
+  }\n\
+  test tSolid() { assert(this.run() == \"ok\"); }\n\
+}\n";
+
+    fn campaign_fixture() -> (Project, Vec<InjectionRun>) {
+        let project = Project::compile("t", vec![("t.jav", SOURCE)]).expect("compile");
+        let index = ProjectIndex::build(&project);
+        let locations: Vec<_> = all_retry_locations(&index, &LoopQueryOptions::default())
+            .into_iter()
+            .flat_map(|(_, locations)| locations)
+            .collect();
+        let run_options = RunOptions::default();
+        let profile = profile_coverage(&project, &locations, &run_options);
+        let all_sites: BTreeSet<_> = locations.iter().map(|l| l.site).collect();
+        let test_plan = plan(&profile, &all_sites);
+        let runs = expand_plan(&test_plan, &locations, &[1, 100]);
+        (project, runs)
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("wasabi-journal-test-{}-{name}", std::process::id()));
+        path
+    }
+
+    #[test]
+    fn records_round_trip_through_json_lines() {
+        let (project, runs) = campaign_fixture();
+        // Chaos at 30% so the fixture covers Crashed, quarantined, and
+        // retried records, not just clean completions.
+        let options = CampaignOptions {
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base_delay: Duration::ZERO,
+                ..RetryPolicy::default()
+            },
+            chaos: Some(ChaosConfig::panics(0.3, 99)),
+            ..CampaignOptions::default()
+        };
+        let result = run_campaign(&project, &runs, &options, &mut NullObserver);
+        assert!(!result.records.is_empty());
+        for record in &result.records {
+            let line = record_to_json(record).to_string();
+            let back = record_from_json(&Json::parse(&line).expect("parse")).expect("decode");
+            assert_eq!(
+                format!("{record:?}"),
+                format!("{back:?}"),
+                "journal round-trip must be lossless"
+            );
+        }
+    }
+
+    #[test]
+    fn journal_write_then_load_recovers_every_record() {
+        let (project, runs) = campaign_fixture();
+        let path = temp_path("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let options = CampaignOptions {
+            journal: Some(path.clone()),
+            ..CampaignOptions::default()
+        };
+        let result = run_campaign(&project, &runs, &options, &mut NullObserver);
+        let loaded = load(&path).expect("load journal");
+        assert!(!loaded.dropped_tail);
+        assert_eq!(loaded.records.len(), result.records.len());
+        for (a, b) in result.records.iter().zip(&loaded.records) {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_drops_only_a_half_written_final_line() {
+        let (project, runs) = campaign_fixture();
+        let path = temp_path("torn.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let options = CampaignOptions {
+            journal: Some(path.clone()),
+            ..CampaignOptions::default()
+        };
+        let result = run_campaign(&project, &runs, &options, &mut NullObserver);
+        // Simulate a process killed mid-append: cut the file mid-way
+        // through its final record line.
+        let text = std::fs::read_to_string(&path).expect("read");
+        let body = text.trim_end_matches('\n');
+        let last_line_start = body.rfind('\n').expect("multi-line") + 1;
+        let torn_at = last_line_start + (body.len() - last_line_start) / 2;
+        std::fs::write(&path, &text[..torn_at]).expect("truncate");
+
+        let loaded = load(&path).expect("load tolerates torn tail");
+        assert!(loaded.dropped_tail, "tail must be reported as dropped");
+        // Everything before the torn line survived. The torn line was the
+        // final epoch marker or a record; either way, at most one record
+        // is missing.
+        assert!(loaded.records.len() + 1 >= result.records.len() - 1);
+        for record in &loaded.records {
+            assert!(result.records.iter().any(|r| r.key == record.key));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_rejects_mid_file_corruption_and_bad_headers() {
+        let path = temp_path("corrupt.jsonl");
+        // Corrupt line sandwiched between valid ones: hard error.
+        std::fs::write(
+            &path,
+            "{\"kind\":\"wasabi-journal\",\"schema_version\":2}\n{garbage\n{\"epoch\":1,\"completed\":0}\n",
+        )
+        .expect("write");
+        let err = load(&path).expect_err("mid-file corruption must fail");
+        assert!(err.contains("corrupt line 2"), "got: {err}");
+        // Missing header: hard error.
+        std::fs::write(&path, "{\"epoch\":1,\"completed\":0}\n").expect("write");
+        let err = load(&path).expect_err("missing header must fail");
+        assert!(err.contains("missing header"), "got: {err}");
+        // Wrong schema version: hard error.
+        std::fs::write(&path, "{\"kind\":\"wasabi-journal\",\"schema_version\":99}\n").expect("write");
+        let err = load(&path).expect_err("wrong schema must fail");
+        assert!(err.contains("schema_version"), "got: {err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_repairs_a_torn_tail_before_appending() {
+        let path = temp_path("repair.jsonl");
+        std::fs::write(
+            &path,
+            "{\"kind\":\"wasabi-journal\",\"schema_version\":2}\n{\"epoch\":1,\"comp",
+        )
+        .expect("write");
+        drop(Journal::open(&path).expect("open repairs"));
+        let text = std::fs::read_to_string(&path).expect("read");
+        assert_eq!(text, "{\"kind\":\"wasabi-journal\",\"schema_version\":2}\n");
+        // And the repaired file loads cleanly (no records yet).
+        let loaded = load(&path).expect("load repaired");
+        assert!(loaded.records.is_empty());
+        assert!(!loaded.dropped_tail);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_from_journal_is_byte_identical_and_reruns_less() {
+        let (project, runs) = campaign_fixture();
+        let full_path = temp_path("full.jsonl");
+        let cut_path = temp_path("cut.jsonl");
+        let _ = std::fs::remove_file(&full_path);
+        let _ = std::fs::remove_file(&cut_path);
+
+        let full = run_campaign(
+            &project,
+            &runs,
+            &CampaignOptions {
+                journal: Some(full_path.clone()),
+                ..CampaignOptions::default()
+            },
+            &mut NullObserver,
+        );
+
+        // Simulate a kill: keep the header + the first half of the
+        // record lines, with the last kept line torn mid-write.
+        let text = std::fs::read_to_string(&full_path).expect("read");
+        let lines: Vec<&str> = text.split_inclusive('\n').collect();
+        let keep = (lines.len() / 2).max(2);
+        let mut cut: String = lines[..keep].concat();
+        cut.truncate(cut.len().saturating_sub(7)); // tear the tail
+        std::fs::write(&cut_path, &cut).expect("write cut");
+
+        let recovered = load(&cut_path).expect("load cut journal");
+        assert!(recovered.dropped_tail);
+        assert!(
+            !recovered.records.is_empty() && recovered.records.len() < runs.len(),
+            "partial recovery: {} of {}",
+            recovered.records.len(),
+            runs.len()
+        );
+        let executed_before = recovered.records.len();
+        let resumed = run_campaign(
+            &project,
+            &runs,
+            &CampaignOptions {
+                jobs: 4,
+                resume: recovered.records,
+                ..CampaignOptions::default()
+            },
+            &mut NullObserver,
+        );
+        assert_eq!(
+            resumed
+                .stats
+                .worker_runs
+                .iter()
+                .sum::<usize>()
+                + resumed.stats.supervisor_runs,
+            runs.len() - executed_before,
+            "strictly fewer runs re-executed than the full plan"
+        );
+        let render = |records: &[RunRecord]| -> Vec<String> {
+            records.iter().map(|r| format!("{r:?}")).collect()
+        };
+        assert_eq!(
+            render(&full.records),
+            render(&resumed.records),
+            "resumed campaign must be byte-identical to the uninterrupted one"
+        );
+        let _ = std::fs::remove_file(&full_path);
+        let _ = std::fs::remove_file(&cut_path);
+    }
+
+    #[test]
+    fn journal_appends_across_sessions_resume_same_file() {
+        let (project, runs) = campaign_fixture();
+        let path = temp_path("sessions.jsonl");
+        let _ = std::fs::remove_file(&path);
+        // Session 1: journal half the campaign (simulated by journaling a
+        // full run, then cutting the file to half the record lines).
+        let full = run_campaign(
+            &project,
+            &runs,
+            &CampaignOptions {
+                journal: Some(path.clone()),
+                ..CampaignOptions::default()
+            },
+            &mut NullObserver,
+        );
+        let text = std::fs::read_to_string(&path).expect("read");
+        let lines: Vec<&str> = text.split_inclusive('\n').collect();
+        std::fs::write(&path, lines[..lines.len() / 2].concat()).expect("cut");
+        // Session 2: resume from the same file while appending to it —
+        // the natural `--journal j --resume j` CLI shape.
+        let recovered = load_for_resume(&path).expect("load");
+        let resumed = run_campaign(
+            &project,
+            &runs,
+            &CampaignOptions {
+                journal: Some(path.clone()),
+                resume: recovered,
+                ..CampaignOptions::default()
+            },
+            &mut NullObserver,
+        );
+        assert_eq!(
+            resumed.records.len(),
+            full.records.len(),
+            "every key reported exactly once"
+        );
+        // The journal now holds every record (old + appended), so a
+        // third session would re-run nothing.
+        let final_load = load(&path).expect("load final");
+        let keys: BTreeSet<String> = final_load
+            .records
+            .iter()
+            .map(|r| format!("{:?}", r.key))
+            .collect();
+        assert_eq!(keys.len(), runs.len());
+        let _ = std::fs::remove_file(&path);
+    }
+}

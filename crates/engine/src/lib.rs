@@ -13,6 +13,12 @@
 //!   budget (graceful cancellation → [`RunOutcome::TimedOut`]), and a
 //!   merge that orders results by [`wasabi_planner::plan::RunKey`] so
 //!   reports are byte-identical for any `jobs` value;
+//! - a **resilience layer**: per-run panic containment
+//!   ([`RunOutcome::Crashed`]), a deterministic [`campaign::RetryPolicy`]
+//!   with quarantine for runs that exhaust it, worker supervision
+//!   (a dead worker's shard is drained by survivors), and a durable
+//!   [`journal`] for checkpoint/resume — a resumed campaign's report is
+//!   byte-identical to an uninterrupted one;
 //! - [`observer::EngineObserver`] — structured progress events, with a
 //!   stderr reporter ([`StderrProgress`]) and, behind the `json-reports`
 //!   feature, a JSON summary sink ([`observer::JsonSummarySink`]).
@@ -21,11 +27,13 @@
 //! `jobs = 1` through the same code path.
 
 pub mod campaign;
+pub mod journal;
 pub mod observer;
 pub mod queue;
 
 pub use campaign::{
-    run_campaign, CampaignOptions, CampaignResult, CampaignStats, RunOutcome, RunRecord,
+    run_campaign, CampaignOptions, CampaignResult, CampaignStats, ChaosConfig, RetryPolicy,
+    RunOutcome, RunRecord,
 };
 pub use observer::{EngineEvent, EngineObserver, NullObserver, StderrProgress, Tee};
 

@@ -17,6 +17,8 @@ pub enum EngineEvent<'a> {
         total_runs: usize,
         /// Worker count.
         jobs: usize,
+        /// Runs prefilled from a resume journal (skipped, not executed).
+        resumed: usize,
     },
     /// A worker picked up a run.
     RunStarted {
@@ -26,6 +28,20 @@ pub enum EngineEvent<'a> {
         key: &'a RunKey,
         /// The worker executing it.
         worker: usize,
+    },
+    /// An attempt crashed or timed out and the retry policy scheduled
+    /// another one.
+    RunRetried {
+        /// Index of the run in campaign (key) order.
+        index: usize,
+        /// The run's identity.
+        key: &'a RunKey,
+        /// The worker executing it.
+        worker: usize,
+        /// The attempt that just failed (1-based).
+        attempt: u8,
+        /// Backoff delay before the next attempt, in milliseconds.
+        delay_ms: u64,
     },
     /// A worker finished a run.
     RunFinished {
@@ -41,6 +57,48 @@ pub enum EngineEvent<'a> {
         injections: u32,
         /// Number of oracle reports the run produced.
         reports: usize,
+        /// Attempts consumed (1 = no retries).
+        attempts: u8,
+    },
+    /// A run's final attempt panicked; the panic was contained and the run
+    /// recorded as [`RunOutcome::Crashed`]. Always paired with a
+    /// `RunFinished` for the same index.
+    RunCrashed {
+        /// Index of the run in campaign (key) order.
+        index: usize,
+        /// The run's identity.
+        key: &'a RunKey,
+        /// The worker that executed it.
+        worker: usize,
+        /// The contained panic payload.
+        message: &'a str,
+    },
+    /// A run exhausted the retry policy on a transient failure and was
+    /// quarantined (kept in the report, flagged). Paired with
+    /// `RunFinished`.
+    RunQuarantined {
+        /// Index of the run in campaign (key) order.
+        index: usize,
+        /// The run's identity.
+        key: &'a RunKey,
+        /// Attempts consumed before giving up.
+        attempts: u8,
+        /// The final (still-failing) outcome.
+        outcome: &'a RunOutcome,
+    },
+    /// A worker thread died (its run panicked through containment, or the
+    /// thread itself was killed); survivors drain its shard.
+    WorkerLost {
+        /// The dead worker.
+        worker: usize,
+        /// The run it was executing, if any — re-queued for the survivors.
+        requeued: Option<&'a RunKey>,
+    },
+    /// The journal flushed an epoch marker to disk; `completed` records
+    /// are now durable.
+    CheckpointWritten {
+        /// Records made durable so far this session.
+        completed: usize,
     },
     /// All runs finished; `stats` is the final aggregate.
     Finished {
@@ -52,7 +110,7 @@ pub enum EngineEvent<'a> {
 /// Receiver for campaign progress events.
 ///
 /// Events arrive on one thread, in a deterministic order only for
-/// `Started`/`Finished`; `RunStarted`/`RunFinished` interleave according to
+/// `Started`/`Finished`; everything in between interleaves according to
 /// real scheduling, so observers must not feed anything derived from their
 /// arrival order back into campaign results.
 pub trait EngineObserver {
@@ -60,7 +118,7 @@ pub trait EngineObserver {
     fn on_event(&mut self, event: &EngineEvent<'_>);
 }
 
-/// Ignores all events: the default for library callers.
+/// Ignores all events: the default for library callers and `--quiet`.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NullObserver;
 
@@ -68,63 +126,105 @@ impl EngineObserver for NullObserver {
     fn on_event(&mut self, _event: &EngineEvent<'_>) {}
 }
 
-/// Prints campaign progress to stderr: a header, a line every
-/// `every` completed runs (and for every timed-out run), and a summary.
+/// Prints campaign progress to stderr, rate-limited by *completed-run
+/// count* rather than per-event: a million-run campaign prints a bounded
+/// number of progress lines, not a million. Exceptional events (a lost
+/// worker) are printed immediately; per-run noise (timeouts, crashes,
+/// retries) is only counted and folded into the periodic line and the
+/// final summary.
 #[derive(Debug)]
 pub struct StderrProgress {
     every: usize,
     completed: usize,
     reports: usize,
+    crashed: usize,
+    retried: usize,
+    quarantined: usize,
 }
 
 impl StderrProgress {
-    /// Reports every `every`-th completed run (clamped to at least 1).
+    /// Reports every `every`-th completed run. `every == 0` means
+    /// auto-scale: pick `total_runs / 20` (≥ 1) when the campaign starts,
+    /// so output is ~20 lines regardless of campaign size.
     pub fn new(every: usize) -> Self {
         StderrProgress {
-            every: every.max(1),
+            every,
             completed: 0,
             reports: 0,
+            crashed: 0,
+            retried: 0,
+            quarantined: 0,
         }
     }
 }
 
 impl Default for StderrProgress {
     fn default() -> Self {
-        StderrProgress::new(25)
+        StderrProgress::new(0)
     }
 }
 
 impl EngineObserver for StderrProgress {
     fn on_event(&mut self, event: &EngineEvent<'_>) {
         match event {
-            EngineEvent::Started { total_runs, jobs } => {
-                eprintln!("[engine] campaign: {total_runs} runs on {jobs} worker(s)");
+            EngineEvent::Started {
+                total_runs,
+                jobs,
+                resumed,
+            } => {
+                if self.every == 0 {
+                    self.every = (*total_runs / 20).max(1);
+                }
+                let resume_note = if *resumed > 0 {
+                    format!(" ({resumed} resumed from journal)")
+                } else {
+                    String::new()
+                };
+                eprintln!("[engine] campaign: {total_runs} runs on {jobs} worker(s){resume_note}");
             }
             EngineEvent::RunStarted { .. } => {}
-            EngineEvent::RunFinished {
-                key,
-                worker,
-                outcome,
-                reports,
-                ..
-            } => {
+            EngineEvent::RunRetried { .. } => self.retried += 1,
+            EngineEvent::RunCrashed { .. } => self.crashed += 1,
+            EngineEvent::RunQuarantined { .. } => self.quarantined += 1,
+            EngineEvent::CheckpointWritten { .. } => {}
+            EngineEvent::WorkerLost { worker, requeued } => {
+                let requeue_note = match requeued {
+                    Some(key) => format!("; re-queued {} @ {} K={}", key.test, key.site, key.k),
+                    None => String::new(),
+                };
+                eprintln!("[engine] worker {worker} lost{requeue_note}");
+            }
+            EngineEvent::RunFinished { key, reports, .. } => {
                 self.completed += 1;
                 self.reports += reports;
-                let timed_out = matches!(outcome, RunOutcome::TimedOut);
-                if timed_out || self.completed % self.every == 0 {
-                    let note = if timed_out { " [timed out]" } else { "" };
+                if self.completed % self.every.max(1) == 0 {
+                    let mut notes = String::new();
+                    if self.crashed > 0 {
+                        notes.push_str(&format!(", {} crashed", self.crashed));
+                    }
+                    if self.retried > 0 {
+                        notes.push_str(&format!(", {} retried", self.retried));
+                    }
+                    if self.quarantined > 0 {
+                        notes.push_str(&format!(", {} quarantined", self.quarantined));
+                    }
                     eprintln!(
-                        "[engine] {} runs done ({} report(s)) — last: {} @ {} K={} on worker {}{}",
-                        self.completed, self.reports, key.test, key.site, key.k, worker, note
+                        "[engine] {} runs done ({} report(s){}) — last: {} @ {} K={}",
+                        self.completed, self.reports, notes, key.test, key.site, key.k
                     );
                 }
             }
             EngineEvent::Finished { stats } => {
                 eprintln!(
-                    "[engine] done: {} runs, {} timed out, {} crashed, {} report(s), {} injections, {} ms wall",
+                    "[engine] done: {} runs ({} resumed), {} timed out, {} failed, {} crashed, {} retried, {} quarantined, {} worker(s) lost, {} report(s), {} injections, {} ms wall",
                     stats.runs_total,
+                    stats.resumed,
                     stats.timed_out,
+                    stats.failed,
                     stats.crashed,
+                    stats.retried,
+                    stats.quarantined,
+                    stats.workers_lost,
                     stats.reports,
                     stats.injections,
                     stats.wall_ms
@@ -135,11 +235,32 @@ impl EngineObserver for StderrProgress {
 }
 
 /// Collects the final campaign statistics as a JSON document
-/// (`wasabi-util`'s writer; no external dependencies).
+/// (`wasabi-util`'s writer; no external dependencies). The document
+/// carries `schema_version` ([`crate::journal::SCHEMA_VERSION`]) so
+/// downstream consumers can detect format changes, and a `quarantine`
+/// section listing runs that exhausted the retry policy, sorted by
+/// `RunKey` so the document is deterministic regardless of scheduling.
 #[cfg(feature = "json-reports")]
 #[derive(Debug, Default)]
 pub struct JsonSummarySink {
+    quarantined: Vec<(RunKey, u8, &'static str)>,
     summary: Option<String>,
+}
+
+#[cfg(feature = "json-reports")]
+fn outcome_kind(outcome: &RunOutcome) -> &'static str {
+    use wasabi_vm::trace::TestOutcome;
+    match outcome {
+        RunOutcome::TimedOut => "timed_out",
+        RunOutcome::Crashed { .. } => "crashed",
+        RunOutcome::Completed(TestOutcome::Passed) => "passed",
+        RunOutcome::Completed(TestOutcome::AssertionFailed { .. }) => "assertion_failed",
+        RunOutcome::Completed(TestOutcome::ExceptionEscaped { .. }) => "exception_escaped",
+        RunOutcome::Completed(TestOutcome::Timeout { .. }) => "timeout",
+        RunOutcome::Completed(TestOutcome::FuelExhausted) => "fuel_exhausted",
+        RunOutcome::Completed(TestOutcome::WallClockExceeded) => "wall_clock_exceeded",
+        RunOutcome::Completed(TestOutcome::VmFault { .. }) => "vm_fault",
+    }
 }
 
 #[cfg(feature = "json-reports")]
@@ -159,27 +280,57 @@ impl JsonSummarySink {
 impl EngineObserver for JsonSummarySink {
     fn on_event(&mut self, event: &EngineEvent<'_>) {
         use wasabi_util::Json;
-        let EngineEvent::Finished { stats } = event else {
-            return;
-        };
-        let value = Json::obj([
-            ("runs_total", Json::from(stats.runs_total)),
-            ("completed", Json::from(stats.completed)),
-            ("timed_out", Json::from(stats.timed_out)),
-            ("crashed", Json::from(stats.crashed)),
-            ("rethrow_filtered", Json::from(stats.rethrow_filtered)),
-            ("not_a_trigger", Json::from(stats.not_a_trigger)),
-            ("reports", Json::from(stats.reports)),
-            ("injections", Json::from(stats.injections as i64)),
-            ("virtual_ms", Json::from(stats.virtual_ms as i64)),
-            ("wall_ms", Json::from(stats.wall_ms as i64)),
-            ("jobs", Json::from(stats.jobs)),
-            (
-                "worker_runs",
-                Json::arr(stats.worker_runs.iter().map(|&n| Json::from(n))),
-            ),
-        ]);
-        self.summary = Some(value.pretty());
+        match event {
+            EngineEvent::RunQuarantined {
+                key,
+                attempts,
+                outcome,
+                ..
+            } => {
+                self.quarantined
+                    .push(((*key).clone(), *attempts, outcome_kind(outcome)));
+            }
+            EngineEvent::Finished { stats } => {
+                self.quarantined.sort_by(|a, b| a.0.cmp(&b.0));
+                let quarantine = Json::arr(self.quarantined.iter().map(|(key, attempts, kind)| {
+                    Json::obj([
+                        ("test", Json::from(key.test.to_string())),
+                        ("site", Json::from(key.site.to_string())),
+                        ("exception", Json::from(key.exception.as_str())),
+                        ("k", Json::from(key.k)),
+                        ("attempts", Json::from(u32::from(*attempts))),
+                        ("outcome", Json::from(*kind)),
+                    ])
+                }));
+                let value = Json::obj([
+                    ("schema_version", Json::from(crate::journal::SCHEMA_VERSION)),
+                    ("runs_total", Json::from(stats.runs_total)),
+                    ("completed", Json::from(stats.completed)),
+                    ("timed_out", Json::from(stats.timed_out)),
+                    ("failed", Json::from(stats.failed)),
+                    ("crashed", Json::from(stats.crashed)),
+                    ("retried", Json::from(stats.retried)),
+                    ("quarantined", Json::from(stats.quarantined)),
+                    ("rethrow_filtered", Json::from(stats.rethrow_filtered)),
+                    ("not_a_trigger", Json::from(stats.not_a_trigger)),
+                    ("reports", Json::from(stats.reports)),
+                    ("injections", Json::from(stats.injections as i64)),
+                    ("virtual_ms", Json::from(stats.virtual_ms as i64)),
+                    ("wall_ms", Json::from(stats.wall_ms as i64)),
+                    ("jobs", Json::from(stats.jobs)),
+                    (
+                        "worker_runs",
+                        Json::arr(stats.worker_runs.iter().map(|&n| Json::from(n))),
+                    ),
+                    ("supervisor_runs", Json::from(stats.supervisor_runs)),
+                    ("workers_lost", Json::from(stats.workers_lost)),
+                    ("resumed", Json::from(stats.resumed)),
+                    ("quarantine", quarantine),
+                ]);
+                self.summary = Some(value.pretty());
+            }
+            _ => {}
+        }
     }
 }
 

@@ -1,13 +1,16 @@
-//! A minimal JSON value model and writer, replacing `serde`/`serde_json`
-//! for report emission.
+//! A minimal JSON value model, writer, and parser, replacing
+//! `serde`/`serde_json` for report emission and journal recovery.
 //!
-//! Only what WASABI needs: building values programmatically and rendering
-//! them (compact or pretty) with correct string escaping. Objects preserve
+//! Only what WASABI needs: building values programmatically, rendering
+//! them (compact or pretty) with correct string escaping, and parsing
+//! them back for the engine's checkpoint/resume journal. Objects preserve
 //! insertion order (`Vec<(String, Json)>` rather than a map) so emitted
 //! reports are stable byte-for-byte across runs — a requirement of the
 //! deterministic-merge contract in `wasabi-engine`.
 //!
-//! There is deliberately no parser: WASABI writes JSON, it never reads it.
+//! The parser ([`Json::parse`]) accepts exactly what the writer emits
+//! (plus arbitrary standard JSON); it exists because a resumed campaign
+//! must read its own journal back.
 
 use std::fmt::Write as _;
 
@@ -111,6 +114,264 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+impl Json {
+    /// Parses a JSON document. Returns an error describing the first
+    /// offending byte offset on malformed input; trailing garbage after
+    /// the top-level value is an error (the journal reader depends on a
+    /// half-written line being rejected, not silently truncated).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an `Int`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as a `u64`, if this is a non-negative `Int`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The float payload (`Float`, or `Int` widened), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(f) => Some(*f),
+            Json::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an `Arr`.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an `Obj`.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an `Obj` by key (first match wins).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{token}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected `:` at byte {pos}", pos = *pos));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0C}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        // Surrogate pairs: the writer never emits them
+                        // (it escapes only control characters), but accept
+                        // them for standard-JSON compatibility.
+                        if (0xD800..0xDC00).contains(&code) {
+                            *pos += 5;
+                            expect(bytes, pos, "\\u")?;
+                            let hex2 = bytes.get(*pos..*pos + 4).ok_or("truncated \\u escape")?;
+                            let hex2 = std::str::from_utf8(hex2).map_err(|_| "bad \\u escape")?;
+                            let low = u32::from_str_radix(hex2, 16).map_err(|_| "bad \\u escape")?;
+                            let combined =
+                                0x10000 + ((code - 0xD800) << 10) + low.wrapping_sub(0xDC00);
+                            out.push(char::from_u32(combined).ok_or("bad surrogate pair")?);
+                            *pos += 3; // loop tail adds 1
+                        } else {
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            *pos += 4; // loop tail adds 1
+                        }
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (input is a &str, so the
+                // boundaries are valid by construction).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    if text.is_empty() || text == "-" {
+        return Err(format!("expected number at byte {start}"));
+    }
+    if is_float {
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| format!("bad float `{text}` at byte {start}"))
+    } else {
+        text.parse::<i64>()
+            .map(Json::Int)
+            .map_err(|_| format!("bad integer `{text}` at byte {start}"))
     }
 }
 
@@ -242,5 +503,64 @@ mod tests {
     fn field_order_is_insertion_order() {
         let v = Json::obj([("z", Json::Int(1)), ("a", Json::Int(2))]);
         assert_eq!(v.to_string(), r#"{"z":1,"a":2}"#);
+    }
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let v = Json::obj([
+            ("name", Json::from("wasabi \"x\"\n\ttab")),
+            ("runs", Json::arr([Json::Int(1), Json::Int(-2), Json::Float(1.5)])),
+            ("ok", Json::Bool(true)),
+            ("none", Json::Null),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+            ("nested", Json::obj([("ctl", Json::from("a\u{01}b"))])),
+        ]);
+        assert_eq!(Json::parse(&v.to_string()).unwrap(), v);
+        assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "\"unterminated",
+            "{\"a\":1} trailing",
+            "01x",
+            "nulL",
+            // A journal line cut mid-write must be an error, never a
+            // silently truncated value.
+            r#"{"key":{"class":"C","method":"t"},"outco"#,
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed `{bad}`");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_standard_json_extras() {
+        let v = Json::parse(" { \"a\" : [ 1 , 2.5e1 , \"\\u0041\\ud83d\\ude00\" ] } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_f64(), Some(25.0));
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[2].as_str(),
+            Some("A😀")
+        );
+    }
+
+    #[test]
+    fn accessors_select_by_type() {
+        let v = Json::obj([("n", Json::Int(7)), ("s", Json::from("x"))]);
+        assert_eq!(v.get("n").and_then(Json::as_i64), Some(7));
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(7));
+        assert_eq!(Json::Int(-1).as_u64(), None);
+        assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert!(v.as_obj().is_some());
+        assert!(v.as_arr().is_none());
     }
 }

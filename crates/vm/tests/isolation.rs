@@ -186,6 +186,57 @@ class Probe {\n\
 }
 
 #[test]
+fn a_contained_panic_leaves_the_project_reusable() {
+    // The campaign engine wraps every run in `catch_unwind` and keeps
+    // using the same `Project` afterwards. That is only sound because a
+    // run's mutable state lives entirely in the per-run interpreter: a
+    // panic mid-run (here: from an interceptor, mirroring the engine's
+    // chaos hook) must not poison later runs over the same `Project`.
+    struct PanicOnce {
+        armed: bool,
+    }
+    impl Interceptor for PanicOnce {
+        fn before_call(&mut self, ctx: &CallCtx<'_>) -> InterceptAction {
+            if self.armed && ctx.callee.name == "fetch" {
+                panic!("isolation test: injected panic");
+            }
+            InterceptAction::Proceed
+        }
+    }
+
+    let project = compile();
+    let options = RunOptions::default();
+    let baseline = {
+        let mut noop = wasabi_vm::NoopInterceptor;
+        run_test(&project, &MethodId::new("Client", "tRetryA"), &mut noop, &options)
+    };
+    assert_eq!(baseline.outcome, TestOutcome::Passed);
+
+    // Quiet the panic hook for the deliberate panic, then restore it.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut interceptor = PanicOnce { armed: true };
+        run_test(
+            &project,
+            &MethodId::new("Client", "tRetryA"),
+            &mut interceptor,
+            &options,
+        )
+    }));
+    std::panic::set_hook(hook);
+    assert!(panicked.is_err(), "the interceptor panic must propagate");
+
+    // The shared Project is untouched: a fresh run observes exactly the
+    // baseline outcome, clock, and trace.
+    let mut noop = wasabi_vm::NoopInterceptor;
+    let after = run_test(&project, &MethodId::new("Client", "tRetryA"), &mut noop, &options);
+    assert_eq!(after.outcome, baseline.outcome);
+    assert_eq!(after.virtual_ms, baseline.virtual_ms);
+    assert_eq!(after.trace.injection_count(), baseline.trace.injection_count());
+}
+
+#[test]
 fn wall_clock_budget_aborts_a_stuck_run() {
     use std::time::{Duration, Instant};
     const STUCK: &str = "class T { test tSpin() { while (true) { var x = 1; } } }";

@@ -5,24 +5,33 @@
 //! each stage. Tasks:
 //!
 //! - `tier1` — the tier-1 verification gate: `cargo build --release`
-//!   followed by `cargo test -q --workspace`, both with default
-//!   (offline-safe) features. Fails fast on the first failing stage.
+//!   followed by `cargo test -q --workspace`, then the resilience smoke.
+//!   Fails fast on the first failing stage.
 //! - `ci`    — tier1 plus `cargo build --all-features` and the
 //!   all-features test suite (every feature is offline-safe in this
 //!   workspace, so both extra stages must pass too).
+//! - `smoke` — the resilience smoke on its own: a chaos campaign
+//!   (10% injected run panics, `--jobs 4`) whose `--json` report must be
+//!   byte-identical to the serial run's, and a kill-and-resume round-trip
+//!   (journal a campaign, cut the journal mid-line as a killed process
+//!   would leave it, resume) whose report must be byte-identical to the
+//!   uninterrupted baseline.
 
 use std::env;
+use std::fs;
+use std::path::{Path, PathBuf};
 use std::process::{exit, Command};
 
 fn main() {
     let task = env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: cargo xtask <tier1|ci>");
+        eprintln!("usage: cargo xtask <tier1|ci|smoke>");
         exit(2);
     });
     match task.as_str() {
         "tier1" => {
             run_stage("build --release", &["build", "--release"]);
             run_stage("test -q --workspace", &["test", "-q", "--workspace"]);
+            smoke();
             eprintln!("tier1: OK");
         }
         "ci" => {
@@ -33,10 +42,15 @@ fn main() {
                 "test -q --workspace --all-features",
                 &["test", "-q", "--workspace", "--all-features"],
             );
+            smoke();
             eprintln!("ci: OK");
         }
+        "smoke" => {
+            run_stage("build --release --bin wasabi", &["build", "--release", "--bin", "wasabi"]);
+            smoke();
+        }
         other => {
-            eprintln!("unknown task `{other}`; expected tier1 or ci");
+            eprintln!("unknown task `{other}`; expected tier1, ci, or smoke");
             exit(2);
         }
     }
@@ -56,4 +70,125 @@ fn run_stage(label: &str, args: &[&str]) {
         eprintln!("stage `cargo {label}` failed");
         exit(status.code().unwrap_or(1));
     }
+}
+
+/// The resilience smoke. Assumes `target/release/wasabi` is built (the
+/// callers run `cargo build --release` first).
+fn smoke() {
+    eprintln!("==> smoke: chaos campaign + kill-and-resume round-trip");
+    let wasabi = Path::new("target/release/wasabi");
+    if !wasabi.exists() {
+        eprintln!("smoke: {} not built", wasabi.display());
+        exit(1);
+    }
+    let work = env::temp_dir().join(format!("wasabi-smoke-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&work);
+    fs::create_dir_all(&work).unwrap_or_else(|e| fail(&format!("create {}: {e}", work.display())));
+
+    // A real corpus app as the smoke workload.
+    let app_dir = work.join("app");
+    let status = Command::new(wasabi)
+        .args(["corpus", "HD"])
+        .arg(&app_dir)
+        .status()
+        .unwrap_or_else(|e| fail(&format!("spawn wasabi corpus: {e}")));
+    if !status.success() {
+        fail("wasabi corpus failed");
+    }
+    let mut files = Vec::new();
+    collect_jav(&app_dir, &mut files);
+    files.sort();
+    if files.is_empty() {
+        fail("corpus produced no .jav files");
+    }
+
+    // Chaos smoke: 10% injected run panics must not break the engine's
+    // determinism contract — the JSON report is byte-identical across
+    // worker counts.
+    let chaos = |jobs: &str| {
+        run_wasabi_test(
+            wasabi,
+            &["--quiet", "--json", "--chaos-panic", "0.1", "--jobs", jobs],
+            &files,
+        )
+    };
+    let serial = chaos("1");
+    let parallel = chaos("4");
+    if serial != parallel {
+        fail("chaos smoke: report differs between --jobs 1 and --jobs 4");
+    }
+    eprintln!("    chaos report identical across jobs=1/4 ({} bytes)", serial.len());
+
+    // Kill-and-resume: journal a full campaign, then cut the journal the
+    // way a killed process leaves it (half the lines, last one torn
+    // mid-write) and resume from the cut. The resumed report must be
+    // byte-identical to the uninterrupted baseline.
+    let full_journal = work.join("full.jsonl");
+    let baseline = run_wasabi_test(
+        wasabi,
+        &["--quiet", "--json", "--jobs", "2", "--journal", full_journal.to_str().unwrap()],
+        &files,
+    );
+    if baseline.is_empty() {
+        fail("kill-and-resume: baseline report is empty");
+    }
+    let text = fs::read_to_string(&full_journal)
+        .unwrap_or_else(|e| fail(&format!("read {}: {e}", full_journal.display())));
+    let lines: Vec<&str> = text.split_inclusive('\n').collect();
+    if lines.len() < 4 {
+        fail("kill-and-resume: journal too small to cut");
+    }
+    let mut cut: String = lines[..lines.len() / 2].concat();
+    cut.truncate(cut.len().saturating_sub(5)); // tear the last line
+    let cut_journal = work.join("cut.jsonl");
+    fs::write(&cut_journal, &cut)
+        .unwrap_or_else(|e| fail(&format!("write {}: {e}", cut_journal.display())));
+    let resumed = run_wasabi_test(
+        wasabi,
+        &["--quiet", "--json", "--jobs", "4", "--resume", cut_journal.to_str().unwrap()],
+        &files,
+    );
+    if resumed != baseline {
+        fail("kill-and-resume: resumed report differs from the uninterrupted baseline");
+    }
+    eprintln!("    resumed report identical to baseline ({} bytes)", baseline.len());
+
+    let _ = fs::remove_dir_all(&work);
+    eprintln!("smoke: OK");
+}
+
+/// Runs `wasabi test <flags> <files>` and returns stdout. Exit code 1
+/// (bugs found) is success for the smoke — only codes ≥ 2 are errors.
+fn run_wasabi_test(wasabi: &Path, flags: &[&str], files: &[PathBuf]) -> String {
+    let output = Command::new(wasabi)
+        .arg("test")
+        .args(flags)
+        .args(files)
+        .output()
+        .unwrap_or_else(|e| fail(&format!("spawn wasabi test: {e}")));
+    let code = output.status.code().unwrap_or(-1);
+    if code != 0 && code != 1 {
+        eprintln!("{}", String::from_utf8_lossy(&output.stderr));
+        fail(&format!("wasabi test exited with code {code}"));
+    }
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+fn collect_jav(dir: &Path, files: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_jav(&path, files);
+        } else if path.extension().is_some_and(|ext| ext == "jav") {
+            files.push(path);
+        }
+    }
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("smoke: {message}");
+    exit(1);
 }

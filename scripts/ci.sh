@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# CI entry point. Two stages:
+# CI entry point. Three stages:
 #
 #   1. tier-1: the gate every change must pass — release build + full test
 #      suite with default features, exactly what `cargo tier1` runs.
 #   2. all-features: compile check with every optional feature enabled
 #      (json-reports, proptest-suite, bench-criterion) plus the
 #      feature-gated test suites, so gated code can never rot.
+#   3. resilience smoke: a chaos campaign (10% injected run panics,
+#      --jobs 4) must report byte-identically to the serial run, and a
+#      kill-and-resume round-trip (journal cut mid-line, then --resume)
+#      must report byte-identically to the uninterrupted baseline.
 #
 # Everything resolves offline: the workspace has no registry dependencies.
 set -euo pipefail
@@ -18,5 +22,8 @@ cargo test -q --workspace
 echo "== stage 2: all features =="
 cargo build --all-features
 cargo test -q --workspace --all-features
+
+echo "== stage 3: resilience smoke =="
+cargo xtask smoke
 
 echo "== ci: all stages passed =="

@@ -4,17 +4,20 @@
 //! ```text
 //! wasabi analyze [--json] <file.jav>...            # retry loops, locations, IF outliers
 //! wasabi sweep   [--json] <file.jav>...            # LLM static sweep (WHEN findings)
-//! wasabi test    [--json] [--jobs N] <file.jav>... # dynamic workflow (inject + oracles)
+//! wasabi test    [--json] [--jobs N] [--max-attempts N] [--journal PATH]
+//!                [--resume PATH] [--quiet] [--chaos-panic RATE] <file.jav>...
 //! wasabi corpus  <APP> <out-dir>                   # write a synthetic app to disk
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use wasabi::analysis::ifratio::{if_ratio_reports, IfOptions};
 use wasabi::analysis::loops::{all_retry_locations, LoopQueryOptions};
 use wasabi::analysis::resolve::ProjectIndex;
 use wasabi::core::dynamic::{run_dynamic_with_observer, DynamicOptions};
-use wasabi::engine::StderrProgress;
 use wasabi::core::identify::identify;
+use wasabi::engine::campaign::{ChaosConfig, RetryPolicy};
+use wasabi::engine::{journal, EngineObserver, NullObserver, StderrProgress};
 use wasabi::lang::project::Project;
 use wasabi::llm::simulated::SimulatedLlm;
 use wasabi::util::Json;
@@ -22,8 +25,21 @@ use wasabi::util::Json;
 const USAGE: &str = "usage:
   wasabi analyze [--json] <file.jav>...
   wasabi sweep   [--json] <file.jav>...
-  wasabi test    [--json] [--jobs N] <file.jav>...
+  wasabi test    [--json] [--jobs N] [--max-attempts N] [--journal PATH]
+                 [--resume PATH] [--quiet] [--chaos-panic RATE] <file.jav>...
   wasabi corpus  <APP> <out-dir>     (APP = HA HD MA YA HB HI CA EL)";
+
+/// Campaign-related flags shared by `wasabi test` (and tolerated, unused,
+/// by the other commands so flag order never matters).
+#[derive(Debug, Default)]
+struct CampaignFlags {
+    jobs: usize,
+    max_attempts: Option<u8>,
+    journal: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    quiet: bool,
+    chaos_panic: Option<f64>,
+}
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,8 +50,8 @@ fn main() -> ExitCode {
     let command = args.remove(0);
     let json = args.iter().any(|a| a == "--json");
     args.retain(|a| a != "--json");
-    let jobs = match take_jobs(&mut args) {
-        Ok(jobs) => jobs,
+    let flags = match take_campaign_flags(&mut args) {
+        Ok(flags) => flags,
         Err(message) => {
             eprintln!("{message}\n{USAGE}");
             return ExitCode::from(2);
@@ -45,7 +61,7 @@ fn main() -> ExitCode {
     match command.as_str() {
         "analyze" => with_project(&args, |project| analyze(project, json)),
         "sweep" => with_project(&args, |project| sweep(project, json)),
-        "test" => with_project(&args, |project| test(project, json, jobs)),
+        "test" => with_project(&args, |project| test(project, json, &flags)),
         "corpus" => corpus(&args),
         other => {
             eprintln!("unknown command `{other}`\n{USAGE}");
@@ -54,34 +70,68 @@ fn main() -> ExitCode {
     }
 }
 
-/// Extracts `--jobs N` (or `--jobs=N`) from the argument list. Returns the
-/// worker count, defaulting to 1 (serial) when the flag is absent.
-fn take_jobs(args: &mut Vec<String>) -> Result<usize, String> {
-    let mut jobs = 1usize;
+/// Extracts `--flag VALUE` (or `--flag=VALUE`) from the argument list.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let mut found = None;
+    let prefix = format!("{flag}=");
     let mut index = 0;
     while index < args.len() {
         let arg = args[index].clone();
-        if arg == "--jobs" {
+        if arg == flag {
             let Some(value) = args.get(index + 1) else {
-                return Err("--jobs requires a value".to_string());
+                return Err(format!("{flag} requires a value"));
             };
-            jobs = value
-                .parse::<usize>()
-                .map_err(|_| format!("invalid --jobs value `{value}`"))?;
+            found = Some(value.clone());
             args.drain(index..index + 2);
-        } else if let Some(value) = arg.strip_prefix("--jobs=") {
-            jobs = value
-                .parse::<usize>()
-                .map_err(|_| format!("invalid --jobs value `{value}`"))?;
+        } else if let Some(value) = arg.strip_prefix(&prefix) {
+            found = Some(value.to_string());
             args.remove(index);
         } else {
             index += 1;
         }
     }
-    if jobs == 0 {
-        return Err("--jobs must be at least 1".to_string());
+    Ok(found)
+}
+
+/// Extracts every campaign flag from the argument list; what remains is
+/// input files. Defaults: serial (`--jobs 1`), engine-default retry
+/// policy, no journal, progress on stderr.
+fn take_campaign_flags(args: &mut Vec<String>) -> Result<CampaignFlags, String> {
+    let mut flags = CampaignFlags {
+        jobs: 1,
+        ..CampaignFlags::default()
+    };
+    if let Some(value) = take_value_flag(args, "--jobs")? {
+        flags.jobs = value
+            .parse::<usize>()
+            .map_err(|_| format!("invalid --jobs value `{value}`"))?;
+        if flags.jobs == 0 {
+            return Err("--jobs must be at least 1".to_string());
+        }
     }
-    Ok(jobs)
+    if let Some(value) = take_value_flag(args, "--max-attempts")? {
+        let attempts = value
+            .parse::<u8>()
+            .map_err(|_| format!("invalid --max-attempts value `{value}`"))?;
+        if attempts == 0 {
+            return Err("--max-attempts must be at least 1".to_string());
+        }
+        flags.max_attempts = Some(attempts);
+    }
+    flags.journal = take_value_flag(args, "--journal")?.map(PathBuf::from);
+    flags.resume = take_value_flag(args, "--resume")?.map(PathBuf::from);
+    if let Some(value) = take_value_flag(args, "--chaos-panic")? {
+        let rate = value
+            .parse::<f64>()
+            .map_err(|_| format!("invalid --chaos-panic value `{value}`"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err("--chaos-panic must be in [0, 1]".to_string());
+        }
+        flags.chaos_panic = Some(rate);
+    }
+    flags.quiet = args.iter().any(|a| a == "--quiet");
+    args.retain(|a| a != "--quiet");
+    Ok(flags)
 }
 
 fn with_project(paths: &[String], run: impl FnOnce(&Project) -> ExitCode) -> ExitCode {
@@ -245,19 +295,47 @@ fn sweep(project: &Project, json: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn test(project: &Project, json: bool, jobs: usize) -> ExitCode {
+fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
     let mut llm = SimulatedLlm::with_seed(0);
     let identified = identify(project, &mut llm);
+    let resume_records = match &flags.resume {
+        Some(path) => match journal::load_for_resume(path) {
+            Ok(records) => records,
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::from(2);
+            }
+        },
+        None => Vec::new(),
+    };
     let options = DynamicOptions {
-        jobs,
+        jobs: flags.jobs,
+        retry: match flags.max_attempts {
+            Some(attempts) => RetryPolicy::with_max_attempts(attempts),
+            None => RetryPolicy::default(),
+        },
+        journal: flags.journal.clone(),
+        resume_records,
+        // Fixed seed: the chaos smoke relies on identical draws across
+        // reruns and worker counts.
+        chaos: flags.chaos_panic.map(|rate| ChaosConfig::panics(rate, 0xC4A05)),
         ..DynamicOptions::default()
     };
     // Progress goes to stderr, so `--json` output on stdout stays clean.
-    let mut progress = StderrProgress::default();
+    let mut progress: Box<dyn EngineObserver> = if flags.quiet {
+        Box::new(NullObserver)
+    } else {
+        Box::new(StderrProgress::default())
+    };
     let result =
-        run_dynamic_with_observer(project, &identified.locations, &options, &mut progress);
+        run_dynamic_with_observer(project, &identified.locations, &options, progress.as_mut());
     if json {
+        // Only record-derived fields appear here (never scheduling- or
+        // session-dependent ones like wall-clock or per-worker counts):
+        // this document must be byte-identical across `--jobs` values and
+        // across an uninterrupted run vs. a `--resume` of it.
         let value = Json::obj([
+            ("schema_version", Json::from(journal::SCHEMA_VERSION)),
             ("locations", Json::from(identified.locations.len())),
             (
                 "covering_tests",
@@ -265,6 +343,9 @@ fn test(project: &Project, json: bool, jobs: usize) -> ExitCode {
             ),
             ("runs_planned", Json::from(result.runs_planned)),
             ("runs_naive", Json::from(result.runs_naive)),
+            ("timed_out", Json::from(result.campaign.timed_out)),
+            ("crashed", Json::from(result.campaign.crashed)),
+            ("quarantined", Json::from(result.campaign.quarantined)),
             (
                 "pinned_configs",
                 Json::arr(result.restoration.pinned.iter().map(|k| Json::from(k.as_str()))),

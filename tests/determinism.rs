@@ -8,6 +8,8 @@ use wasabi::core::dynamic::{run_dynamic, DynamicOptions, DynamicResult};
 use wasabi::core::identify::identify;
 use wasabi::corpus::spec::{paper_apps, Scale};
 use wasabi::corpus::synth::{compile_app, generate_app};
+use wasabi::engine::campaign::{ChaosConfig, RetryPolicy};
+use wasabi::engine::journal;
 use wasabi::lang::project::Project;
 use wasabi::llm::simulated::SimulatedLlm;
 
@@ -22,13 +24,14 @@ fn hdfs_small() -> (Project, Vec<RetryLocation>) {
 }
 
 /// Everything in the result that callers consume, rendered to one string.
-/// Scheduling-dependent engine fields (per-worker utilization, wall time)
-/// are deliberately excluded — they are the only values allowed to vary.
+/// Scheduling-dependent engine fields (per-worker utilization, wall time,
+/// lost workers, resume bookkeeping) are deliberately excluded — they are
+/// the only values allowed to vary.
 fn render(result: &DynamicResult) -> String {
     format!(
         "reports: {:#?}\nbugs: {:#?}\nstats: {:?}\nplanned: {} naive: {}\ntested: {:?}\n\
-         campaign: runs={} completed={} timed_out={} crashed={} rethrow={} not_trigger={} \
-         reports={} injections={} virtual_ms={}",
+         campaign: runs={} completed={} timed_out={} failed={} crashed={} retried={} \
+         quarantined={} rethrow={} not_trigger={} reports={} injections={} virtual_ms={}",
         result.reports,
         result.bugs,
         result.stats,
@@ -38,7 +41,10 @@ fn render(result: &DynamicResult) -> String {
         result.campaign.runs_total,
         result.campaign.completed,
         result.campaign.timed_out,
+        result.campaign.failed,
         result.campaign.crashed,
+        result.campaign.retried,
+        result.campaign.quarantined,
         result.campaign.rethrow_filtered,
         result.campaign.not_a_trigger,
         result.campaign.reports,
@@ -128,4 +134,100 @@ fn timed_out_runs_are_reported_identically_on_every_worker_count() {
         render(&parallel),
         "timed-out campaign diverged between jobs=1 and jobs=8"
     );
+}
+
+#[test]
+fn quarantined_chaos_campaign_is_byte_identical_for_any_job_count() {
+    // Chaos panics are drawn per (key, attempt), so with a panic rate
+    // this high and only two attempts some runs must exhaust the policy
+    // and be quarantined. Containment, retry accounting, and quarantine
+    // must all merge deterministically regardless of worker count.
+    let (project, locations) = hdfs_small();
+    let run = |jobs: usize| {
+        let options = DynamicOptions {
+            jobs,
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base_delay: std::time::Duration::ZERO,
+                ..RetryPolicy::default()
+            },
+            chaos: Some(ChaosConfig::panics(0.6, 7)),
+            ..DynamicOptions::default()
+        };
+        run_dynamic(&project, &locations, &options)
+    };
+    let serial = run(1);
+    assert!(
+        serial.campaign.crashed > 0 && serial.campaign.quarantined > 0,
+        "chaos at 60% with 2 attempts must quarantine something (got {:?})",
+        serial.campaign
+    );
+    assert!(
+        serial.campaign.retried > 0,
+        "first-attempt panics must be retried"
+    );
+    for jobs in [2, 8] {
+        assert_eq!(
+            render(&serial),
+            render(&run(jobs)),
+            "chaos campaign diverged between jobs=1 and jobs={jobs}"
+        );
+    }
+}
+
+#[test]
+fn resumed_campaign_matches_uninterrupted_run_byte_for_byte() {
+    let (project, locations) = hdfs_small();
+    let mut path = std::env::temp_dir();
+    path.push(format!("wasabi-determinism-resume-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let uninterrupted = run_dynamic(
+        &project,
+        &locations,
+        &DynamicOptions {
+            journal: Some(path.clone()),
+            ..DynamicOptions::default()
+        },
+    );
+
+    // Simulate a mid-campaign kill: keep the header and the first half of
+    // the journal lines, with the last survivor torn mid-write.
+    let text = std::fs::read_to_string(&path).expect("journal written");
+    let lines: Vec<&str> = text.split_inclusive('\n').collect();
+    assert!(lines.len() > 4, "campaign is big enough to cut in half");
+    let mut cut: String = lines[..lines.len() / 2].concat();
+    cut.truncate(cut.len() - 5);
+    std::fs::write(&path, &cut).expect("cut journal");
+
+    let recovered = journal::load_for_resume(&path).expect("recover cut journal");
+    assert!(
+        !recovered.is_empty() && recovered.len() < uninterrupted.campaign.runs_total,
+        "partial recovery: {} of {}",
+        recovered.len(),
+        uninterrupted.campaign.runs_total
+    );
+    let resumed_from = recovered.len();
+    let resumed = run_dynamic(
+        &project,
+        &locations,
+        &DynamicOptions {
+            jobs: 4,
+            resume_records: recovered,
+            ..DynamicOptions::default()
+        },
+    );
+    let executed: usize =
+        resumed.campaign.worker_runs.iter().sum::<usize>() + resumed.campaign.supervisor_runs;
+    assert_eq!(
+        executed,
+        uninterrupted.campaign.runs_total - resumed_from,
+        "resume must re-execute strictly fewer runs than the full plan"
+    );
+    assert_eq!(
+        render(&uninterrupted),
+        render(&resumed),
+        "resumed campaign diverged from the uninterrupted one"
+    );
+    let _ = std::fs::remove_file(&path);
 }
