@@ -334,6 +334,9 @@ pub struct CampaignStats {
     pub injections: u64,
     /// Total virtual milliseconds across completed runs.
     pub virtual_ms: u64,
+    /// Total interpreter steps across completed runs (final attempts
+    /// only; timed-out and crashed runs record zero).
+    pub steps: u64,
     /// Worker count used.
     pub jobs: usize,
     /// Runs executed per worker (scheduling-dependent; utilization only).
@@ -653,6 +656,7 @@ pub fn run_campaign(
         stats.reports += record.reports.len();
         stats.injections += u64::from(record.injections);
         stats.virtual_ms += record.virtual_ms;
+        stats.steps += record.steps;
     }
     observer.on_event(&EngineEvent::Finished { stats: &stats });
     CampaignResult { records, stats }
@@ -772,12 +776,15 @@ fn execute_run(
     notify_retry: &mut dyn FnMut(u8, Duration),
 ) -> RunRecord {
     let max_attempts = options.retry.max_attempts.max(1);
+    // Clone the run options (pinned-config list included) once per run, not
+    // once per attempt; only the wall-clock deadline varies between attempts.
+    let mut run_options = options.run_options.clone();
     let mut attempt = 1u8;
     loop {
         let caught = {
             let _guard = ContainGuard::new();
             panic::catch_unwind(AssertUnwindSafe(|| {
-                execute_attempt(project, run, options, attempt)
+                execute_attempt(project, run, options, &mut run_options, attempt)
             }))
         };
         let mut record = match caught {
@@ -828,6 +835,7 @@ fn execute_attempt(
     project: &Project,
     run: &InjectionRun,
     options: &CampaignOptions,
+    run_options: &mut RunOptions,
     attempt: u8,
 ) -> RunRecord {
     let key = run.key();
@@ -843,12 +851,11 @@ fn execute_attempt(
             );
         }
     }
-    let mut run_options = options.run_options.clone();
     if let Some(budget) = options.run_budget {
         run_options.limits.wall_deadline = Some(Instant::now() + budget);
     }
     let mut handler = InjectionHandler::single(run.spec.location.clone(), run.spec.k);
-    let test_run = run_test(project, &run.test, &mut handler, &run_options);
+    let test_run = run_test(project, &run.test, &mut handler, run_options);
     if matches!(test_run.outcome, TestOutcome::WallClockExceeded) {
         // Normalize: where the abort landed is host-dependent, so nothing
         // from the partial run may reach the report.

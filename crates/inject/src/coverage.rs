@@ -55,6 +55,7 @@ impl Interceptor for CoverageRecorder {
 mod tests {
     use super::*;
     use wasabi_lang::ast::CallId;
+    use wasabi_lang::intern::{Interner, MethodSym, NameTable};
     use wasabi_lang::project::{FileId, MethodId};
 
     fn site(call: u32) -> CallSite {
@@ -64,23 +65,40 @@ mod tests {
         }
     }
 
-    fn ctx(site: CallSite, stack: &[MethodId]) -> CallCtx<'_> {
+    fn interner() -> Interner {
+        let mut interner = Interner::new();
+        for name in ["T", "t", "C", "m"] {
+            interner.intern(name);
+        }
+        interner
+    }
+
+    fn sym(interner: &Interner, class: &str, name: &str) -> MethodSym {
+        MethodSym {
+            class: interner.lookup(class).unwrap(),
+            name: interner.lookup(name).unwrap(),
+        }
+    }
+
+    fn ctx<'a>(interner: &'a Interner, site: CallSite, stack: &'a [MethodSym]) -> CallCtx<'a> {
         CallCtx {
             site,
-            caller: MethodId::new("T", "t"),
-            callee: MethodId::new("C", "m"),
+            caller: sym(interner, "T", "t"),
+            callee: sym(interner, "C", "m"),
             stack,
             now_ms: 0,
+            names: NameTable::new(interner, &[]),
         }
     }
 
     #[test]
     fn records_only_target_sites() {
         let mut recorder = CoverageRecorder::new([site(1), site(2)]);
-        let stack = [MethodId::new("T", "t")];
-        recorder.before_call(&ctx(site(1), &stack));
-        recorder.before_call(&ctx(site(1), &stack));
-        recorder.before_call(&ctx(site(9), &stack));
+        let interner = interner();
+        let stack = [sym(&interner, "T", "t")];
+        recorder.before_call(&ctx(&interner, site(1), &stack));
+        recorder.before_call(&ctx(&interner, site(1), &stack));
+        recorder.before_call(&ctx(&interner, site(9), &stack));
         assert_eq!(recorder.covered(), vec![site(1)]);
         assert_eq!(recorder.hit_count(site(1)), 2);
         assert_eq!(recorder.hit_count(site(2)), 0);
@@ -90,11 +108,12 @@ mod tests {
     #[test]
     fn reset_clears_hits_but_keeps_targets() {
         let mut recorder = CoverageRecorder::new([site(1)]);
-        let stack = [MethodId::new("T", "t")];
-        recorder.before_call(&ctx(site(1), &stack));
+        let interner = interner();
+        let stack = [sym(&interner, "T", "t")];
+        recorder.before_call(&ctx(&interner, site(1), &stack));
         recorder.reset();
         assert!(recorder.covered().is_empty());
-        recorder.before_call(&ctx(site(1), &stack));
+        recorder.before_call(&ctx(&interner, site(1), &stack));
         assert_eq!(recorder.hit_count(site(1)), 1);
     }
 

@@ -81,7 +81,11 @@ impl Interceptor for InjectionHandler {
                 exc_type: spec.location.exception.clone(),
                 message: format!(
                     "injected {} ({} of {}) at {} invoked from {}",
-                    spec.location.exception, *count, spec.k, ctx.callee, ctx.caller
+                    spec.location.exception,
+                    *count,
+                    spec.k,
+                    ctx.names.method_display(ctx.callee),
+                    ctx.names.method_display(ctx.caller)
                 ),
             }
         } else {
@@ -95,6 +99,7 @@ mod tests {
     use super::*;
     use wasabi_analysis::loops::Mechanism;
     use wasabi_lang::ast::{CallId, LoopId};
+    use wasabi_lang::intern::{Interner, MethodSym, NameTable};
     use wasabi_lang::project::{FileId, MethodId};
 
     fn location(call: u32, exception: &str) -> RetryLocation {
@@ -110,13 +115,29 @@ mod tests {
         }
     }
 
-    fn ctx(site: CallSite, stack: &[MethodId]) -> CallCtx<'_> {
+    fn interner() -> Interner {
+        let mut interner = Interner::new();
+        for name in ["C", "run", "op"] {
+            interner.intern(name);
+        }
+        interner
+    }
+
+    fn sym(interner: &Interner, class: &str, name: &str) -> MethodSym {
+        MethodSym {
+            class: interner.lookup(class).unwrap(),
+            name: interner.lookup(name).unwrap(),
+        }
+    }
+
+    fn ctx<'a>(interner: &'a Interner, site: CallSite, stack: &'a [MethodSym]) -> CallCtx<'a> {
         CallCtx {
             site,
-            caller: MethodId::new("C", "run"),
-            callee: MethodId::new("C", "op"),
+            caller: sym(interner, "C", "run"),
+            callee: sym(interner, "C", "op"),
             stack,
             now_ms: 0,
+            names: NameTable::new(interner, &[]),
         }
     }
 
@@ -125,18 +146,20 @@ mod tests {
         let loc = location(3, "E");
         let site = loc.site;
         let mut handler = InjectionHandler::single(loc, 2);
-        let stack = [MethodId::new("C", "run")];
+        let interner = interner();
+        let stack = [sym(&interner, "C", "run")];
         for expected in 1..=2u32 {
-            match handler.before_call(&ctx(site, &stack)) {
+            match handler.before_call(&ctx(&interner, site, &stack)) {
                 InterceptAction::Throw { exc_type, message } => {
                     assert_eq!(exc_type, "E");
                     assert!(message.contains(&format!("({expected} of 2)")));
+                    assert!(message.contains("at C.op invoked from C.run"));
                 }
                 other => panic!("expected throw, got {other:?}"),
             }
         }
         assert_eq!(
-            handler.before_call(&ctx(site, &stack)),
+            handler.before_call(&ctx(&interner, site, &stack)),
             InterceptAction::Proceed
         );
         assert_eq!(handler.total_injected(), 2);
@@ -150,9 +173,10 @@ mod tests {
             file: FileId(0),
             call: CallId(9),
         };
-        let stack = [MethodId::new("C", "run")];
+        let interner = interner();
+        let stack = [sym(&interner, "C", "run")];
         assert_eq!(
-            handler.before_call(&ctx(other_site, &stack)),
+            handler.before_call(&ctx(&interner, other_site, &stack)),
             InterceptAction::Proceed
         );
         assert_eq!(handler.total_injected(), 0);
@@ -167,19 +191,20 @@ mod tests {
             InjectionSpec::new(a, 1),
             InjectionSpec::new(b, 1),
         ]);
-        let stack = [MethodId::new("C", "run")];
+        let interner = interner();
+        let stack = [sym(&interner, "C", "run")];
         assert!(matches!(
-            handler.before_call(&ctx(sa, &stack)),
+            handler.before_call(&ctx(&interner, sa, &stack)),
             InterceptAction::Throw { .. }
         ));
         assert!(matches!(
-            handler.before_call(&ctx(sb, &stack)),
+            handler.before_call(&ctx(&interner, sb, &stack)),
             InterceptAction::Throw { .. }
         ));
         assert_eq!(handler.injected_at(sa), 1);
         assert_eq!(handler.injected_at(sb), 1);
         assert_eq!(
-            handler.before_call(&ctx(sa, &stack)),
+            handler.before_call(&ctx(&interner, sa, &stack)),
             InterceptAction::Proceed
         );
     }

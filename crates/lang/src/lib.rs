@@ -48,6 +48,8 @@
 
 pub mod ast;
 pub mod error;
+pub mod index;
+pub mod intern;
 pub mod lexer;
 pub mod parser;
 pub mod printer;
@@ -57,5 +59,7 @@ pub mod token;
 
 pub use ast::{CallId, LoopId};
 pub use error::Diagnostic;
+pub use index::ProgramIndex;
+pub use intern::{Interner, MethodSym, NameTable, Symbol};
 pub use project::Project;
 pub use span::Span;

@@ -206,6 +206,9 @@ pub struct Project {
     pub files: Vec<SourceFile>,
     /// Project-wide symbol table.
     pub symbols: SymbolTable,
+    /// The compile-once execution index (interned names, lowered bodies,
+    /// resolution tables). Built after validation; shared across workers.
+    pub index: std::sync::Arc<crate::index::ProgramIndex>,
 }
 
 impl Project {
@@ -235,13 +238,20 @@ impl Project {
             return Err(errors);
         }
         let symbols = build_symbols(&files, &mut errors);
-        let project = Project {
+        let mut project = Project {
             name: name.into(),
             files,
             symbols,
+            index: std::sync::Arc::new(crate::index::ProgramIndex::default()),
         };
         project.validate(&mut errors);
         if errors.is_empty() {
+            // The index builder relies on validation invariants (declared
+            // catch/instanceof types, unique methods), so build it last.
+            project.index = std::sync::Arc::new(crate::index::ProgramIndex::build(
+                &project.files,
+                &project.symbols,
+            ));
             Ok(project)
         } else {
             Err(errors)

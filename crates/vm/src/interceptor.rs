@@ -4,9 +4,14 @@
 //! user-method call, passing full static and dynamic context. Fault-injection
 //! handlers (crate `wasabi-inject`) and coverage profilers (crate
 //! `wasabi-planner`) are implemented against this trait.
+//!
+//! Since the interning layer, the context carries [`MethodSym`]s (interned
+//! `u32` pairs) plus a [`NameTable`] to resolve them. Site matching stays a
+//! plain `CallSite` comparison; handlers that need text (messages, name
+//! filters) resolve on demand.
 
 use crate::trace::CallSite;
-use wasabi_lang::project::MethodId;
+use wasabi_lang::intern::{MethodSym, NameTable};
 
 /// Context available to an interceptor at a call.
 #[derive(Debug)]
@@ -14,14 +19,16 @@ pub struct CallCtx<'a> {
     /// The static call site.
     pub site: CallSite,
     /// The calling method (candidate coordinator).
-    pub caller: MethodId,
+    pub caller: MethodSym,
     /// The called method, after receiver resolution (candidate retried
     /// method).
-    pub callee: MethodId,
+    pub callee: MethodSym,
     /// Current call stack, outermost first (the caller is last).
-    pub stack: &'a [MethodId],
+    pub stack: &'a [MethodSym],
     /// Current virtual time in milliseconds.
     pub now_ms: u64,
+    /// Resolves the interned names above back to text.
+    pub names: NameTable<'a>,
 }
 
 /// What an interceptor wants the interpreter to do at a call.
@@ -60,22 +67,35 @@ impl Interceptor for NoopInterceptor {
 mod tests {
     use super::*;
     use wasabi_lang::ast::CallId;
-    use wasabi_lang::project::FileId;
+    use wasabi_lang::intern::Interner;
+    use wasabi_lang::project::{FileId, MethodId};
 
     #[test]
-    fn noop_always_proceeds() {
+    fn noop_always_proceeds_and_names_resolve() {
+        let mut interner = Interner::new();
+        let t = MethodSym {
+            class: interner.intern("T"),
+            name: interner.intern("t"),
+        };
+        let m = MethodSym {
+            class: interner.intern("C"),
+            name: interner.intern("m"),
+        };
         let mut noop = NoopInterceptor;
-        let stack = [MethodId::new("T", "t")];
+        let stack = [t];
         let ctx = CallCtx {
             site: CallSite {
                 file: FileId(0),
                 call: CallId(0),
             },
-            caller: MethodId::new("T", "t"),
-            callee: MethodId::new("C", "m"),
+            caller: t,
+            callee: m,
             stack: &stack,
             now_ms: 0,
+            names: NameTable::new(&interner, &[]),
         };
         assert_eq!(noop.before_call(&ctx), InterceptAction::Proceed);
+        assert_eq!(ctx.names.method_id(ctx.callee), MethodId::new("C", "m"));
+        assert_eq!(ctx.names.method_display(ctx.caller), "T.t");
     }
 }

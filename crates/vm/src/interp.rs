@@ -1,7 +1,16 @@
-//! The Javelin tree-walking interpreter.
+//! The Javelin interpreter, executing compile-once lowered programs.
 //!
 //! Design points that matter for WASABI:
 //!
+//! - **Compile-once hot path.** The interpreter executes the
+//!   [`ProgramIndex`] built at [`Project::compile`] time: method bodies are
+//!   lowered to slot-addressed [`LStmt`]/[`LExpr`] trees, locals live in a
+//!   `Vec<Option<Value>>`, object fields in a slot vector, and every name
+//!   comparison is an interned `u32`. Method resolution, exception-subtype
+//!   checks, and config-key lookups are table lookups — no string hashing
+//!   or superclass walks per call. Strings reappear only at the edges
+//!   (trace events, fault messages, exception values), so observable
+//!   output is byte-identical to the original tree walker.
 //! - **Virtual clock.** `sleep(ms)` and delayed queue takes advance a virtual
 //!   clock instead of blocking, so the paper's 15-minute test timeout and the
 //!   missing-delay oracle are deterministic and fast.
@@ -18,6 +27,8 @@
 //!   have no fallthrough, so a `break` inside a state-machine switch exits
 //!   the enclosing driver loop — matching how the corpus encodes
 //!   state-machine executors).
+//!
+//! [`Project::compile`]: wasabi_lang::project::Project::compile
 
 use crate::config::ConfigStore;
 use crate::interceptor::{CallCtx, InterceptAction, Interceptor};
@@ -27,9 +38,14 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
-use wasabi_lang::ast::{BinOp, Block, Expr, LValue, Literal, MethodDecl, Stmt, UnOp};
-use wasabi_lang::project::{FileId, MethodId, Project};
+use wasabi_lang::ast::{BinOp, Literal, UnOp};
+use wasabi_lang::index::{ClassId, ExcId, LExpr, LStmt, ProgramIndex};
+use wasabi_lang::intern::{MethodSym, NameTable, Symbol};
+use wasabi_lang::project::{MethodId, Project};
+
+pub use wasabi_lang::index::is_global_builtin;
 
 /// Interpreter-level failures, distinct from in-language exceptions.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,13 +139,15 @@ pub enum InvokeResult {
     Vm(VmError),
 }
 
-struct Frame {
-    method: MethodId,
-}
+/// Per-method local environment: one slot per compile-time local. `None`
+/// means "not yet written" — reads then fall back to a `this` field,
+/// preserving the dynamic local-or-field resolution of the original
+/// string-keyed environment.
+type Env = [Option<Value>];
 
 /// The interpreter for one run (typically one unit test).
 pub struct Interp<'p, 'i> {
-    project: &'p Project,
+    index: &'p ProgramIndex,
     /// Runtime configuration store (resettable between tests).
     pub config: ConfigStore,
     interceptor: &'i mut dyn Interceptor,
@@ -137,8 +155,11 @@ pub struct Interp<'p, 'i> {
     clock_ms: u64,
     fuel_used: u64,
     trace: Trace,
-    stack: Vec<Frame>,
+    stack: Vec<MethodSym>,
     injection_counts: HashMap<(CallSite, String), u32>,
+    /// Names that only exist at run time (e.g. an unknown method passed to
+    /// [`invoke`](Interp::invoke)); their symbols extend the frozen interner.
+    extra_names: Vec<String>,
 }
 
 impl<'p, 'i> Interp<'p, 'i> {
@@ -148,9 +169,10 @@ impl<'p, 'i> Interp<'p, 'i> {
         interceptor: &'i mut dyn Interceptor,
         limits: RunLimits,
     ) -> Self {
+        let index: &'p ProgramIndex = &project.index;
         Interp {
-            project,
-            config: ConfigStore::from_symbols(&project.symbols),
+            index,
+            config: ConfigStore::from_index(index),
             interceptor,
             limits,
             clock_ms: 0,
@@ -158,6 +180,7 @@ impl<'p, 'i> Interp<'p, 'i> {
             trace: Trace::new(),
             stack: Vec::new(),
             injection_counts: HashMap::new(),
+            extra_names: Vec::new(),
         }
     }
 
@@ -176,18 +199,33 @@ impl<'p, 'i> Interp<'p, 'i> {
         std::mem::take(&mut self.trace)
     }
 
+    /// Pins a configuration key to its declared default: subsequent
+    /// `setConfig` calls on it are ignored.
+    pub fn pin_config(&mut self, key: &str) {
+        match self.index.config_by_name(key) {
+            Some(id) => self.config.pin_id(id),
+            None => self.config.pin_undeclared(key),
+        }
+    }
+
     /// Instantiates `class` with a no-argument constructor and invokes
     /// `method` on it with `args`.
     pub fn invoke(&mut self, class: &str, method: &str, args: Vec<Value>) -> InvokeResult {
-        if self.project.symbols.class(class).is_none() {
-            return InvokeResult::Vm(VmError::Fault(format!("unknown class `{class}`")));
-        }
+        let class_id = match self.index.class_by_name(class) {
+            Some(id) => id,
+            None => {
+                return InvokeResult::Vm(VmError::Fault(format!("unknown class `{class}`")));
+            }
+        };
+        let class_sym = self.index.classes[class_id.0 as usize].name;
+        let method_sym = self.intern_runtime(method);
         // Synthesize an entry frame so stack snapshots are never empty.
-        self.stack.push(Frame {
-            method: MethodId::new("<entry>", method),
+        self.stack.push(MethodSym {
+            class: self.index.wk.entry,
+            name: method_sym,
         });
-        let result = match self.instantiate(class, Vec::new()) {
-            Ok(this) => self.call_resolved(this, class, method, args),
+        let result = match self.instantiate(class_id, Vec::new()) {
+            Ok(this) => self.call_resolved(this, class_id, class_sym, method_sym, args),
             Err(ctrl) => Err(ctrl),
         };
         self.stack.pop();
@@ -223,7 +261,7 @@ impl<'p, 'i> Interp<'p, 'i> {
         let at_ms = self.clock_ms;
         self.clock_ms = self.clock_ms.saturating_add(ms);
         if record {
-            let stack = self.stack_snapshot();
+            let stack = self.resolve_stack();
             self.trace.events.push(Event::Slept { ms, at_ms, stack });
         }
         if self.clock_ms > self.limits.virtual_time_limit_ms {
@@ -234,79 +272,93 @@ impl<'p, 'i> Interp<'p, 'i> {
         Ok(())
     }
 
-    fn stack_snapshot(&self) -> Vec<MethodId> {
-        self.stack.iter().map(|f| f.method.clone()).collect()
+    /// Resolves the interned call stack to owned [`MethodId`]s. Only called
+    /// off the hot path: at sleeps, exception creation, and injections.
+    fn resolve_stack(&self) -> Vec<MethodId> {
+        let names = NameTable::new(&self.index.interner, &self.extra_names);
+        self.stack.iter().map(|&m| names.method_id(m)).collect()
+    }
+
+    /// Resolves a symbol that may come from the run-time overlay.
+    fn resolve_name(&self, sym: Symbol) -> &str {
+        let idx = sym.index();
+        if idx < self.index.interner.len() {
+            self.index.interner.resolve(sym)
+        } else {
+            &self.extra_names[idx - self.index.interner.len()]
+        }
+    }
+
+    /// Interns a run-time name: frozen symbol if the program mentions it,
+    /// overlay symbol past the frozen range otherwise.
+    fn intern_runtime(&mut self, s: &str) -> Symbol {
+        if let Some(sym) = self.index.interner.lookup(s) {
+            return sym;
+        }
+        let base = self.index.interner.len();
+        if let Some(pos) = self.extra_names.iter().position(|n| n == s) {
+            return Symbol((base + pos) as u32);
+        }
+        self.extra_names.push(s.to_string());
+        Symbol((base + self.extra_names.len() - 1) as u32)
     }
 
     fn fault(&self, msg: impl Into<String>) -> Control {
         Control::Err(VmError::Fault(msg.into()))
     }
 
-    fn raise(&mut self, ty: &str, message: impl Into<String>) -> Control {
-        let exc = Rc::new(ExceptionValue {
-            ty: ty.to_string(),
+    fn raise(&mut self, exc: ExcId, message: impl Into<String>) -> Control {
+        let ty = self.index.exceptions[exc.0 as usize].name_str.clone();
+        let exc_value = Rc::new(ExceptionValue {
+            ty: ty.clone(),
+            exc_id: Some(exc),
             message: message.into(),
             cause: None,
-            raised_at: self.stack_snapshot(),
+            raised_at: self.resolve_stack(),
             injected: false,
         });
         self.trace.events.push(Event::Raised {
-            exc_type: ty.to_string(),
+            exc_type: ty,
             at_ms: self.clock_ms,
         });
-        Control::Throw(exc)
+        Control::Throw(exc_value)
+    }
+
+    /// Whether `exc` matches a `catch (sup ..)` clause. Exceptions whose
+    /// type is not declared (possible only for injected types) match
+    /// nothing, exactly like the original string-walk did.
+    fn exc_matches(&self, exc: &ExceptionValue, sup: ExcId) -> bool {
+        match exc.exc_id {
+            Some(sub) => self.index.is_exc_subtype(sub, sup),
+            None => false,
+        }
     }
 
     // ---- Objects and calls -------------------------------------------------
 
-    fn instantiate(&mut self, class: &str, args: Vec<Value>) -> Eval {
-        if self.project.class_decl(class).is_none() {
-            return Err(self.fault(format!("cannot instantiate unknown class `{class}`")));
-        }
-        // Collect the field declarations across the superclass chain,
-        // base-class fields first.
-        let mut chain = Vec::new();
-        let mut current = Some(class.to_string());
-        while let Some(name) = current {
-            let decl = self
-                .project
-                .class_decl(&name)
-                .ok_or_else(|| self.fault(format!("unknown superclass `{name}`")))?;
-            chain.push(decl);
-            current = decl.parent.clone();
-        }
-        chain.reverse();
-
+    fn instantiate(&mut self, class: ClassId, args: Vec<Value>) -> Eval {
+        let index = self.index;
+        let cdef = &index.classes[class.0 as usize];
         let object = Rc::new(RefCell::new(Object {
-            class: class.to_string(),
-            fields: HashMap::new(),
+            layout: Arc::clone(&cdef.layout),
+            fields: vec![Value::Null; cdef.layout.len()],
         }));
-        for decl in &chain {
-            for field in &decl.fields {
-                object
-                    .borrow_mut()
-                    .fields
-                    .insert(field.name.clone(), Value::Null);
-            }
-        }
         let this = Value::Object(Rc::clone(&object));
-        // Evaluate initializers in declaration order with `this` bound to the
-        // object under construction.
-        let mut env = Env::new();
-        for decl in &chain {
-            for field in &decl.fields {
-                if let Some(init) = &field.init {
-                    let value = self.eval(&mut env, &this, decl_file(self.project, &decl.name), init)?;
-                    object.borrow_mut().fields.insert(field.name.clone(), value);
-                }
-            }
+        // Evaluate initializers in declaration order (base-class fields
+        // first) with `this` bound to the object under construction.
+        // Initializer expressions cannot reference locals, so the
+        // environment is empty.
+        for init in &cdef.inits {
+            let value = self.eval(&mut [], &this, &init.expr)?;
+            object.borrow_mut().fields[init.slot as usize] = value;
         }
         // Run the constructor, if declared.
-        if self.project.resolve_method(class, "init").is_some() {
-            self.call_resolved(this.clone(), class, "init", args)?;
+        if cdef.has_init {
+            self.call_resolved(this.clone(), class, cdef.name, index.wk.init, args)?;
         } else if !args.is_empty() {
             return Err(self.fault(format!(
-                "class `{class}` has no `init` constructor but was given {} argument(s)",
+                "class `{}` has no `init` constructor but was given {} argument(s)",
+                cdef.name_str,
                 args.len()
             )));
         }
@@ -314,42 +366,51 @@ impl<'p, 'i> Interp<'p, 'i> {
     }
 
     /// Calls `method` on `this` (whose class is `class`), running the body.
-    fn call_resolved(&mut self, this: Value, class: &str, method: &str, args: Vec<Value>) -> Eval {
-        let (owner, decl) = match self.project.resolve_method(class, method) {
-            Some(found) => found,
+    fn call_resolved(
+        &mut self,
+        this: Value,
+        class: ClassId,
+        class_sym: Symbol,
+        method: Symbol,
+        args: Vec<Value>,
+    ) -> Eval {
+        let index = self.index;
+        let compiled = match index.resolve_dispatch(class, method) {
+            Some(midx) => &index.methods[midx as usize],
             None => {
-                return Err(self.fault(format!("unknown method `{class}.{method}`")));
+                return Err(self.fault(format!(
+                    "unknown method `{}.{}`",
+                    index.classes[class.0 as usize].name_str,
+                    self.resolve_name(method)
+                )));
             }
         };
-        if decl.params.len() != args.len() {
+        if compiled.params as usize != args.len() {
             return Err(self.fault(format!(
-                "arity mismatch calling `{class}.{method}`: expected {}, got {}",
-                decl.params.len(),
+                "arity mismatch calling `{}.{}`: expected {}, got {}",
+                index.classes[class.0 as usize].name_str,
+                self.resolve_name(method),
+                compiled.params,
                 args.len()
             )));
         }
         if self.stack.len() >= self.limits.max_call_depth {
             return Err(self.fault(format!(
-                "call depth limit ({}) exceeded calling `{class}.{method}`",
-                self.limits.max_call_depth
+                "call depth limit ({}) exceeded calling `{}.{}`",
+                self.limits.max_call_depth,
+                index.classes[class.0 as usize].name_str,
+                self.resolve_name(method)
             )));
         }
-        let owner = owner.to_string();
-        let file = self
-            .project
-            .symbols
-            .class(&owner)
-            .map(|info| info.file)
-            .unwrap_or(FileId(0));
-        let decl: &MethodDecl = decl;
-        let mut env = Env::new();
-        for (param, arg) in decl.params.iter().zip(args) {
-            env.set(param.clone(), arg);
+        let mut env: Vec<Option<Value>> = vec![None; compiled.n_slots as usize];
+        for (slot, arg) in args.into_iter().enumerate() {
+            env[slot] = Some(arg);
         }
-        self.stack.push(Frame {
-            method: MethodId::new(class, method),
+        self.stack.push(MethodSym {
+            class: class_sym,
+            name: method,
         });
-        let result = self.exec_block(&mut env, &this, file, &decl.body);
+        let result = self.exec_block(&mut env, &this, &compiled.body);
         self.stack.pop();
         match result {
             Ok(()) => Ok(Value::Null),
@@ -363,69 +424,65 @@ impl<'p, 'i> Interp<'p, 'i> {
         &mut self,
         env: &mut Env,
         this: &Value,
-        file: FileId,
-        id: wasabi_lang::ast::CallId,
-        recv: Option<&Expr>,
-        method: &str,
-        arg_exprs: &[Expr],
+        site: CallSite,
+        recv: Option<&LExpr>,
+        method: Symbol,
+        arg_exprs: &[LExpr],
     ) -> Eval {
         self.tick()?;
-        // Global builtins are reserved names and take priority for
-        // receiver-less calls.
-        if recv.is_none() && is_global_builtin(method) {
-            let mut args = Vec::with_capacity(arg_exprs.len());
-            for arg in arg_exprs {
-                args.push(self.eval(env, this, file, arg)?);
-            }
-            return self.global_builtin(method, args);
-        }
+        let index = self.index;
         let recv_value = match recv {
-            Some(expr) => self.eval(env, this, file, expr)?,
+            Some(expr) => self.eval(env, this, expr)?,
             None => this.clone(),
         };
         // Builtin methods on non-object receivers.
         match &recv_value {
             Value::Null => {
-                return Err(self.raise(
-                    "NullPointerException",
-                    format!("call to `{method}` on null"),
-                ));
+                let msg = format!("call to `{}` on null", index.interner.resolve(method));
+                return Err(self.raise(index.wk.npe, msg));
             }
             Value::Object(_) => {}
             _ => {
                 let mut args = Vec::with_capacity(arg_exprs.len());
                 for arg in arg_exprs {
-                    args.push(self.eval(env, this, file, arg)?);
+                    args.push(self.eval(env, this, arg)?);
                 }
-                return self.value_builtin(&recv_value, method, args);
+                return self.value_builtin(&recv_value, index.interner.resolve(method), args);
             }
         }
-        let class = match &recv_value {
-            Value::Object(obj) => obj.borrow().class.clone(),
+        let (class_id, class_sym) = match &recv_value {
+            Value::Object(obj) => {
+                let layout = &obj.borrow().layout;
+                (layout.class_id, layout.class_sym)
+            }
             _ => unreachable!("receiver checked above"),
         };
         let mut args = Vec::with_capacity(arg_exprs.len());
         for arg in arg_exprs {
-            args.push(self.eval(env, this, file, arg)?);
+            args.push(self.eval(env, this, arg)?);
         }
         // Consult the interceptor before entering the callee.
-        let site = CallSite { file, call: id };
-        let caller = self
-            .stack
-            .last()
-            .map(|f| f.method.clone())
-            .unwrap_or_else(|| MethodId::new("<entry>", "<entry>"));
-        let callee = MethodId::new(&class, method);
-        let stack = self.stack_snapshot();
-        let ctx = CallCtx {
-            site,
-            caller: caller.clone(),
-            callee: callee.clone(),
-            stack: &stack,
-            now_ms: self.clock_ms,
+        let caller = self.stack.last().copied().unwrap_or(MethodSym {
+            class: index.wk.entry,
+            name: index.wk.entry,
+        });
+        let callee = MethodSym {
+            class: class_sym,
+            name: method,
         };
-        match self.interceptor.before_call(&ctx) {
-            InterceptAction::Proceed => self.call_resolved(recv_value, &class, method, args),
+        let action = {
+            let ctx = CallCtx {
+                site,
+                caller,
+                callee,
+                stack: &self.stack,
+                now_ms: self.clock_ms,
+                names: NameTable::new(&index.interner, &self.extra_names),
+            };
+            self.interceptor.before_call(&ctx)
+        };
+        match action {
+            InterceptAction::Proceed => self.call_resolved(recv_value, class_id, class_sym, method, args),
             InterceptAction::Throw { exc_type, message } => {
                 let count = self
                     .injection_counts
@@ -433,17 +490,20 @@ impl<'p, 'i> Interp<'p, 'i> {
                     .or_insert(0);
                 *count += 1;
                 let count = *count;
+                let names = NameTable::new(&index.interner, &self.extra_names);
+                let callee_id = names.method_id(callee);
                 self.trace.events.push(Event::Injected {
                     site,
-                    caller,
-                    callee: callee.clone(),
+                    caller: names.method_id(caller),
+                    callee: callee_id.clone(),
                     exc_type: exc_type.clone(),
                     count,
                     at_ms: self.clock_ms,
                 });
-                let mut raised_at = stack;
-                raised_at.push(callee);
+                let mut raised_at = self.resolve_stack();
+                raised_at.push(callee_id);
                 Err(Control::Throw(Rc::new(ExceptionValue {
+                    exc_id: index.exc_by_name(&exc_type),
                     ty: exc_type,
                     message,
                     cause: None,
@@ -456,42 +516,86 @@ impl<'p, 'i> Interp<'p, 'i> {
 
     // ---- Statements ---------------------------------------------------------
 
-    fn exec_block(&mut self, env: &mut Env, this: &Value, file: FileId, block: &Block) -> Exec {
-        for stmt in &block.stmts {
-            self.exec_stmt(env, this, file, stmt)?;
+    fn exec_block(&mut self, env: &mut Env, this: &Value, block: &[LStmt]) -> Exec {
+        for stmt in block {
+            self.exec_stmt(env, this, stmt)?;
         }
         Ok(())
     }
 
-    fn exec_stmt(&mut self, env: &mut Env, this: &Value, file: FileId, stmt: &Stmt) -> Exec {
+    fn exec_stmt(&mut self, env: &mut Env, this: &Value, stmt: &LStmt) -> Exec {
         self.tick()?;
         match stmt {
-            Stmt::Var { name, init, .. } => {
-                let value = self.eval(env, this, file, init)?;
-                env.set(name.clone(), value);
+            LStmt::Var { slot, init } => {
+                let value = self.eval(env, this, init)?;
+                env[*slot as usize] = Some(value);
                 Ok(())
             }
-            Stmt::Assign { target, value, .. } => {
-                let value = self.eval(env, this, file, value)?;
-                self.assign(env, this, file, target, value)
+            LStmt::AssignLocal { slot, name, value } => {
+                let value = self.eval(env, this, value)?;
+                if env[*slot as usize].is_some() {
+                    env[*slot as usize] = Some(value);
+                    return Ok(());
+                }
+                // Fall back to an implicit `this` field, like Java.
+                if let Value::Object(obj) = this {
+                    let field_slot = obj.borrow().layout.slot(*name);
+                    if let Some(field_slot) = field_slot {
+                        obj.borrow_mut().fields[field_slot] = value;
+                        return Ok(());
+                    }
+                }
+                // First write introduces a local (function-scoped).
+                env[*slot as usize] = Some(value);
+                Ok(())
             }
-            Stmt::If {
+            LStmt::AssignField { recv, name, value } => {
+                let value = self.eval(env, this, value)?;
+                let recv = self.eval(env, this, recv)?;
+                match recv {
+                    Value::Object(obj) => {
+                        let field_slot = obj.borrow().layout.slot(*name);
+                        match field_slot {
+                            Some(field_slot) => {
+                                obj.borrow_mut().fields[field_slot] = value;
+                                Ok(())
+                            }
+                            None => Err(self.fault(format!(
+                                "no field `{}` on class `{}`",
+                                self.index.interner.resolve(*name),
+                                obj.borrow().layout.class_name
+                            ))),
+                        }
+                    }
+                    Value::Null => {
+                        let msg = format!(
+                            "field write `{}` on null",
+                            self.index.interner.resolve(*name)
+                        );
+                        Err(self.raise(self.index.wk.npe, msg))
+                    }
+                    other => Err(self.fault(format!(
+                        "field write on non-object value of type {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+            LStmt::If {
                 cond,
                 then_blk,
                 else_blk,
-                ..
             } => {
-                if self.eval_bool(env, this, file, cond)? {
-                    self.exec_block(env, this, file, then_blk)
+                if self.eval_bool(env, this, cond)? {
+                    self.exec_block(env, this, then_blk)
                 } else if let Some(else_blk) = else_blk {
-                    self.exec_block(env, this, file, else_blk)
+                    self.exec_block(env, this, else_blk)
                 } else {
                     Ok(())
                 }
             }
-            Stmt::While { cond, body, .. } => {
-                while self.eval_bool(env, this, file, cond)? {
-                    match self.exec_block(env, this, file, body) {
+            LStmt::While { cond, body } => {
+                while self.eval_bool(env, this, cond)? {
+                    match self.exec_block(env, this, body) {
                         Ok(()) => {}
                         Err(Control::Break) => break,
                         Err(Control::Continue) => continue,
@@ -500,74 +604,68 @@ impl<'p, 'i> Interp<'p, 'i> {
                 }
                 Ok(())
             }
-            Stmt::For {
+            LStmt::For {
                 init,
                 cond,
                 update,
                 body,
-                ..
             } => {
                 if let Some(init) = init {
-                    self.exec_stmt(env, this, file, init)?;
+                    self.exec_stmt(env, this, init)?;
                 }
                 loop {
                     if let Some(cond) = cond {
-                        if !self.eval_bool(env, this, file, cond)? {
+                        if !self.eval_bool(env, this, cond)? {
                             break;
                         }
                     }
-                    match self.exec_block(env, this, file, body) {
+                    match self.exec_block(env, this, body) {
                         Ok(()) => {}
                         Err(Control::Break) => break,
                         Err(Control::Continue) => {}
                         Err(other) => return Err(other),
                     }
                     if let Some(update) = update {
-                        self.exec_stmt(env, this, file, update)?;
+                        self.exec_stmt(env, this, update)?;
                     }
                 }
                 Ok(())
             }
-            Stmt::Switch {
+            LStmt::Switch {
                 scrutinee,
                 cases,
                 default,
-                ..
             } => {
-                let value = self.eval(env, this, file, scrutinee)?;
+                let value = self.eval(env, this, scrutinee)?;
                 for (lit, body) in cases {
-                    if value.value_eq(&literal_to_value(lit)) {
-                        return self.exec_block(env, this, file, body);
+                    if literal_matches(&value, lit) {
+                        return self.exec_block(env, this, body);
                     }
                 }
                 if let Some(default) = default {
-                    return self.exec_block(env, this, file, default);
+                    return self.exec_block(env, this, default);
                 }
                 Ok(())
             }
-            Stmt::Try {
+            LStmt::Try {
                 body,
                 catches,
                 finally,
-                ..
             } => {
-                let mut result = self.exec_block(env, this, file, body);
+                let mut result = self.exec_block(env, this, body);
                 if let Err(Control::Throw(exc)) = &result {
                     let exc = Rc::clone(exc);
                     for catch in catches {
-                        if self
-                            .project
-                            .symbols
-                            .is_exception_subtype(&exc.ty, &catch.exc_type)
-                        {
-                            env.set(catch.binding.clone(), Value::Exception(Rc::clone(&exc)));
-                            result = self.exec_block(env, this, file, &catch.body);
+                        if self.exc_matches(&exc, catch.exc) {
+                            env[catch.binding as usize] =
+                                Some(Value::Exception(Rc::clone(&exc)));
+                            result = self.exec_block(env, this, &catch.body);
                             break;
                         }
                     }
                 }
                 if let Some(finally) = finally {
-                    match self.exec_block(env, this, file, finally) {
+                    match self.exec_block(env, this, finally) {
                         // A completed finally preserves the pending control.
                         Ok(()) => {}
                         // Abrupt finally overrides the pending control (Java
@@ -577,8 +675,8 @@ impl<'p, 'i> Interp<'p, 'i> {
                 }
                 result
             }
-            Stmt::Throw { expr, .. } => {
-                let value = self.eval(env, this, file, expr)?;
+            LStmt::Throw { expr } => {
+                let value = self.eval(env, this, expr)?;
                 match value {
                     Value::Exception(exc) => {
                         self.trace.events.push(Event::Raised {
@@ -593,103 +691,52 @@ impl<'p, 'i> Interp<'p, 'i> {
                     ))),
                 }
             }
-            Stmt::Return { expr, .. } => {
+            LStmt::Return { expr } => {
                 let value = match expr {
-                    Some(expr) => self.eval(env, this, file, expr)?,
+                    Some(expr) => self.eval(env, this, expr)?,
                     None => Value::Null,
                 };
                 Err(Control::Return(value))
             }
-            Stmt::Break { .. } => Err(Control::Break),
-            Stmt::Continue { .. } => Err(Control::Continue),
-            Stmt::Sleep { ms, .. } => {
-                let ms = self.eval_int(env, this, file, ms)?;
+            LStmt::Break => Err(Control::Break),
+            LStmt::Continue => Err(Control::Continue),
+            LStmt::Sleep { ms } => {
+                let ms = self.eval_int(env, this, ms)?;
                 if ms < 0 {
                     return Err(self.fault("negative sleep duration"));
                 }
                 self.advance_clock(ms as u64, true)
             }
-            Stmt::Log { expr, .. } => {
-                let value = self.eval(env, this, file, expr)?;
+            LStmt::Log { expr } => {
+                let value = self.eval(env, this, expr)?;
                 self.trace.events.push(Event::Logged {
                     message: value.render(),
                     at_ms: self.clock_ms,
                 });
                 Ok(())
             }
-            Stmt::Assert { cond, msg, .. } => {
-                if self.eval_bool(env, this, file, cond)? {
+            LStmt::Assert { cond, msg } => {
+                if self.eval_bool(env, this, cond)? {
                     Ok(())
                 } else {
                     let message = match msg {
-                        Some(msg) => self.eval(env, this, file, msg)?.render(),
+                        Some(msg) => self.eval(env, this, msg)?.render(),
                         None => "assertion failed".to_string(),
                     };
-                    Err(self.raise("AssertionError", message))
+                    Err(self.raise(self.index.wk.assertion, message))
                 }
             }
-            Stmt::Expr { expr, .. } => {
-                self.eval(env, this, file, expr)?;
+            LStmt::Expr { expr } => {
+                self.eval(env, this, expr)?;
                 Ok(())
-            }
-        }
-    }
-
-    fn assign(
-        &mut self,
-        env: &mut Env,
-        this: &Value,
-        file: FileId,
-        target: &LValue,
-        value: Value,
-    ) -> Exec {
-        match target {
-            LValue::Var(name, _) => {
-                if env.has(name) {
-                    env.set(name.clone(), value);
-                    return Ok(());
-                }
-                // Fall back to an implicit `this` field, like Java.
-                if let Value::Object(obj) = this {
-                    if obj.borrow().fields.contains_key(name) {
-                        obj.borrow_mut().fields.insert(name.clone(), value);
-                        return Ok(());
-                    }
-                }
-                // First write introduces a local (function-scoped).
-                env.set(name.clone(), value);
-                Ok(())
-            }
-            LValue::Field { recv, name, .. } => {
-                let recv = self.eval(env, this, file, recv)?;
-                match recv {
-                    Value::Object(obj) => {
-                        if !obj.borrow().fields.contains_key(name) {
-                            return Err(self.fault(format!(
-                                "no field `{name}` on class `{}`",
-                                obj.borrow().class
-                            )));
-                        }
-                        obj.borrow_mut().fields.insert(name.clone(), value);
-                        Ok(())
-                    }
-                    Value::Null => Err(self.raise(
-                        "NullPointerException",
-                        format!("field write `{name}` on null"),
-                    )),
-                    other => Err(self.fault(format!(
-                        "field write on non-object value of type {}",
-                        other.type_name()
-                    ))),
-                }
             }
         }
     }
 
     // ---- Expressions ---------------------------------------------------------
 
-    fn eval_bool(&mut self, env: &mut Env, this: &Value, file: FileId, expr: &Expr) -> Result<bool, Control> {
-        match self.eval(env, this, file, expr)? {
+    fn eval_bool(&mut self, env: &mut Env, this: &Value, expr: &LExpr) -> Result<bool, Control> {
+        match self.eval(env, this, expr)? {
             Value::Bool(b) => Ok(b),
             other => Err(self.fault(format!(
                 "condition must be a bool, got {}",
@@ -698,94 +745,111 @@ impl<'p, 'i> Interp<'p, 'i> {
         }
     }
 
-    fn eval_int(&mut self, env: &mut Env, this: &Value, file: FileId, expr: &Expr) -> Result<i64, Control> {
-        match self.eval(env, this, file, expr)? {
+    fn eval_int(&mut self, env: &mut Env, this: &Value, expr: &LExpr) -> Result<i64, Control> {
+        match self.eval(env, this, expr)? {
             Value::Int(v) => Ok(v),
-            other => Err(self.fault(format!(
-                "expected an int, got {}",
-                other.type_name()
-            ))),
+            other => Err(self.fault(format!("expected an int, got {}", other.type_name()))),
         }
     }
 
-    fn eval(&mut self, env: &mut Env, this: &Value, file: FileId, expr: &Expr) -> Eval {
+    fn eval(&mut self, env: &mut Env, this: &Value, expr: &LExpr) -> Eval {
         match expr {
-            Expr::Literal(lit, _) => Ok(literal_to_value(lit)),
-            Expr::Ident(name, _) => {
-                if let Some(value) = env.get(name) {
+            LExpr::Literal(lit) => Ok(literal_to_value(lit)),
+            LExpr::Local { slot, name } => {
+                if let Some(value) = &env[*slot as usize] {
                     return Ok(value.clone());
                 }
-                if let Value::Object(obj) = this {
-                    if let Some(value) = obj.borrow().fields.get(name) {
-                        return Ok(value.clone());
-                    }
-                }
-                Err(self.fault(format!("unknown variable `{name}`")))
+                self.read_this_field(this, *name)
             }
-            Expr::This(_) => Ok(this.clone()),
-            Expr::Field { recv, name, .. } => {
-                let recv = self.eval(env, this, file, recv)?;
+            LExpr::ImplicitField { name } => self.read_this_field(this, *name),
+            LExpr::This => Ok(this.clone()),
+            LExpr::Field { recv, name } => {
+                let recv = self.eval(env, this, recv)?;
                 match recv {
                     Value::Object(obj) => {
                         let borrowed = obj.borrow();
-                        borrowed.fields.get(name).cloned().ok_or_else(|| {
-                            self.fault(format!(
-                                "no field `{name}` on class `{}`",
-                                borrowed.class
-                            ))
-                        })
+                        match borrowed.layout.slot(*name) {
+                            Some(field_slot) => Ok(borrowed.fields[field_slot].clone()),
+                            None => Err(self.fault(format!(
+                                "no field `{}` on class `{}`",
+                                self.index.interner.resolve(*name),
+                                borrowed.layout.class_name
+                            ))),
+                        }
                     }
-                    Value::Null => Err(self.raise(
-                        "NullPointerException",
-                        format!("field read `{name}` on null"),
-                    )),
+                    Value::Null => {
+                        let msg = format!(
+                            "field read `{}` on null",
+                            self.index.interner.resolve(*name)
+                        );
+                        Err(self.raise(self.index.wk.npe, msg))
+                    }
                     other => Err(self.fault(format!(
                         "field read on non-object value of type {}",
                         other.type_name()
                     ))),
                 }
             }
-            Expr::Call {
-                id,
-                recv,
-                method,
-                args,
-                ..
-            } => self.call_expr(env, this, file, *id, recv.as_deref(), method, args),
-            Expr::New { class, args, .. } => {
+            LExpr::GlobalCall { name, args } => {
                 self.tick()?;
                 let mut arg_values = Vec::with_capacity(args.len());
                 for arg in args {
-                    arg_values.push(self.eval(env, this, file, arg)?);
+                    arg_values.push(self.eval(env, this, arg)?);
                 }
-                if self.project.symbols.exception(class).is_some() {
-                    return self.new_exception(class, arg_values);
-                }
-                self.instantiate(class, arg_values)
+                self.global_builtin(self.index.interner.resolve(*name), arg_values)
             }
-            Expr::Binary { op, lhs, rhs, .. } => {
+            LExpr::Call {
+                site,
+                recv,
+                method,
+                args,
+            } => self.call_expr(env, this, *site, recv.as_deref(), *method, args),
+            LExpr::NewExc { exc, args } => {
+                self.tick()?;
+                let mut arg_values = Vec::with_capacity(args.len());
+                for arg in args {
+                    arg_values.push(self.eval(env, this, arg)?);
+                }
+                self.new_exception(*exc, arg_values)
+            }
+            LExpr::NewObj { class, args } => {
+                self.tick()?;
+                let mut arg_values = Vec::with_capacity(args.len());
+                for arg in args {
+                    arg_values.push(self.eval(env, this, arg)?);
+                }
+                self.instantiate(*class, arg_values)
+            }
+            LExpr::NewUnknown { class, args } => {
+                self.tick()?;
+                // Arguments still evaluate (for their side effects) before
+                // the fault, exactly like the original instantiate path.
+                for arg in args {
+                    self.eval(env, this, arg)?;
+                }
+                Err(self.fault(format!("cannot instantiate unknown class `{class}`")))
+            }
+            LExpr::Binary { op, lhs, rhs } => {
                 // Short-circuit logical operators.
                 match op {
                     BinOp::And => {
                         return Ok(Value::Bool(
-                            self.eval_bool(env, this, file, lhs)?
-                                && self.eval_bool(env, this, file, rhs)?,
+                            self.eval_bool(env, this, lhs)? && self.eval_bool(env, this, rhs)?,
                         ));
                     }
                     BinOp::Or => {
                         return Ok(Value::Bool(
-                            self.eval_bool(env, this, file, lhs)?
-                                || self.eval_bool(env, this, file, rhs)?,
+                            self.eval_bool(env, this, lhs)? || self.eval_bool(env, this, rhs)?,
                         ));
                     }
                     _ => {}
                 }
-                let lhs = self.eval(env, this, file, lhs)?;
-                let rhs = self.eval(env, this, file, rhs)?;
+                let lhs = self.eval(env, this, lhs)?;
+                let rhs = self.eval(env, this, rhs)?;
                 self.binary(*op, lhs, rhs)
             }
-            Expr::Unary { op, expr, .. } => {
-                let value = self.eval(env, this, file, expr)?;
+            LExpr::Unary { op, expr } => {
+                let value = self.eval(env, this, expr)?;
                 match (op, value) {
                     (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
                     (UnOp::Neg, Value::Int(v)) => Ok(Value::Int(v.wrapping_neg())),
@@ -796,16 +860,27 @@ impl<'p, 'i> Interp<'p, 'i> {
                     ))),
                 }
             }
-            Expr::InstanceOf { expr, ty, .. } => {
-                let value = self.eval(env, this, file, expr)?;
+            LExpr::InstanceOf {
+                expr,
+                ty,
+                exc,
+                class,
+            } => {
+                let value = self.eval(env, this, expr)?;
                 let result = match value {
-                    Value::Exception(exc) => {
-                        self.project.symbols.is_exception_subtype(&exc.ty, ty)
-                    }
-                    Value::Object(obj) => {
-                        let class = obj.borrow().class.clone();
-                        self.project.symbols.is_class_subtype(&class, ty)
-                    }
+                    Value::Exception(e) => match e.exc_id {
+                        Some(sub) => match exc {
+                            Some(sup) => self.index.is_exc_subtype(sub, *sup),
+                            None => false,
+                        },
+                        // Undeclared (injected) exception type: the original
+                        // string walk still matched on direct name equality.
+                        None => self.index.interner.resolve(*ty) == e.ty,
+                    },
+                    Value::Object(obj) => match class {
+                        Some(sup) => self.index.is_class_subtype(obj.borrow().layout.class_id, *sup),
+                        None => false,
+                    },
                     _ => false,
                 };
                 Ok(Value::Bool(result))
@@ -813,7 +888,24 @@ impl<'p, 'i> Interp<'p, 'i> {
         }
     }
 
-    fn new_exception(&mut self, ty: &str, args: Vec<Value>) -> Eval {
+    /// Reads the named field off `this` — the fallback for identifiers with
+    /// no (written) local slot.
+    fn read_this_field(&self, this: &Value, name: Symbol) -> Eval {
+        if let Value::Object(obj) = this {
+            let borrowed = obj.borrow();
+            if let Some(field_slot) = borrowed.layout.slot(name) {
+                return Ok(borrowed.fields[field_slot].clone());
+            }
+        }
+        Err(self.fault(format!(
+            "unknown variable `{}`",
+            self.index.interner.resolve(name)
+        )))
+    }
+
+    fn new_exception(&mut self, exc: ExcId, args: Vec<Value>) -> Eval {
+        let index = self.index;
+        let ty = &index.exceptions[exc.0 as usize].name_str;
         let mut iter = args.into_iter();
         let message = match iter.next() {
             None => String::new(),
@@ -837,10 +929,11 @@ impl<'p, 'i> Interp<'p, 'i> {
             )));
         }
         Ok(Value::Exception(Rc::new(ExceptionValue {
-            ty: ty.to_string(),
+            ty: ty.clone(),
+            exc_id: Some(exc),
             message,
             cause,
-            raised_at: self.stack_snapshot(),
+            raised_at: self.resolve_stack(),
             injected: false,
         })))
     }
@@ -864,14 +957,14 @@ impl<'p, 'i> Interp<'p, 'i> {
                     BinOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
                     BinOp::Div => {
                         if *b == 0 {
-                            Err(self.raise("ArithmeticException", "division by zero"))
+                            Err(self.raise(self.index.wk.arithmetic, "division by zero"))
                         } else {
                             Ok(Value::Int(a.wrapping_div(*b)))
                         }
                     }
                     BinOp::Rem => {
                         if *b == 0 {
-                            Err(self.raise("ArithmeticException", "remainder by zero"))
+                            Err(self.raise(self.index.wk.arithmetic, "remainder by zero"))
                         } else {
                             Ok(Value::Int(a.wrapping_rem(*b)))
                         }
@@ -945,7 +1038,10 @@ impl<'p, 'i> Interp<'p, 'i> {
                     return wrong_arity(self, 1);
                 }
                 match &args[0] {
-                    Value::Str(key) => Ok(self.config.get(key)),
+                    Value::Str(key) => Ok(match self.index.config_by_name(key) {
+                        Some(id) => self.config.get_id(id),
+                        None => self.config.get_undeclared(key),
+                    }),
                     other => Err(self.fault(format!(
                         "getConfig key must be a string, got {}",
                         other.type_name()
@@ -959,7 +1055,10 @@ impl<'p, 'i> Interp<'p, 'i> {
                 let value = args.pop().expect("arity checked");
                 match &args[0] {
                     Value::Str(key) => {
-                        self.config.set(key, value);
+                        match self.index.config_by_name(key) {
+                            Some(id) => self.config.set_id(id, value),
+                            None => self.config.set_undeclared(key, value),
+                        }
                         Ok(Value::Null)
                     }
                     other => Err(self.fault(format!(
@@ -1029,7 +1128,12 @@ impl<'p, 'i> Interp<'p, 'i> {
         }
     }
 
-    fn queue_builtin(&mut self, queue: &Rc<RefCell<QueueData>>, method: &str, mut args: Vec<Value>) -> Eval {
+    fn queue_builtin(
+        &mut self,
+        queue: &Rc<RefCell<QueueData>>,
+        method: &str,
+        mut args: Vec<Value>,
+    ) -> Eval {
         match (method, args.len()) {
             ("put", 1) => {
                 let value = args.pop().expect("arity checked");
@@ -1077,7 +1181,12 @@ impl<'p, 'i> Interp<'p, 'i> {
         }
     }
 
-    fn list_builtin(&mut self, list: &Rc<RefCell<Vec<Value>>>, method: &str, mut args: Vec<Value>) -> Eval {
+    fn list_builtin(
+        &mut self,
+        list: &Rc<RefCell<Vec<Value>>>,
+        method: &str,
+        mut args: Vec<Value>,
+    ) -> Eval {
         match (method, args.len()) {
             ("add", 1) => {
                 list.borrow_mut().push(args.pop().expect("arity checked"));
@@ -1207,7 +1316,12 @@ impl<'p, 'i> Interp<'p, 'i> {
         }
     }
 
-    fn exception_builtin(&mut self, exc: &Rc<ExceptionValue>, method: &str, args: Vec<Value>) -> Eval {
+    fn exception_builtin(
+        &mut self,
+        exc: &Rc<ExceptionValue>,
+        method: &str,
+        args: Vec<Value>,
+    ) -> Eval {
         match (method, args.len()) {
             ("getMessage", 0) => Ok(Value::str(exc.message.clone())),
             ("getCause", 0) => Ok(exc
@@ -1221,38 +1335,17 @@ impl<'p, 'i> Interp<'p, 'i> {
     }
 }
 
-/// Function-scoped local environment.
-struct Env {
-    vars: HashMap<String, Value>,
-}
-
-impl Env {
-    fn new() -> Self {
-        Env {
-            vars: HashMap::new(),
-        }
+/// Whether a switch scrutinee matches a case literal, without allocating a
+/// value for the literal. Semantically identical to
+/// `value.value_eq(&literal_to_value(lit))`.
+fn literal_matches(value: &Value, lit: &Literal) -> bool {
+    match (value, lit) {
+        (Value::Int(a), Literal::Int(b)) => a == b,
+        (Value::Str(a), Literal::Str(b)) => a.as_ref() == b,
+        (Value::Bool(a), Literal::Bool(b)) => a == b,
+        (Value::Null, Literal::Null) => true,
+        _ => false,
     }
-
-    fn get(&self, name: &str) -> Option<&Value> {
-        self.vars.get(name)
-    }
-
-    fn has(&self, name: &str) -> bool {
-        self.vars.contains_key(name)
-    }
-
-    fn set(&mut self, name: String, value: Value) {
-        self.vars.insert(name, value);
-    }
-}
-
-/// Names reserved for global builtins.
-pub fn is_global_builtin(name: &str) -> bool {
-    matches!(
-        name,
-        "queue" | "list" | "map" | "now" | "getConfig" | "setConfig" | "str" | "min" | "max"
-            | "abs" | "pow"
-    )
 }
 
 fn literal_to_value(lit: &Literal) -> Value {
@@ -1262,12 +1355,4 @@ fn literal_to_value(lit: &Literal) -> Value {
         Literal::Bool(b) => Value::Bool(*b),
         Literal::Null => Value::Null,
     }
-}
-
-fn decl_file(project: &Project, class: &str) -> FileId {
-    project
-        .symbols
-        .class(class)
-        .map(|info| info.file)
-        .unwrap_or(FileId(0))
 }

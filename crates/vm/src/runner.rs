@@ -25,7 +25,7 @@ pub fn run_test(
 ) -> TestRun {
     let mut interp = Interp::new(project, interceptor, options.limits);
     for key in &options.pinned_configs {
-        interp.config.pin(key);
+        interp.pin_config(key);
     }
     let result = interp.invoke(&test.class, &test.name, Vec::new());
     let outcome = match result {

@@ -5,6 +5,8 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
+use wasabi_lang::index::{ExcId, FieldLayout};
 use wasabi_lang::project::MethodId;
 
 /// A runtime value.
@@ -30,13 +32,14 @@ pub enum Value {
     Exception(Rc<ExceptionValue>),
 }
 
-/// An instance of a user-declared class.
+/// An instance of a user-declared class: a slot vector laid out by the
+/// class's compile-time [`FieldLayout`].
 #[derive(Debug)]
 pub struct Object {
-    /// Class name.
-    pub class: String,
-    /// Field values.
-    pub fields: HashMap<String, Value>,
+    /// The class's field layout (shared, from the program index).
+    pub layout: Arc<FieldLayout>,
+    /// Field values, indexed by layout slot.
+    pub fields: Vec<Value>,
 }
 
 /// Queue contents: `(value, ready_time_ms)` entries in FIFO order.
@@ -78,6 +81,10 @@ impl MapKey {
 pub struct ExceptionValue {
     /// Exception type name.
     pub ty: String,
+    /// The type's id in the program index, when the type is declared there.
+    /// Injected exception types may be undeclared (`None`); subtype checks
+    /// on those fall back to string comparison.
+    pub exc_id: Option<ExcId>,
     /// Message, if any.
     pub message: String,
     /// Chained cause, if any.
@@ -154,7 +161,7 @@ impl Value {
             Value::Bool(b) => b.to_string(),
             Value::Str(s) => s.as_ref().clone(),
             Value::Null => "null".to_string(),
-            Value::Object(o) => format!("<{}>", o.borrow().class),
+            Value::Object(o) => format!("<{}>", o.borrow().layout.class_name),
             Value::Queue(q) => format!("<queue:{}>", q.borrow().entries.len()),
             Value::List(l) => format!("<list:{}>", l.borrow().len()),
             Value::Map(m) => format!("<map:{}>", m.borrow().len()),
@@ -200,6 +207,7 @@ mod tests {
     fn exception_cause_chain() {
         let inner = Rc::new(ExceptionValue {
             ty: "AccessControlException".into(),
+            exc_id: None,
             message: "denied".into(),
             cause: None,
             raised_at: vec![],
@@ -207,6 +215,7 @@ mod tests {
         });
         let outer = ExceptionValue {
             ty: "HadoopException".into(),
+            exc_id: None,
             message: "wrapped".into(),
             cause: Some(inner),
             raised_at: vec![],

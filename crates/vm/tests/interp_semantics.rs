@@ -431,9 +431,9 @@ struct InjectAtCallee {
 
 impl Interceptor for InjectAtCallee {
     fn before_call(&mut self, ctx: &CallCtx<'_>) -> InterceptAction {
-        if ctx.callee.name == self.callee && self.budget > 0 {
+        if ctx.names.resolve(ctx.callee.name) == self.callee && self.budget > 0 {
             self.budget -= 1;
-            self.seen_callers.push(ctx.caller.to_string());
+            self.seen_callers.push(ctx.names.method_display(ctx.caller));
             InterceptAction::Throw {
                 exc_type: self.exc_type.clone(),
                 message: "injected".into(),

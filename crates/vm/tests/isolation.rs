@@ -24,7 +24,7 @@ struct InjectOn {
 
 impl Interceptor for InjectOn {
     fn before_call(&mut self, ctx: &CallCtx<'_>) -> InterceptAction {
-        if ctx.callee.name == self.callee_name && self.fired < 3 {
+        if ctx.names.resolve(ctx.callee.name) == self.callee_name && self.fired < 3 {
             self.fired += 1;
             return InterceptAction::Throw {
                 exc_type: self.exc_type.clone(),
@@ -197,7 +197,7 @@ fn a_contained_panic_leaves_the_project_reusable() {
     }
     impl Interceptor for PanicOnce {
         fn before_call(&mut self, ctx: &CallCtx<'_>) -> InterceptAction {
-            if self.armed && ctx.callee.name == "fetch" {
+            if self.armed && ctx.names.resolve(ctx.callee.name) == "fetch" {
                 panic!("isolation test: injected panic");
             }
             InterceptAction::Proceed

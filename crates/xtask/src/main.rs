@@ -16,6 +16,19 @@
 //!   (journal a campaign, cut the journal mid-line as a killed process
 //!   would leave it, resume) whose report must be byte-identical to the
 //!   uninterrupted baseline.
+//! - `bench` — full engine-throughput benchmark over the repro corpus
+//!   (`wasabi bench`, serial and `--jobs 4`); composes `BENCH_PR3.json`
+//!   at the repo root from the recorded baseline
+//!   (`scripts/bench_baseline.json`, written once with
+//!   `bench --record-baseline`) and the current measurement.
+//! - `bench --smoke` — reduced variant for the CI gate: verifies the
+//!   seed-corpus report digest (`scripts/seed_report_digest.txt`,
+//!   recorded with `digest --record`) and runs a one-iteration mini
+//!   bench. Wired into `tier1` and `ci`.
+//! - `digest` — recompute the seed-corpus `wasabi test --json` report
+//!   digest and compare against the recorded one (`--record` rewrites
+//!   the file). Guards against execution-layer changes altering any
+//!   observable report byte.
 
 use std::env;
 use std::fs;
@@ -24,14 +37,16 @@ use std::process::{exit, Command};
 
 fn main() {
     let task = env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: cargo xtask <tier1|ci|smoke>");
+        eprintln!("usage: cargo xtask <tier1|ci|smoke|bench|digest>");
         exit(2);
     });
+    let flags: Vec<String> = env::args().skip(2).collect();
     match task.as_str() {
         "tier1" => {
             run_stage("build --release", &["build", "--release"]);
             run_stage("test -q --workspace", &["test", "-q", "--workspace"]);
             smoke();
+            bench_smoke();
             eprintln!("tier1: OK");
         }
         "ci" => {
@@ -43,14 +58,27 @@ fn main() {
                 &["test", "-q", "--workspace", "--all-features"],
             );
             smoke();
+            bench_smoke();
             eprintln!("ci: OK");
         }
         "smoke" => {
             run_stage("build --release --bin wasabi", &["build", "--release", "--bin", "wasabi"]);
             smoke();
         }
+        "bench" => {
+            run_stage("build --release --bin wasabi", &["build", "--release", "--bin", "wasabi"]);
+            if flags.iter().any(|f| f == "--smoke") {
+                bench_smoke();
+            } else {
+                bench_full(flags.iter().any(|f| f == "--record-baseline"));
+            }
+        }
+        "digest" => {
+            run_stage("build --release --bin wasabi", &["build", "--release", "--bin", "wasabi"]);
+            digest(flags.iter().any(|f| f == "--record"));
+        }
         other => {
-            eprintln!("unknown task `{other}`; expected tier1, ci, or smoke");
+            eprintln!("unknown task `{other}`; expected tier1, ci, smoke, bench, or digest");
             exit(2);
         }
     }
@@ -157,10 +185,213 @@ fn smoke() {
     eprintln!("smoke: OK");
 }
 
+const BASELINE_PATH: &str = "scripts/bench_baseline.json";
+const DIGEST_PATH: &str = "scripts/seed_report_digest.txt";
+const BENCH_OUT: &str = "BENCH_PR3.json";
+/// Apps whose `wasabi test --json` reports are digest-pinned.
+const DIGEST_APPS: &[&str] = &["HD", "MA"];
+
+/// Full benchmark: measure serial and 4-worker throughput over the whole
+/// repro corpus, then compose `BENCH_PR3.json` from the recorded baseline
+/// and the current numbers. With `record`, (re)writes the baseline file
+/// instead.
+fn bench_full(record: bool) {
+    let wasabi = release_wasabi();
+    eprintln!("==> bench: full corpus, serial");
+    let serial = run_wasabi(
+        &wasabi,
+        &["bench", "--jobs", "1", "--iters", "3", "--scale", "paper"],
+    );
+    eprintln!("==> bench: full corpus, --jobs 4");
+    let parallel = run_wasabi(
+        &wasabi,
+        &["bench", "--jobs", "4", "--iters", "3", "--scale", "paper"],
+    );
+    let measurement = format!(
+        "{{\n  \"serial\": {},\n  \"parallel\": {}\n}}",
+        indent_json(&serial, 2),
+        indent_json(&parallel, 2)
+    );
+    if record {
+        fs::write(BASELINE_PATH, &measurement)
+            .unwrap_or_else(|e| fail(&format!("write {BASELINE_PATH}: {e}")));
+        eprintln!("bench: baseline recorded to {BASELINE_PATH}");
+        return;
+    }
+    let baseline = fs::read_to_string(BASELINE_PATH).unwrap_or_else(|_| {
+        fail(&format!(
+            "{BASELINE_PATH} missing — record one with `cargo xtask bench --record-baseline`"
+        ))
+    });
+    let speedup = |section: &str| -> f64 {
+        let base = extract_runs_per_sec(extract_section(&baseline, section));
+        let curr = extract_runs_per_sec(extract_section(&measurement, section));
+        curr / base
+    };
+    let (serial_speedup, parallel_speedup) = (speedup("serial"), speedup("parallel"));
+    let doc = format!(
+        "{{\n  \"harness\": \"wasabi bench (full dynamic workflow over all 8 corpus apps, \
+         scale paper, best of 3 iterations)\",\n  \"baseline\": {},\n  \"current\": {},\n  \
+         \"speedup\": {{\n    \"serial_runs_per_sec\": {serial_speedup:.2},\n    \
+         \"parallel_runs_per_sec\": {parallel_speedup:.2}\n  }}\n}}\n",
+        indent_json(baseline.trim(), 2),
+        indent_json(measurement.trim(), 2)
+    );
+    fs::write(BENCH_OUT, doc).unwrap_or_else(|e| fail(&format!("write {BENCH_OUT}: {e}")));
+    eprintln!(
+        "bench: wrote {BENCH_OUT} (speedup: {serial_speedup:.2}x serial, \
+         {parallel_speedup:.2}x parallel)"
+    );
+}
+
+/// The CI bench smoke: the seed-corpus report digest must match the
+/// recorded one (interning/indexing must never change observable output),
+/// and a one-iteration mini bench must run cleanly.
+fn bench_smoke() {
+    eprintln!("==> bench smoke: seed-corpus report digest + mini bench");
+    digest(false);
+    let wasabi = release_wasabi();
+    let out = run_wasabi(&wasabi, &["bench", "--apps", "HD", "--iters", "1", "--jobs", "2"]);
+    if !out.contains("\"runs_per_sec\"") {
+        fail("bench smoke: mini bench produced no runs_per_sec");
+    }
+    eprintln!("bench smoke: OK");
+}
+
+/// Recomputes the `wasabi test --quiet --json --jobs 2` report digest for
+/// each pinned corpus app and compares it to (or, with `record`, rewrites)
+/// `scripts/seed_report_digest.txt`.
+fn digest(record: bool) {
+    let wasabi = release_wasabi()
+        .canonicalize()
+        .unwrap_or_else(|e| fail(&format!("canonicalize wasabi path: {e}")));
+    let work = env::temp_dir().join(format!("wasabi-digest-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&work);
+    let mut lines = String::new();
+    for app in DIGEST_APPS {
+        let app_dir = work.join(app);
+        let status = Command::new(&wasabi)
+            .args(["corpus", app])
+            .arg(&app_dir)
+            .status()
+            .unwrap_or_else(|e| fail(&format!("spawn wasabi corpus: {e}")));
+        if !status.success() {
+            fail(&format!("wasabi corpus {app} failed"));
+        }
+        let mut files = Vec::new();
+        collect_jav(&app_dir, &mut files);
+        files.sort();
+        // The simulated LLM draws its error modes from (seed, file path,
+        // question), so the paths the runner sees are part of the digest
+        // input: pass them relative to the work dir to keep the report
+        // independent of the temp-dir location and of this process's pid.
+        let rel: Vec<PathBuf> = files
+            .iter()
+            .map(|f| f.strip_prefix(&work).expect("file under work dir").to_path_buf())
+            .collect();
+        let report = run_wasabi_test_in(&wasabi, &work, &["--quiet", "--json", "--jobs", "2"], &rel);
+        if report.is_empty() {
+            fail(&format!("digest: empty report for {app}"));
+        }
+        lines.push_str(&format!("{app} {:016x}\n", fnv1a64(report.as_bytes())));
+    }
+    let _ = fs::remove_dir_all(&work);
+    if record {
+        fs::write(DIGEST_PATH, &lines)
+            .unwrap_or_else(|e| fail(&format!("write {DIGEST_PATH}: {e}")));
+        eprintln!("digest: recorded to {DIGEST_PATH}:\n{lines}");
+        return;
+    }
+    let recorded = fs::read_to_string(DIGEST_PATH).unwrap_or_else(|_| {
+        fail(&format!(
+            "{DIGEST_PATH} missing — record one with `cargo xtask digest --record`"
+        ))
+    });
+    if recorded != lines {
+        eprintln!("recorded:\n{recorded}\ncomputed:\n{lines}");
+        fail("digest: seed-corpus report digest changed — execution output is no longer byte-identical");
+    }
+    eprintln!("    seed-corpus report digest unchanged ({} apps)", DIGEST_APPS.len());
+}
+
+fn release_wasabi() -> PathBuf {
+    let wasabi = PathBuf::from("target/release/wasabi");
+    if !wasabi.exists() {
+        fail(&format!("{} not built", wasabi.display()));
+    }
+    wasabi
+}
+
+/// Runs `wasabi <args>` and returns stdout; any failure exit code aborts.
+fn run_wasabi(wasabi: &Path, args: &[&str]) -> String {
+    let output = Command::new(wasabi)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| fail(&format!("spawn wasabi {}: {e}", args.join(" "))));
+    if !output.status.success() {
+        eprintln!("{}", String::from_utf8_lossy(&output.stderr));
+        fail(&format!("wasabi {} failed", args.join(" ")));
+    }
+    String::from_utf8_lossy(&output.stdout).into_owned()
+}
+
+/// FNV-1a 64-bit, matching `wasabi_util::fnv` (xtask stays dependency-free).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Pulls the `"serial"`/`"parallel"` object out of a composed measurement
+/// document (top-level key match; good enough for our own format).
+fn extract_section<'a>(doc: &'a str, section: &str) -> &'a str {
+    let key = format!("\"{section}\":");
+    let start = doc
+        .find(&key)
+        .unwrap_or_else(|| fail(&format!("bench: no `{section}` section in measurement")));
+    &doc[start..]
+}
+
+/// Parses the first `"runs_per_sec": <number>` after `doc`'s start.
+fn extract_runs_per_sec(doc: &str) -> f64 {
+    let key = "\"runs_per_sec\":";
+    let start = doc
+        .find(key)
+        .unwrap_or_else(|| fail("bench: no runs_per_sec in measurement"));
+    let rest = doc[start + key.len()..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<f64>()
+        .unwrap_or_else(|e| fail(&format!("bench: bad runs_per_sec `{}`: {e}", &rest[..end])))
+}
+
+/// Re-indents a JSON document by `by` extra spaces (cosmetic nesting).
+fn indent_json(doc: &str, by: usize) -> String {
+    let pad = " ".repeat(by);
+    doc.trim()
+        .lines()
+        .enumerate()
+        .map(|(i, line)| if i == 0 { line.to_string() } else { format!("{pad}{line}") })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 /// Runs `wasabi test <flags> <files>` and returns stdout. Exit code 1
 /// (bugs found) is success for the smoke — only codes ≥ 2 are errors.
 fn run_wasabi_test(wasabi: &Path, flags: &[&str], files: &[PathBuf]) -> String {
+    run_wasabi_test_in(wasabi, Path::new("."), flags, files)
+}
+
+/// [`run_wasabi_test`] with an explicit working directory (`wasabi` must
+/// then be an absolute path).
+fn run_wasabi_test_in(wasabi: &Path, cwd: &Path, flags: &[&str], files: &[PathBuf]) -> String {
     let output = Command::new(wasabi)
+        .current_dir(cwd)
         .arg("test")
         .args(flags)
         .args(files)

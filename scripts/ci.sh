@@ -10,6 +10,10 @@
 #      --jobs 4) must report byte-identically to the serial run, and a
 #      kill-and-resume round-trip (journal cut mid-line, then --resume)
 #      must report byte-identically to the uninterrupted baseline.
+#   4. bench smoke: the seed-corpus `wasabi test --json` reports must
+#      match the recorded digest (scripts/seed_report_digest.txt) — the
+#      compile-once interning/index layer must never change observable
+#      output — and a one-iteration mini bench must run cleanly.
 #
 # Everything resolves offline: the workspace has no registry dependencies.
 set -euo pipefail
@@ -25,5 +29,8 @@ cargo test -q --workspace --all-features
 
 echo "== stage 3: resilience smoke =="
 cargo xtask smoke
+
+echo "== stage 4: bench smoke (report digest + mini bench) =="
+cargo xtask bench --smoke
 
 echo "== ci: all stages passed =="

@@ -7,6 +7,7 @@
 //! wasabi test    [--json] [--jobs N] [--max-attempts N] [--journal PATH]
 //!                [--resume PATH] [--quiet] [--chaos-panic RATE] <file.jav>...
 //! wasabi corpus  <APP> <out-dir>                   # write a synthetic app to disk
+//! wasabi bench   [--jobs N] [--iters N] [--apps HD,MA,...] [--scale tiny|small|paper]
 //! ```
 
 use std::path::PathBuf;
@@ -27,7 +28,8 @@ const USAGE: &str = "usage:
   wasabi sweep   [--json] <file.jav>...
   wasabi test    [--json] [--jobs N] [--max-attempts N] [--journal PATH]
                  [--resume PATH] [--quiet] [--chaos-panic RATE] <file.jav>...
-  wasabi corpus  <APP> <out-dir>     (APP = HA HD MA YA HB HI CA EL)";
+  wasabi corpus  <APP> <out-dir>     (APP = HA HD MA YA HB HI CA EL)
+  wasabi bench   [--jobs N] [--iters N] [--apps HD,MA,...] [--scale tiny|small|paper]";
 
 /// Campaign-related flags shared by `wasabi test` (and tolerated, unused,
 /// by the other commands so flag order never matters).
@@ -63,6 +65,7 @@ fn main() -> ExitCode {
         "sweep" => with_project(&args, |project| sweep(project, json)),
         "test" => with_project(&args, |project| test(project, json, &flags)),
         "corpus" => corpus(&args),
+        "bench" => bench(args, &flags),
         other => {
             eprintln!("unknown command `{other}`\n{USAGE}");
             ExitCode::from(2)
@@ -388,6 +391,131 @@ fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// Engine-throughput benchmark over the repro corpus: generates each
+/// paper app at small scale, runs the full dynamic workflow, and reports
+/// runs/sec and interpreter steps/sec as machine-readable JSON. The best
+/// (fastest) of `--iters` repetitions per app is reported, so one noisy
+/// iteration cannot skew the numbers. Driven by `cargo xtask bench`.
+fn bench(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
+    use std::time::Instant;
+
+    let iters = match take_value_flag(&mut args, "--iters") {
+        Ok(Some(value)) => match value.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("invalid --iters value `{value}`");
+                return ExitCode::from(2);
+            }
+        },
+        Ok(None) => 2,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let apps_filter: Option<Vec<String>> = match take_value_flag(&mut args, "--apps") {
+        Ok(found) => found.map(|list| list.split(',').map(str::to_string).collect()),
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let scale = match take_value_flag(&mut args, "--scale") {
+        Ok(found) => match found.as_deref() {
+            None | Some("small") => wasabi::corpus::spec::Scale::Small,
+            Some("tiny") => wasabi::corpus::spec::Scale::Tiny,
+            Some("paper") => wasabi::corpus::spec::Scale::Paper,
+            Some(other) => {
+                eprintln!("invalid --scale `{other}` (tiny|small|paper)");
+                return ExitCode::from(2);
+            }
+        },
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let specs: Vec<_> = wasabi::corpus::spec::paper_apps()
+        .into_iter()
+        .filter(|spec| {
+            apps_filter
+                .as_ref()
+                .map_or(true, |wanted| wanted.iter().any(|w| w == spec.short))
+        })
+        .collect();
+    if specs.is_empty() {
+        eprintln!("no apps selected (known: HA HD MA YA HB HI CA EL)");
+        return ExitCode::from(2);
+    }
+
+    let mut app_rows = Vec::new();
+    let (mut runs, mut steps, mut virtual_ms) = (0u64, 0u64, 0u64);
+    let mut wall_us = 0u128;
+    for spec in &specs {
+        let app = wasabi::corpus::synth::generate_app(spec, scale);
+        let project = wasabi::corpus::synth::compile_app(&app);
+        let mut llm = SimulatedLlm::with_seed(app.spec.seed);
+        let identified = identify(&project, &mut llm);
+        let mut best: Option<(u128, u64, u64, u64)> = None;
+        for _ in 0..iters {
+            let options = DynamicOptions {
+                jobs: flags.jobs,
+                ..DynamicOptions::default()
+            };
+            let started = Instant::now();
+            let result = run_dynamic_with_observer(
+                &project,
+                &identified.locations,
+                &options,
+                &mut NullObserver,
+            );
+            let elapsed_us = started.elapsed().as_micros();
+            let sample = (
+                elapsed_us,
+                result.campaign.runs_total as u64,
+                result.campaign.steps,
+                result.campaign.virtual_ms,
+            );
+            if best.map_or(true, |b| sample.0 < b.0) {
+                best = Some(sample);
+            }
+        }
+        let (us, app_runs, app_steps, app_virtual) = best.expect("iters >= 1");
+        app_rows.push(Json::obj([
+            ("app", Json::from(spec.short)),
+            ("runs", Json::from(app_runs)),
+            ("steps", Json::from(app_steps)),
+            ("virtual_ms", Json::from(app_virtual)),
+            ("wall_ms", Json::from(us as f64 / 1000.0)),
+        ]));
+        runs += app_runs;
+        steps += app_steps;
+        virtual_ms += app_virtual;
+        wall_us += us;
+    }
+    let wall_secs = (wall_us as f64 / 1.0e6).max(1.0e-9);
+    let value = Json::obj([
+        ("scale", Json::from(format!("{scale:?}").to_lowercase())),
+        ("jobs", Json::from(flags.jobs)),
+        ("iters", Json::from(iters)),
+        ("apps", Json::arr(app_rows.into_iter())),
+        (
+            "totals",
+            Json::obj([
+                ("runs", Json::from(runs)),
+                ("steps", Json::from(steps)),
+                ("virtual_ms", Json::from(virtual_ms)),
+                ("wall_ms", Json::from(wall_us as f64 / 1000.0)),
+                ("runs_per_sec", Json::from(runs as f64 / wall_secs)),
+                ("steps_per_sec", Json::from(steps as f64 / wall_secs)),
+            ]),
+        ),
+    ]);
+    print!("{}", value.pretty());
+    ExitCode::SUCCESS
 }
 
 fn corpus(args: &[String]) -> ExitCode {

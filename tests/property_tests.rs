@@ -221,6 +221,272 @@ fn keyword_filter_is_monotone() {
     }
 }
 
+// ---- Interning and slot-environment properties ------------------------------
+
+/// A random identifier-ish string (the interner must also cope with
+/// non-identifier text, so a few odd characters are mixed in).
+fn gen_name(rng: &mut Rng) -> String {
+    const POOL: &[char] = &[
+        'a', 'b', 'z', 'A', 'Z', '0', '9', '_', '.', '<', '>', '\u{e9}',
+    ];
+    let len = rng.range(1, 12) as usize;
+    (0..len).map(|_| *rng.pick(POOL)).collect()
+}
+
+/// `resolve(intern(s)) == s` over a generated corpus, interning is
+/// idempotent (same symbol back), and distinct strings get distinct
+/// symbols.
+#[test]
+fn interner_roundtrip_and_idempotence() {
+    use std::collections::HashMap;
+    use wasabi::lang::intern::Interner;
+    for case in 0..64u64 {
+        let mut rng = Rng::new(0x1274e_0000 + case);
+        let mut interner = Interner::new();
+        let mut expected: HashMap<String, wasabi::lang::intern::Symbol> = HashMap::new();
+        for _ in 0..rng.range(1, 300) {
+            let name = gen_name(&mut rng);
+            let sym = interner.intern(&name);
+            match expected.get(&name) {
+                Some(prior) => assert_eq!(*prior, sym, "[case {case}] intern not idempotent"),
+                None => {
+                    expected.insert(name.clone(), sym);
+                }
+            }
+            assert_eq!(interner.resolve(sym), name, "[case {case}] roundtrip");
+            assert_eq!(interner.lookup(&name), Some(sym), "[case {case}] lookup");
+        }
+        // Distinct strings map to distinct symbols.
+        assert_eq!(interner.len(), expected.len(), "[case {case}] symbol reuse");
+    }
+}
+
+// A reference evaluator over the *surface AST* with a string-keyed
+// HashMap environment — the semantics the slot-lowered interpreter must
+// reproduce. Covers int locals (declared anywhere, function-scoped),
+// assignment, if/while, and wrapping arithmetic.
+mod reference {
+    use std::collections::HashMap;
+    use wasabi::lang::ast::{BinOp, Block, Expr, Literal, Stmt};
+
+    pub fn eval(env: &mut HashMap<String, i64>, expr: &Expr) -> i64 {
+        match expr {
+            Expr::Literal(Literal::Int(v), _) => *v,
+            Expr::Unary {
+                op: wasabi::lang::ast::UnOp::Neg,
+                expr,
+                ..
+            } => eval(env, expr).wrapping_neg(),
+            Expr::Ident(name, _) => env[name.as_str()],
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let (a, b) = (eval(env, lhs), eval(env, rhs));
+                match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    other => panic!("reference: unexpected int op {other:?}"),
+                }
+            }
+            other => panic!("reference: unexpected expr {other:?}"),
+        }
+    }
+
+    pub fn eval_cond(env: &mut HashMap<String, i64>, expr: &Expr) -> bool {
+        match expr {
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let (a, b) = (eval(env, lhs), eval(env, rhs));
+                match op {
+                    BinOp::Lt => a < b,
+                    BinOp::LtEq => a <= b,
+                    BinOp::Gt => a > b,
+                    BinOp::GtEq => a >= b,
+                    BinOp::Eq => a == b,
+                    BinOp::NotEq => a != b,
+                    other => panic!("reference: unexpected cmp {other:?}"),
+                }
+            }
+            other => panic!("reference: unexpected cond {other:?}"),
+        }
+    }
+
+    /// Executes a block; returns `Some(value)` when a `return` fired.
+    pub fn exec(env: &mut HashMap<String, i64>, block: &Block) -> Option<i64> {
+        for stmt in &block.stmts {
+            match stmt {
+                Stmt::Var { name, init, .. } => {
+                    let value = eval(env, init);
+                    env.insert(name.clone(), value);
+                }
+                Stmt::Assign { target, value, .. } => {
+                    let value = eval(env, value);
+                    match target {
+                        wasabi::lang::ast::LValue::Var(name, _) => {
+                            env.insert(name.clone(), value);
+                        }
+                        other => panic!("reference: unexpected lvalue {other:?}"),
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_blk,
+                    else_blk,
+                    ..
+                } => {
+                    if eval_cond(env, cond) {
+                        if let Some(v) = exec(env, then_blk) {
+                            return Some(v);
+                        }
+                    } else if let Some(else_blk) = else_blk {
+                        if let Some(v) = exec(env, else_blk) {
+                            return Some(v);
+                        }
+                    }
+                }
+                Stmt::While { cond, body, .. } => {
+                    while eval_cond(env, cond) {
+                        if let Some(v) = exec(env, body) {
+                            return Some(v);
+                        }
+                    }
+                }
+                Stmt::Return { expr: Some(expr), .. } => return Some(eval(env, expr)),
+                other => panic!("reference: unexpected stmt {other:?}"),
+            }
+        }
+        None
+    }
+}
+
+/// Generates an int-only method body over function-scoped locals: `var`
+/// declarations (possibly nested inside branches, exercising the lowering
+/// rule that locals are slotted per method, not per block), assignments,
+/// `if`/`else`, and bounded `while` loops with fresh counters.
+fn gen_int_body(rng: &mut Rng, vars: &mut Vec<String>, loops: &mut u32, depth: u32) -> String {
+    let int_expr = |rng: &mut Rng, vars: &[String]| -> String {
+        let leaf = |rng: &mut Rng, vars: &[String]| -> String {
+            if !vars.is_empty() && rng.below(2) == 0 {
+                rng.pick(vars).clone()
+            } else {
+                (rng.below(2000) as i64 - 1000).to_string()
+            }
+        };
+        let a = leaf(rng, vars);
+        let b = leaf(rng, vars);
+        let op = *rng.pick(&["+", "-", "*"]);
+        format!("({a} {op} {b})")
+    };
+    let cond_expr = |rng: &mut Rng, vars: &[String]| -> String {
+        let a = int_expr(rng, vars);
+        let b = int_expr(rng, vars);
+        let cmp = *rng.pick(&["<", "<=", ">", ">=", "==", "!="]);
+        format!("({a} {cmp} {b})")
+    };
+    let count = rng.range(1, 5) as usize;
+    let mut out = String::new();
+    for _ in 0..count {
+        let choice = if depth == 0 { rng.below(2) } else { rng.below(4) };
+        match choice {
+            0 => {
+                let name = format!("v{}", vars.len());
+                out.push_str(&format!("var {name} = {};\n", int_expr(rng, vars)));
+                vars.push(name);
+            }
+            1 if !vars.is_empty() => {
+                let name = rng.pick(vars).clone();
+                out.push_str(&format!("{name} = {};\n", int_expr(rng, vars)));
+            }
+            1 => {}
+            2 => {
+                // Vars declared inside a branch may be skipped at run time,
+                // so they must not be read afterwards: generate each branch
+                // with its own clone of the var list. Both clones start at
+                // the same length, so sibling branches routinely declare the
+                // same name — exercising slot sharing in the lowering.
+                let cond = cond_expr(rng, vars);
+                let mut then_vars = vars.clone();
+                let then_blk = gen_int_body(rng, &mut then_vars, loops, depth - 1);
+                let mut else_vars = vars.clone();
+                let else_blk = gen_int_body(rng, &mut else_vars, loops, depth - 1);
+                out.push_str(&format!(
+                    "if ({cond}) {{\n{then_blk}}} else {{\n{else_blk}}}\n"
+                ));
+            }
+            _ => {
+                // Bounded loop on a fresh counter, so termination is
+                // guaranteed whatever the generated body does.
+                let counter = format!("l{loops}");
+                *loops += 1;
+                let bound = rng.range(1, 5);
+                // The counter is deliberately NOT visible inside the body:
+                // a generated `lN = ...` reset would loop forever.
+                let mut body_vars = vars.clone();
+                let body = gen_int_body(rng, &mut body_vars, loops, depth - 1);
+                out.push_str(&format!(
+                    "var {counter} = 0;\nwhile ({counter} < {bound}) {{\n{body}{counter} = {counter} + 1;\n}}\n"
+                ));
+                vars.push(counter);
+            }
+        }
+    }
+    out
+}
+
+/// The slot-addressed environment of the lowered interpreter computes the
+/// same result as a string-keyed HashMap environment over the surface AST,
+/// on random method bodies.
+#[test]
+fn slot_env_matches_reference_hashmap_env() {
+    use std::collections::HashMap;
+    use wasabi::lang::ast::Item;
+    use wasabi::lang::parser::parse_file;
+    use wasabi::lang::project::Project;
+    use wasabi::vm::interp::{Interp, InvokeResult, RunLimits};
+    use wasabi::vm::interceptor::NoopInterceptor;
+    use wasabi::vm::Value;
+
+    for case in 0..96u64 {
+        let mut rng = Rng::new(0x5107_0000 + case);
+        let mut vars = vec!["p0".to_string(), "p1".to_string()];
+        let mut loops = 0u32;
+        let body = gen_int_body(&mut rng, &mut vars, &mut loops, 3);
+        // Mix every variable into the result so a single misassigned slot
+        // changes the output.
+        let sum = vars
+            .iter()
+            .enumerate()
+            .map(|(i, v)| format!("{v} * {}", 2 * i as i64 + 1))
+            .collect::<Vec<_>>()
+            .join(" + ");
+        let source = format!("class P {{\n method run(p0, p1) {{\n{body}return {sum};\n }}\n}}\n");
+
+        // Reference: string-keyed environment over the parsed AST.
+        let items = parse_file(&source)
+            .unwrap_or_else(|e| panic!("[case {case}] generated source failed to parse: {e}"));
+        let Item::Class(class) = &items[0] else {
+            panic!("[case {case}] expected a class");
+        };
+        let method = &class.methods[0];
+        let (a0, a1) = (rng.below(100) as i64, rng.below(100) as i64);
+        let mut env: HashMap<String, i64> = HashMap::new();
+        env.insert("p0".to_string(), a0);
+        env.insert("p1".to_string(), a1);
+        let expected = reference::exec(&mut env, &method.body)
+            .unwrap_or_else(|| panic!("[case {case}] reference did not return"));
+
+        // Subject: the slot-compiled interpreter.
+        let project = Project::compile("prop", vec![("p.jav", source.clone())])
+            .unwrap_or_else(|e| panic!("[case {case}] compile failed: {e:?}"));
+        let mut noop = NoopInterceptor;
+        let mut interp = Interp::new(&project, &mut noop, RunLimits::default());
+        match interp.invoke("P", "run", vec![Value::Int(a0), Value::Int(a1)]) {
+            InvokeResult::Ok(Value::Int(actual)) => {
+                assert_eq!(actual, expected, "[case {case}]\n{source}");
+            }
+            other => panic!("[case {case}] unexpected result {other:?}\n{source}"),
+        }
+    }
+}
+
 // ---- Planner properties ----------------------------------------------------
 
 /// Every coverable site appears exactly once in the plan, and only
