@@ -4,13 +4,15 @@
 //!
 //! ```text
 //! repro [--scale tiny|small|paper] [--jobs N] [--max-attempts N]
-//!       [--journal DIR] [--resume DIR] [--quiet] <artifact>...
+//!       [--journal DIR] [--resume DIR] [--trace-out DIR] [--quiet] <artifact>...
 //! repro --scale paper --jobs 8 --journal runs/ all
 //! ```
 //!
 //! `--journal DIR` checkpoints each app's campaign to `DIR/<short>.jsonl`;
 //! `--resume DIR` reloads those files (apps without one run from scratch),
 //! so an interrupted `all` at paper scale restarts where it died.
+//! `--trace-out DIR` records each app's campaign as a span trace
+//! (`DIR/<short>.trace.jsonl`), readable with `wasabi stats`.
 //!
 //! Artifacts: `table1 table2 study-stats table3 table4 table5 table6 fig3
 //! fig4 if-bugs cost fp-taxonomy ablation-keyword ablation-oracles all`.
@@ -32,7 +34,8 @@ use wasabi_corpus::spec::{paper_apps, Scale};
 use wasabi_corpus::study::{study_issues, table1_counts, table2_counts, MechanismShape, Severity, StudyApp, Trigger};
 use wasabi_corpus::synth::{compile_app, generate_app};
 use wasabi_core::dynamic::DynamicOptions;
-use wasabi_core::score::{evaluate_app, Aggregate};
+use wasabi_core::score::{evaluate_app, evaluate_app_with_observer, Aggregate};
+use wasabi_engine::{write_trace, MetricsObserver};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -41,6 +44,7 @@ fn main() {
     let mut max_attempts: Option<u8> = None;
     let mut journal_dir: Option<PathBuf> = None;
     let mut resume_dir: Option<PathBuf> = None;
+    let mut trace_dir: Option<PathBuf> = None;
     let mut quiet = false;
     let mut artifacts: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
@@ -84,6 +88,9 @@ fn main() {
             "--resume" => {
                 resume_dir = Some(PathBuf::from(iter.next().unwrap_or_default()));
             }
+            "--trace-out" => {
+                trace_dir = Some(PathBuf::from(iter.next().unwrap_or_default()));
+            }
             "--quiet" => quiet = true,
             other => artifacts.push(other.to_string()),
         }
@@ -118,10 +125,12 @@ fn main() {
                 "# running the full WASABI pipeline on all 8 apps (scale {scale:?}, {jobs} job(s))..."
             );
         }
-        if let Some(dir) = &journal_dir {
-            if let Err(err) = std::fs::create_dir_all(dir) {
-                eprintln!("cannot create journal dir {}: {err}", dir.display());
-                std::process::exit(2);
+        for (what, dir) in [("journal", &journal_dir), ("trace", &trace_dir)] {
+            if let Some(dir) = dir {
+                if let Err(err) = std::fs::create_dir_all(dir) {
+                    eprintln!("cannot create {what} dir {}: {err}", dir.display());
+                    std::process::exit(2);
+                }
             }
         }
         let base_options = DynamicOptions {
@@ -153,7 +162,22 @@ fn main() {
                 }
             }
             let app = generate_app(&spec, scale);
-            aggregate.apps.push(evaluate_app(&app, &options));
+            let evaluation = match &trace_dir {
+                Some(dir) => {
+                    let mut recorder = MetricsObserver::new();
+                    let evaluation = evaluate_app_with_observer(&app, &options, &mut recorder);
+                    let path = dir.join(format!("{}.trace.jsonl", spec.short));
+                    if let Err(err) =
+                        write_trace(&path, spec.short, recorder.phases(), recorder.runs())
+                    {
+                        eprintln!("{err}");
+                        std::process::exit(2);
+                    }
+                    evaluation
+                }
+                None => evaluate_app(&app, &options),
+            };
+            aggregate.apps.push(evaluation);
         }
         Some(aggregate)
     } else {

@@ -13,7 +13,8 @@ use wasabi_analysis::loops::RetryLocation;
 use wasabi_engine::campaign::{
     run_campaign, CampaignOptions, CampaignStats, ChaosConfig, RetryPolicy, RunOutcome, RunRecord,
 };
-use wasabi_engine::observer::{EngineObserver, NullObserver};
+use wasabi_engine::metrics::CampaignMetrics;
+use wasabi_engine::observer::{EngineEvent, EngineObserver, NullObserver};
 use wasabi_lang::project::Project;
 use wasabi_oracles::dedup::{dedup_reports, DistinctBug};
 use wasabi_oracles::judge::{OracleConfig, OracleReport};
@@ -113,6 +114,9 @@ pub struct DynamicResult {
     pub tested_structures: BTreeSet<String>,
     /// The engine's campaign statistics (includes per-worker utilization).
     pub campaign: CampaignStats,
+    /// The engine's per-run distributions (deterministic histograms plus
+    /// host timings; see [`CampaignMetrics`]).
+    pub campaign_metrics: CampaignMetrics,
 }
 
 /// Runs the full dynamic workflow without progress reporting.
@@ -132,19 +136,36 @@ pub fn run_dynamic_with_observer(
     options: &DynamicOptions,
     observer: &mut dyn EngineObserver,
 ) -> DynamicResult {
+    // Each pipeline step is bracketed by phase events so a metrics
+    // observer (`--trace-out`, `wasabi bench`) can attribute wall time to
+    // phases; the phase sum tiles the whole pipeline.
+    let phase = |name: &'static str, observer: &mut dyn EngineObserver| {
+        observer.on_event(&EngineEvent::PhaseStarted { name });
+        name
+    };
+    let close = |name: &'static str, observer: &mut dyn EngineObserver| {
+        observer.on_event(&EngineEvent::PhaseFinished { name });
+    };
+
     // 1. Restore default retry configurations (§3.1.4).
+    let name = phase("restore", observer);
     let restoration = restore_retry_configs(project);
     let mut run_options = options.run_options.clone();
     run_options.pinned_configs = restoration.pinned.clone();
+    close(name, observer);
 
     // 2. Profile which test covers which retry location.
+    let name = phase("profile", observer);
     let profile = profile_coverage(project, locations, &run_options);
+    close(name, observer);
 
     // 3. Plan one {test, location} pair per coverable location.
+    let name = phase("plan", observer);
     let all_sites: BTreeSet<_> = locations.iter().map(|l| l.site).collect();
     let test_plan = plan(&profile, &all_sites);
     let runs = expand_plan(&test_plan, locations, &options.ks);
     let runs_naive = naive_run_count(&profile, locations, &options.ks);
+    close(name, observer);
 
     // 4. Hand the campaign to the engine: workers, isolation, budget, and
     //    the deterministic key-ordered merge all live there.
@@ -159,8 +180,11 @@ pub fn run_dynamic_with_observer(
         chaos: options.chaos.clone(),
         ..CampaignOptions::default()
     };
+    let name = phase("run", observer);
     let campaign = run_campaign(project, &runs, &campaign_options, observer);
+    close(name, observer);
 
+    let name = phase("report", observer);
     let tested_structures: BTreeSet<String> = runs
         .iter()
         .map(|run| run.spec.location.structure_key())
@@ -185,6 +209,7 @@ pub fn run_dynamic_with_observer(
     }
 
     let bugs = dedup_reports(reports.clone());
+    close(name, observer);
     DynamicResult {
         restoration,
         profile,
@@ -196,6 +221,7 @@ pub fn run_dynamic_with_observer(
         stats,
         tested_structures,
         campaign: campaign.stats,
+        campaign_metrics: campaign.metrics,
     }
 }
 

@@ -5,7 +5,7 @@
 //! structure (or trap file) it points at and classified as a true or false
 //! positive; false positives are further bucketed into the §4.3 taxonomy.
 
-use crate::dynamic::{run_dynamic, DynamicOptions, DynamicResult};
+use crate::dynamic::{run_dynamic_with_observer, DynamicOptions, DynamicResult};
 use crate::identify::{identify, Identified};
 use std::collections::{BTreeMap, BTreeSet};
 use wasabi_analysis::ifratio::{if_ratio_reports, IfOptions, IfReport};
@@ -125,10 +125,20 @@ fn bug_for_kind(kind: BugKind) -> SeededBug {
 
 /// Runs the whole WASABI pipeline on a generated app and scores it.
 pub fn evaluate_app(app: &GeneratedApp, options: &DynamicOptions) -> AppEvaluation {
+    evaluate_app_with_observer(app, options, &mut wasabi_engine::NullObserver)
+}
+
+/// [`evaluate_app`] with campaign progress/metrics streamed into
+/// `observer` (the repro binary's `--trace-out` recorder rides here).
+pub fn evaluate_app_with_observer(
+    app: &GeneratedApp,
+    options: &DynamicOptions,
+    observer: &mut dyn wasabi_engine::EngineObserver,
+) -> AppEvaluation {
     let project = compile_app(app);
     let mut llm = SimulatedLlm::with_seed(app.spec.seed);
     let identified = identify(&project, &mut llm);
-    let dynamic = run_dynamic(&project, &identified.locations, options);
+    let dynamic = run_dynamic_with_observer(&project, &identified.locations, options, observer);
     let index = ProjectIndex::build(&project);
     let if_reports = if_ratio_reports(&index, &IfOptions::default());
     score(app, &project, &identified, &dynamic, &if_reports)

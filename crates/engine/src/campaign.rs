@@ -48,6 +48,7 @@
 //! nothing in `records` derives from them.
 
 use crate::journal::Journal;
+use crate::metrics::{CampaignMetrics, RunTiming, WorkerTimings};
 use crate::observer::{EngineEvent, EngineObserver};
 use crate::queue::ShardedQueue;
 use std::cell::Cell;
@@ -59,9 +60,10 @@ use std::thread;
 use std::time::{Duration, Instant};
 use wasabi_inject::InjectionHandler;
 use wasabi_lang::project::Project;
-use wasabi_oracles::judge::{judge_run, OracleConfig, OracleReport};
+use wasabi_oracles::judge::{judge_run_timed, OracleConfig, OracleReport};
 use wasabi_planner::plan::{InjectionRun, RunKey};
 use wasabi_util::rng::{fnv1a64, Rng};
+use wasabi_util::{saturating_ms, saturating_us};
 use wasabi_vm::runner::{run_test, RunOptions};
 use wasabi_vm::trace::TestOutcome;
 
@@ -359,6 +361,9 @@ pub struct CampaignResult {
     pub records: Vec<RunRecord>,
     /// Aggregate statistics.
     pub stats: CampaignStats,
+    /// Per-run distributions (deterministic half + host-timing half; see
+    /// [`CampaignMetrics`]).
+    pub metrics: CampaignMetrics,
 }
 
 impl CampaignResult {
@@ -389,6 +394,7 @@ enum Message {
         slot: usize,
         worker: usize,
         record: RunRecord,
+        timing: RunTiming,
     },
     /// The worker thread is dead (panic outside the per-run containment,
     /// or a chaos kill). Its in-flight run, if any, must be re-queued.
@@ -504,6 +510,9 @@ pub fn run_campaign(
     let mut worker_runs = vec![0usize; jobs];
     let mut workers_lost = 0usize;
     let mut supervisor_runs = 0usize;
+    // One timing collector per worker, plus one (the last) for inline
+    // supervisor runs; merged into the metrics in index order at the end.
+    let mut worker_timings = vec![WorkerTimings::default(); jobs + 1];
 
     if !pending.is_empty() {
         let queue = ShardedQueue::prefilled(pending, jobs);
@@ -518,7 +527,7 @@ pub fn run_campaign(
                     // the engine (not a run) is broken — report the death
                     // instead of silently shrinking the pool.
                     let exit = panic::catch_unwind(AssertUnwindSafe(|| {
-                        worker_loop(worker, queue, order, project, runs, options, &sender)
+                        worker_loop(worker, queue, order, project, runs, options, &sender, started_at)
                     }));
                     if !matches!(exit, Ok(WorkerExit::Drained)) {
                         let _ = sender.send(Message::WorkerDied { worker });
@@ -559,10 +568,20 @@ pub fn run_campaign(
                         slot,
                         worker,
                         record,
+                        timing,
                     } => {
                         in_flight[worker] = None;
                         worker_runs[worker] += 1;
-                        complete_slot(slot, worker, record, observer, &mut journal, &mut slots);
+                        worker_timings[worker].record(&timing);
+                        complete_slot(
+                            slot,
+                            worker,
+                            record,
+                            &timing,
+                            observer,
+                            &mut journal,
+                            &mut slots,
+                        );
                     }
                     Message::WorkerDied { worker } => {
                         workers_lost += 1;
@@ -600,7 +619,8 @@ pub fn run_campaign(
             key: &key,
             worker: jobs,
         });
-        let record = {
+        let queue_wait_us = saturating_us(started_at.elapsed());
+        let (record, mut timing) = {
             let observer_cell = std::cell::RefCell::new(&mut *observer);
             let mut notify = |attempt: u8, delay: Duration| {
                 observer_cell.borrow_mut().on_event(&EngineEvent::RunRetried {
@@ -608,13 +628,15 @@ pub fn run_campaign(
                     key: &key,
                     worker: jobs,
                     attempt,
-                    delay_ms: delay.as_millis() as u64,
+                    delay_ms: saturating_ms(delay),
                 });
             };
             execute_run(project, run, options, &mut notify)
         };
+        timing.queue_wait_us = queue_wait_us;
         supervisor_runs += 1;
-        complete_slot(slot, jobs, record, observer, &mut journal, &mut slots);
+        worker_timings[jobs].record(&timing);
+        complete_slot(slot, jobs, record, &timing, observer, &mut journal, &mut slots);
     }
 
     if let Some(journal) = journal.as_mut() {
@@ -635,7 +657,7 @@ pub fn run_campaign(
         supervisor_runs,
         workers_lost,
         resumed,
-        wall_ms: started_at.elapsed().as_millis() as u64,
+        wall_ms: saturating_ms(started_at.elapsed()),
         ..CampaignStats::default()
     };
     for record in &records {
@@ -658,8 +680,17 @@ pub fn run_campaign(
         stats.virtual_ms += record.virtual_ms;
         stats.steps += record.steps;
     }
-    observer.on_event(&EngineEvent::Finished { stats: &stats });
-    CampaignResult { records, stats }
+    let mut metrics = CampaignMetrics::from_records(&records, &options.retry);
+    metrics.absorb_worker_timings(&worker_timings);
+    observer.on_event(&EngineEvent::Finished {
+        stats: &stats,
+        metrics: &metrics,
+    });
+    CampaignResult {
+        records,
+        stats,
+        metrics,
+    }
 }
 
 enum WorkerExit {
@@ -670,6 +701,7 @@ enum WorkerExit {
     Killed,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     worker: usize,
     queue: &ShardedQueue<usize>,
@@ -678,8 +710,10 @@ fn worker_loop(
     runs: &[InjectionRun],
     options: &CampaignOptions,
     sender: &mpsc::Sender<Message>,
+    campaign_started: Instant,
 ) -> WorkerExit {
     while let Some(slot) = queue.pop(worker) {
+        let queue_wait_us = saturating_us(campaign_started.elapsed());
         let run = &runs[order[slot]];
         let key = run.key();
         if sender
@@ -705,15 +739,17 @@ fn worker_loop(
                 worker,
                 key: key.clone(),
                 attempt,
-                delay_ms: delay.as_millis() as u64,
+                delay_ms: saturating_ms(delay),
             });
         };
-        let record = execute_run(project, run, options, &mut notify);
+        let (record, mut timing) = execute_run(project, run, options, &mut notify);
+        timing.queue_wait_us = queue_wait_us;
         if sender
             .send(Message::Finished {
                 slot,
                 worker,
                 record,
+                timing,
             })
             .is_err()
         {
@@ -728,6 +764,7 @@ fn complete_slot(
     slot: usize,
     worker: usize,
     record: RunRecord,
+    timing: &RunTiming,
     observer: &mut dyn EngineObserver,
     journal: &mut Option<Journal>,
     slots: &mut [Option<RunRecord>],
@@ -740,6 +777,8 @@ fn complete_slot(
         injections: record.injections,
         reports: record.reports.len(),
         attempts: record.attempts,
+        steps: record.steps,
+        timing,
     });
     if let RunOutcome::Crashed { message } = &record.outcome {
         observer.on_event(&EngineEvent::RunCrashed {
@@ -774,17 +813,20 @@ fn execute_run(
     run: &InjectionRun,
     options: &CampaignOptions,
     notify_retry: &mut dyn FnMut(u8, Duration),
-) -> RunRecord {
+) -> (RunRecord, RunTiming) {
+    let run_started = Instant::now();
     let max_attempts = options.retry.max_attempts.max(1);
     // Clone the run options (pinned-config list included) once per run, not
     // once per attempt; only the wall-clock deadline varies between attempts.
     let mut run_options = options.run_options.clone();
+    let mut timing = RunTiming::default();
     let mut attempt = 1u8;
     loop {
         let caught = {
             let _guard = ContainGuard::new();
+            let timing = &mut timing;
             panic::catch_unwind(AssertUnwindSafe(|| {
-                execute_attempt(project, run, options, &mut run_options, attempt)
+                execute_attempt(project, run, options, &mut run_options, attempt, timing)
             }))
         };
         let mut record = match caught {
@@ -792,13 +834,15 @@ fn execute_run(
             // Per-run isolation makes the unwind safe: the broken
             // interpreter, handler, and trace died with the attempt, and
             // the next attempt (or the report) only sees this fresh
-            // record.
+            // record. (A panicking attempt's interpreter time is lost to
+            // the timing breakdown — run_wall_us still covers it.)
             Err(payload) => crashed_record(run.key(), panic_message(payload)),
         };
         record.attempts = attempt;
         let transient = record.outcome.is_transient_failure();
         if transient && attempt < max_attempts {
             let delay = options.retry.backoff(&record.key, attempt);
+            timing.backoff_ms = timing.backoff_ms.saturating_add(saturating_ms(delay));
             notify_retry(attempt, delay);
             if !delay.is_zero() {
                 thread::sleep(delay);
@@ -807,7 +851,8 @@ fn execute_run(
             continue;
         }
         record.quarantined = transient;
-        return record;
+        timing.run_wall_us = saturating_us(run_started.elapsed());
+        return (record, timing);
     }
 }
 
@@ -837,6 +882,7 @@ fn execute_attempt(
     options: &CampaignOptions,
     run_options: &mut RunOptions,
     attempt: u8,
+    timing: &mut RunTiming,
 ) -> RunRecord {
     let key = run.key();
     if let Some(chaos) = &options.chaos {
@@ -856,6 +902,7 @@ fn execute_attempt(
     }
     let mut handler = InjectionHandler::single(run.spec.location.clone(), run.spec.k);
     let test_run = run_test(project, &run.test, &mut handler, run_options);
+    timing.interp_us = timing.interp_us.saturating_add(test_run.wall_us);
     if matches!(test_run.outcome, TestOutcome::WallClockExceeded) {
         // Normalize: where the abort landed is host-dependent, so nothing
         // from the partial run may reach the report.
@@ -872,7 +919,8 @@ fn execute_attempt(
             quarantined: false,
         };
     }
-    let verdict = judge_run(&test_run, &run.spec, &options.oracle);
+    let (verdict, judge_elapsed) = judge_run_timed(&test_run, &run.spec, &options.oracle);
+    timing.judge_us = timing.judge_us.saturating_add(saturating_us(judge_elapsed));
     RunRecord {
         key,
         outcome: RunOutcome::Completed(test_run.outcome.clone()),

@@ -252,6 +252,28 @@ fn classify(value: &Json, index: usize) -> Result<Line, String> {
 // nested type round-trips exactly (no floats appear anywhere in a record,
 // so there are no precision hazards).
 
+// Checked narrowing for parsed ids and counts: a corrupt (or torn-and-
+// mended) record with an out-of-range value must fail the parse — and
+// therefore trigger torn-tail repair or a corruption error — rather than
+// silently wrap into a *valid-looking* small id, which would violate the
+// every-key-exactly-once guarantee in the nastiest possible way.
+
+fn u64_field(value: &Json, what: &str) -> Result<u64, String> {
+    value
+        .as_u64()
+        .ok_or_else(|| format!("{what}: expected unsigned int"))
+}
+
+fn u32_field(value: &Json, what: &str) -> Result<u32, String> {
+    let n = u64_field(value, what)?;
+    u32::try_from(n).map_err(|_| format!("{what}: {n} out of range (max {})", u32::MAX))
+}
+
+fn u8_field(value: &Json, what: &str) -> Result<u8, String> {
+    let n = u64_field(value, what)?;
+    u8::try_from(n).map_err(|_| format!("{what}: {n} out of range (max {})", u8::MAX))
+}
+
 fn method_to_json(method: &MethodId) -> Json {
     Json::arr([Json::from(method.class.as_str()), Json::from(method.name.as_str())])
 }
@@ -275,8 +297,8 @@ fn site_from_json(value: &Json) -> Result<CallSite, String> {
     let parts = value.as_arr().ok_or("site: expected array")?;
     match parts {
         [file, call] => Ok(CallSite {
-            file: FileId(file.as_u64().ok_or("site file: expected int")? as u32),
-            call: CallId(call.as_u64().ok_or("site call: expected int")? as u32),
+            file: FileId(u32_field(file, "site file")?),
+            call: CallId(u32_field(call, "site call")?),
         }),
         _ => Err("site: expected [file, call]".to_string()),
     }
@@ -300,7 +322,7 @@ fn key_from_json(value: &Json) -> Result<RunKey, String> {
             .and_then(Json::as_str)
             .ok_or("key: missing exc")?
             .to_string(),
-        k: value.get("k").and_then(Json::as_u64).ok_or("key: missing k")? as u32,
+        k: u32_field(value.get("k").ok_or("key: missing k")?, "key k")?,
     })
 }
 
@@ -436,7 +458,10 @@ fn location_to_json(location: &RetryLocation) -> Json {
 
 fn location_from_json(value: &Json) -> Result<RetryLocation, String> {
     let mechanism = match value.get("mechanism") {
-        Some(Json::Int(id)) => Mechanism::Loop(LoopId(*id as u32)),
+        Some(Json::Int(id)) => Mechanism::Loop(LoopId(
+            u32::try_from(*id)
+                .map_err(|_| format!("location mechanism: loop id {id} out of range"))?,
+        )),
         Some(Json::Str(s)) if s == "llm" => Mechanism::LlmFlagged,
         _ => return Err("location: bad mechanism".to_string()),
     };
@@ -553,14 +578,14 @@ pub fn record_from_json(value: &Json) -> Result<RunRecord, String> {
             .get("steps")
             .and_then(Json::as_u64)
             .ok_or("record: missing steps")?,
-        injections: value
-            .get("injections")
-            .and_then(Json::as_u64)
-            .ok_or("record: missing injections")? as u32,
-        attempts: value
-            .get("attempts")
-            .and_then(Json::as_u64)
-            .ok_or("record: missing attempts")? as u8,
+        injections: u32_field(
+            value.get("injections").ok_or("record: missing injections")?,
+            "record injections",
+        )?,
+        attempts: u8_field(
+            value.get("attempts").ok_or("record: missing attempts")?,
+            "record attempts",
+        )?,
         quarantined: value
             .get("quarantined")
             .and_then(Json::as_bool)
@@ -763,6 +788,54 @@ class Solid {\n\
         let err = load(&path).expect_err("wrong schema must fail");
         assert!(err.contains("schema_version"), "got: {err}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Regression: ids and counts wider than their in-memory field used to
+    /// be narrowed with bare `as` casts, so a corrupt journal line like
+    /// `"attempts": 300` silently wrapped to 44 and resumed a campaign
+    /// with plausible-looking garbage. Out-of-range values must fail the
+    /// parse instead.
+    #[test]
+    fn record_parse_rejects_out_of_range_ids_and_counts() {
+        let line = |site_file: u64, k: u64, injections: u64, attempts: u64| {
+            format!(
+                "{{\"key\":{{\"test\":[\"C\",\"t\"],\"site\":[{site_file},4],\"exc\":\"E\",\
+                 \"k\":{k}}},\"outcome\":{{\"kind\":\"passed\"}},\"reports\":[],\
+                 \"rethrow_filtered\":false,\"not_a_trigger\":false,\"virtual_ms\":0,\
+                 \"steps\":0,\"injections\":{injections},\"attempts\":{attempts},\
+                 \"quarantined\":false}}"
+            )
+        };
+        let parse = |text: &str| record_from_json(&Json::parse(text).expect("json"));
+
+        // In-range values parse fine (the maxima themselves round-trip).
+        let ok = parse(&line(u64::from(u32::MAX), 100, u64::from(u32::MAX), 255))
+            .expect("maxima must parse");
+        assert_eq!(ok.key.site.file.0, u32::MAX);
+        assert_eq!(ok.attempts, 255);
+
+        // One-past-the-end (and far past) each fail with a field-named error.
+        let big = 1u64 << 40;
+        for (text, field) in [
+            (line(big, 1, 0, 1), "site file"),
+            (line(0, big, 0, 1), "key k"),
+            (line(0, 1, big, 1), "record injections"),
+            (line(0, 1, 0, 300), "record attempts"),
+            (line(0, 1, 0, 256), "record attempts"),
+        ] {
+            let err = parse(&text).expect_err("oversized value must fail parse");
+            assert!(
+                err.contains(field) && err.contains("out of range"),
+                "expected `{field} ... out of range`, got: {err}"
+            );
+        }
+
+        // A negative loop id in a report location must not wrap to u32.
+        let loc = "{\"site\":[0,1],\"coordinator\":[\"C\",\"run\"],\"retried\":[\"C\",\"op\"],\
+                   \"exc\":\"E\",\"mechanism\":-3}";
+        let err = location_from_json(&Json::parse(loc).expect("json"))
+            .expect_err("negative loop id must fail");
+        assert!(err.contains("out of range"), "got: {err}");
     }
 
     #[test]

@@ -21,21 +21,30 @@
 //!   byte-identical to an uninterrupted one;
 //! - [`observer::EngineObserver`] — structured progress events, with a
 //!   stderr reporter ([`StderrProgress`]) and, behind the `json-reports`
-//!   feature, a JSON summary sink ([`observer::JsonSummarySink`]).
+//!   feature, a JSON summary sink ([`observer::JsonSummarySink`]);
+//! - an **observability layer**: per-run host timings ([`RunTiming`]),
+//!   log2-bucketed mergeable histograms ([`CampaignMetrics`], merged from
+//!   per-worker collectors in index order), phase/run span recording
+//!   ([`MetricsObserver`]), and a schema-versioned JSON-lines trace
+//!   format ([`spans`]) behind `--trace-out` and `wasabi stats`.
 //!
 //! `wasabi-core`'s `run_dynamic` delegates here; serial execution is just
 //! `jobs = 1` through the same code path.
 
 pub mod campaign;
 pub mod journal;
+pub mod metrics;
 pub mod observer;
 pub mod queue;
+pub mod spans;
 
 pub use campaign::{
     run_campaign, CampaignOptions, CampaignResult, CampaignStats, ChaosConfig, RetryPolicy,
     RunOutcome, RunRecord,
 };
+pub use metrics::{CampaignMetrics, MetricsObserver, RunTiming};
 pub use observer::{EngineEvent, EngineObserver, NullObserver, StderrProgress, Tee};
+pub use spans::{load_trace, render_stats, validate_trace, write_trace, TraceFile};
 
 #[cfg(feature = "json-reports")]
 pub use observer::JsonSummarySink;

@@ -6,11 +6,26 @@
 //! locking and may hold mutable state (`&mut self` methods).
 
 use crate::campaign::{CampaignStats, RunOutcome};
+use crate::metrics::{CampaignMetrics, RunTiming};
 use wasabi_planner::plan::RunKey;
 
 /// One progress event from a running campaign.
 #[derive(Debug)]
 pub enum EngineEvent<'a> {
+    /// A named pipeline phase began (restore/profile/plan/run/report;
+    /// emitters outside the campaign — compile, say — may add their own
+    /// names). Emitted by `wasabi-core`'s dynamic pipeline, not by
+    /// `run_campaign` itself.
+    PhaseStarted {
+        /// Phase name.
+        name: &'a str,
+    },
+    /// The matching phase ended. Observers that track time (the metrics
+    /// recorder) timestamp both edges through their own clock.
+    PhaseFinished {
+        /// Phase name.
+        name: &'a str,
+    },
     /// The campaign is about to execute `total_runs` runs on `jobs` workers.
     Started {
         /// Number of runs in the campaign.
@@ -59,6 +74,10 @@ pub enum EngineEvent<'a> {
         reports: usize,
         /// Attempts consumed (1 = no retries).
         attempts: u8,
+        /// Interpreter steps the run consumed.
+        steps: u64,
+        /// Host-time breakdown for the run (scheduling-dependent).
+        timing: &'a RunTiming,
     },
     /// A run's final attempt panicked; the panic was contained and the run
     /// recorded as [`RunOutcome::Crashed`]. Always paired with a
@@ -104,6 +123,9 @@ pub enum EngineEvent<'a> {
     Finished {
         /// Final campaign statistics.
         stats: &'a CampaignStats,
+        /// Merged per-run distributions (see [`CampaignMetrics`] for the
+        /// deterministic/timing split).
+        metrics: &'a CampaignMetrics,
     },
 }
 
@@ -167,6 +189,10 @@ impl Default for StderrProgress {
 impl EngineObserver for StderrProgress {
     fn on_event(&mut self, event: &EngineEvent<'_>) {
         match event {
+            // Phase transitions are the metrics layer's concern; progress
+            // output stays per-run.
+            EngineEvent::PhaseStarted { .. } => {}
+            EngineEvent::PhaseFinished { .. } => {}
             EngineEvent::Started {
                 total_runs,
                 jobs,
@@ -214,7 +240,7 @@ impl EngineObserver for StderrProgress {
                     );
                 }
             }
-            EngineEvent::Finished { stats } => {
+            EngineEvent::Finished { stats, .. } => {
                 eprintln!(
                     "[engine] done: {} runs ({} resumed), {} timed out, {} failed, {} crashed, {} retried, {} quarantined, {} worker(s) lost, {} report(s), {} injections, {} ms wall",
                     stats.runs_total,
@@ -247,8 +273,9 @@ pub struct JsonSummarySink {
     summary: Option<String>,
 }
 
-#[cfg(feature = "json-reports")]
-fn outcome_kind(outcome: &RunOutcome) -> &'static str {
+/// A [`RunOutcome`]'s stable kind string — the vocabulary shared by the
+/// journal, the JSON summary, and trace run spans.
+pub(crate) fn outcome_kind(outcome: &RunOutcome) -> &'static str {
     use wasabi_vm::trace::TestOutcome;
     match outcome {
         RunOutcome::TimedOut => "timed_out",
@@ -290,7 +317,7 @@ impl EngineObserver for JsonSummarySink {
                 self.quarantined
                     .push(((*key).clone(), *attempts, outcome_kind(outcome)));
             }
-            EngineEvent::Finished { stats } => {
+            EngineEvent::Finished { stats, metrics } => {
                 self.quarantined.sort_by(|a, b| a.0.cmp(&b.0));
                 let quarantine = Json::arr(self.quarantined.iter().map(|(key, attempts, kind)| {
                     Json::obj([
@@ -326,6 +353,7 @@ impl EngineObserver for JsonSummarySink {
                     ("workers_lost", Json::from(stats.workers_lost)),
                     ("resumed", Json::from(stats.resumed)),
                     ("quarantine", quarantine),
+                    ("metrics", metrics.to_json()),
                 ]);
                 self.summary = Some(value.pretty());
             }

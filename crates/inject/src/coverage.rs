@@ -1,6 +1,6 @@
 //! Coverage recording for the planner's profiling pass.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use wasabi_lang::project::CallSite;
 use wasabi_vm::interceptor::{CallCtx, InterceptAction, Interceptor};
 
@@ -9,10 +9,18 @@ use wasabi_vm::interceptor::{CallCtx, InterceptAction, Interceptor};
 /// This is WASABI's profiling instrumentation: the planner instruments every
 /// retry location and runs the whole suite once to learn which unit test
 /// covers which location (§3.1.4).
+///
+/// Besides raw hit counts it records, per site, the display names of the
+/// calling (coordinator-candidate) methods — the metrics layer's
+/// per-location attribution. Names resolve through the interceptor
+/// context's [`NameTable`](wasabi_lang::intern::NameTable), which degrades
+/// runtime-minted symbols it cannot see to `<sN?>` markers instead of
+/// panicking (a contained panic here used to masquerade as a run crash).
 #[derive(Debug, Default)]
 pub struct CoverageRecorder {
     targets: HashSet<CallSite>,
     hits: HashMap<CallSite, u64>,
+    callers: HashMap<CallSite, BTreeSet<String>>,
 }
 
 impl CoverageRecorder {
@@ -21,6 +29,7 @@ impl CoverageRecorder {
         CoverageRecorder {
             targets: targets.into_iter().collect(),
             hits: HashMap::new(),
+            callers: HashMap::new(),
         }
     }
 
@@ -36,9 +45,19 @@ impl CoverageRecorder {
         self.hits.get(&site).copied().unwrap_or(0)
     }
 
+    /// Display names (`Class.method`) of methods observed calling through
+    /// a covered site, in deterministic order.
+    pub fn callers_of(&self, site: CallSite) -> Vec<String> {
+        self.callers
+            .get(&site)
+            .map(|names| names.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
     /// Clears recorded hits (reused between tests).
     pub fn reset(&mut self) {
         self.hits.clear();
+        self.callers.clear();
     }
 }
 
@@ -46,6 +65,10 @@ impl Interceptor for CoverageRecorder {
     fn before_call(&mut self, ctx: &CallCtx<'_>) -> InterceptAction {
         if self.targets.contains(&ctx.site) {
             *self.hits.entry(ctx.site).or_insert(0) += 1;
+            self.callers
+                .entry(ctx.site)
+                .or_default()
+                .insert(ctx.names.method_display(ctx.caller));
         }
         InterceptAction::Proceed
     }
@@ -111,10 +134,40 @@ mod tests {
         let interner = interner();
         let stack = [sym(&interner, "T", "t")];
         recorder.before_call(&ctx(&interner, site(1), &stack));
+        assert_eq!(recorder.callers_of(site(1)), vec!["T.t".to_string()]);
         recorder.reset();
         assert!(recorder.covered().is_empty());
+        assert!(recorder.callers_of(site(1)).is_empty());
         recorder.before_call(&ctx(&interner, site(1), &stack));
         assert_eq!(recorder.hit_count(site(1)), 1);
+    }
+
+    /// Regression: a caller minted in a runtime overlay the recorder's
+    /// name table cannot see (id past the frozen interner) must degrade to
+    /// a `<sN?>` marker, not panic out of the profiling pass — the old
+    /// resolution path indexed out of bounds.
+    #[test]
+    fn runtime_minted_caller_is_recorded_with_marker() {
+        use wasabi_lang::intern::Symbol;
+
+        let mut recorder = CoverageRecorder::new([site(1)]);
+        let interner = interner();
+        let foreign = MethodSym {
+            class: Symbol(interner.len() as u32 + 2),
+            name: interner.lookup("t").unwrap(),
+        };
+        let stack = [foreign];
+        let ctx = CallCtx {
+            site: site(1),
+            caller: foreign,
+            callee: sym(&interner, "C", "m"),
+            stack: &stack,
+            now_ms: 0,
+            names: NameTable::new(&interner, &[]),
+        };
+        recorder.before_call(&ctx);
+        assert_eq!(recorder.hit_count(site(1)), 1);
+        assert_eq!(recorder.callers_of(site(1)), vec!["<s6?>.t".to_string()]);
     }
 
     #[test]

@@ -66,6 +66,19 @@ impl InjectionHandler {
             .map(|(_, count)| *count)
             .sum()
     }
+
+    /// Per-`(site, exception)` injection counts in deterministic order —
+    /// the metrics layer's per-retry-location attribution (§7 needs to
+    /// know *where* injections went, not just how many).
+    pub fn injections_by_site(&self) -> Vec<(CallSite, String, u32)> {
+        let mut rows: Vec<(CallSite, String, u32)> = self
+            .counts
+            .iter()
+            .map(|((site, exception), count)| (*site, exception.clone(), *count))
+            .collect();
+        rows.sort();
+        rows
+    }
 }
 
 impl Interceptor for InjectionHandler {
@@ -207,5 +220,53 @@ mod tests {
             handler.before_call(&ctx(&interner, sa, &stack)),
             InterceptAction::Proceed
         );
+        assert_eq!(
+            handler.injections_by_site(),
+            vec![(sa, "E1".to_string(), 1), (sb, "E2".to_string(), 1)]
+        );
+    }
+
+    /// Regression: a callee whose name was minted in an interpreter's
+    /// runtime overlay (a "runtime-only" name, id past the frozen
+    /// interner) used to panic inside the injection message formatting —
+    /// `NameTable` indexed out of bounds — and the engine's panic
+    /// containment then silently recorded the run as `Crashed`,
+    /// corrupting campaign stats. The handler must throw with a degraded
+    /// name marker instead.
+    #[test]
+    fn runtime_minted_callee_injects_without_panicking() {
+        use wasabi_lang::intern::Symbol;
+
+        let loc = location(3, "E");
+        let site = loc.site;
+        let mut handler = InjectionHandler::single(loc, 1);
+        let interner = interner();
+        // Mint a method name past the frozen range, with NO overlay in the
+        // table the interceptor sees (the frozen-interner view).
+        let runtime_name = Symbol(interner.len() as u32 + 5);
+        let callee = MethodSym {
+            class: interner.lookup("C").unwrap(),
+            name: runtime_name,
+        };
+        let stack = [sym(&interner, "C", "run")];
+        let ctx = CallCtx {
+            site,
+            caller: sym(&interner, "C", "run"),
+            callee,
+            stack: &stack,
+            now_ms: 0,
+            names: NameTable::new(&interner, &[]),
+        };
+        match handler.before_call(&ctx) {
+            InterceptAction::Throw { exc_type, message } => {
+                assert_eq!(exc_type, "E");
+                assert!(
+                    message.contains("C.<s8?>"),
+                    "degraded marker expected in: {message}"
+                );
+            }
+            other => panic!("expected throw, got {other:?}"),
+        }
+        assert_eq!(handler.total_injected(), 1);
     }
 }

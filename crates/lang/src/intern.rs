@@ -101,24 +101,49 @@ impl<'a> NameTable<'a> {
     }
 
     /// Resolves a symbol from the base interner or the overlay.
+    ///
+    /// Panics if `sym` is past both the frozen range and the overlay. The
+    /// report/trace edges (interceptors, fault handlers) must use
+    /// [`NameTable::try_resolve`] / [`NameTable::method_display`] instead:
+    /// a symbol minted in *another* interpreter's runtime overlay is
+    /// legitimately absent here, and a panic at those edges would be
+    /// contained by the engine into a bogus `Crashed` record.
     pub fn resolve(&self, sym: Symbol) -> &'a str {
+        self.try_resolve(sym)
+            .unwrap_or_else(|| panic!("symbol {sym} out of range for this name table"))
+    }
+
+    /// Resolves a symbol, returning `None` for ids past both the frozen
+    /// interner and this table's overlay (e.g. a name minted at run time
+    /// by a different interpreter).
+    pub fn try_resolve(&self, sym: Symbol) -> Option<&'a str> {
         let idx = sym.index();
         if idx < self.base.len() {
-            self.base.resolve(sym)
+            Some(self.base.resolve(sym))
         } else {
-            &self.extra[idx - self.base.len()]
+            self.extra.get(idx - self.base.len()).map(String::as_str)
         }
     }
 
-    /// Resolves a method symbol to an owned [`MethodId`].
+    /// Renders a symbol, degrading unresolvable ids to a `<s42?>` marker
+    /// instead of panicking.
+    fn render(&self, sym: Symbol) -> String {
+        match self.try_resolve(sym) {
+            Some(name) => name.to_string(),
+            None => format!("<{sym}?>"),
+        }
+    }
+
+    /// Resolves a method symbol to an owned [`MethodId`]. Total: ids
+    /// outside this table render as `<s42?>` markers.
     pub fn method_id(&self, m: MethodSym) -> MethodId {
-        MethodId::new(self.resolve(m.class), self.resolve(m.name))
+        MethodId::new(self.render(m.class), self.render(m.name))
     }
 
     /// Renders a method symbol as `Class.method` (the [`MethodId`] display
-    /// format).
+    /// format). Total: ids outside this table render as `<s42?>` markers.
     pub fn method_display(&self, m: MethodSym) -> String {
-        format!("{}.{}", self.resolve(m.class), self.resolve(m.name))
+        format!("{}.{}", self.render(m.class), self.render(m.name))
     }
 }
 
@@ -160,5 +185,27 @@ mod tests {
         };
         assert_eq!(table.method_display(m), "A.runtimeName");
         assert_eq!(table.method_id(m), MethodId::new("A", "runtimeName"));
+    }
+
+    /// Regression: a symbol minted in one interpreter's runtime overlay is
+    /// absent from a table built over the frozen interner alone. The old
+    /// `resolve` path indexed out of bounds and panicked — which the
+    /// engine's panic containment then mislabelled as a run crash. Display
+    /// edges must degrade to a marker instead.
+    #[test]
+    fn display_edges_degrade_for_foreign_runtime_symbols() {
+        let mut interner = Interner::new();
+        let a = interner.intern("A");
+        // Frozen table: no overlay. Symbol 7 was minted elsewhere.
+        let table = NameTable::new(&interner, &[]);
+        let foreign = Symbol(7);
+        assert_eq!(table.try_resolve(a), Some("A"));
+        assert_eq!(table.try_resolve(foreign), None);
+        let m = MethodSym {
+            class: a,
+            name: foreign,
+        };
+        assert_eq!(table.method_display(m), "A.<s7?>");
+        assert_eq!(table.method_id(m), MethodId::new("A", "<s7?>"));
     }
 }

@@ -224,6 +224,19 @@ pub fn judge_run(run: &TestRun, spec: &InjectionSpec, config: &OracleConfig) -> 
     verdict
 }
 
+/// [`judge_run`] plus the wall time the judgement took — the campaign's
+/// metrics layer attributes oracle time separately from interpreter time,
+/// and measuring here keeps the two attribution points symmetrical.
+pub fn judge_run_timed(
+    run: &TestRun,
+    spec: &InjectionSpec,
+    config: &OracleConfig,
+) -> (RunVerdict, std::time::Duration) {
+    let started = std::time::Instant::now();
+    let verdict = judge_run(run, spec, config);
+    (verdict, started.elapsed())
+}
+
 /// Whether the escaping exception is the injected one with no intervening
 /// retry activity — i.e. the coordinator never caught it (the location was
 /// not actually a retry trigger).
@@ -283,6 +296,7 @@ mod tests {
             trace: Trace { events },
             virtual_ms,
             steps: 0,
+            wall_us: 0,
         }
     }
 

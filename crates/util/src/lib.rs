@@ -12,8 +12,14 @@
 //! - [`json`] — a minimal JSON value model and writer replacing
 //!   `serde`/`serde_json` for report emission.
 
+//! - [`metrics`] — log2-bucketed mergeable histograms, saturating
+//!   `Duration` → ms/us conversions, and a clock abstraction for the
+//!   campaign observability layer (deterministic under test).
+
 pub mod json;
+pub mod metrics;
 pub mod rng;
 
 pub use json::Json;
+pub use metrics::{saturating_ms, saturating_us, Histogram};
 pub use rng::Rng;

@@ -23,6 +23,7 @@ pub fn run_test(
     interceptor: &mut dyn Interceptor,
     options: &RunOptions,
 ) -> TestRun {
+    let started = std::time::Instant::now();
     let mut interp = Interp::new(project, interceptor, options.limits);
     for key in &options.pinned_configs {
         interp.pin_config(key);
@@ -52,6 +53,7 @@ pub fn run_test(
         trace: interp.take_trace(),
         virtual_ms: interp.clock_ms(),
         steps: interp.steps(),
+        wall_us: u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
     }
 }
 

@@ -185,6 +185,10 @@ pub struct TestRun {
     pub virtual_ms: u64,
     /// Interpreter steps consumed.
     pub steps: u64,
+    /// Host wall time the interpreter spent on this run, in microseconds
+    /// (saturating; scheduling-dependent, excluded from determinism
+    /// comparisons).
+    pub wall_us: u64,
 }
 
 #[cfg(test)]

@@ -181,6 +181,43 @@ fn smoke() {
     }
     eprintln!("    resumed report identical to baseline ({} bytes)", baseline.len());
 
+    // Trace smoke: record a journaled campaign with `--trace-out`, then
+    // let `wasabi stats` validate the trace — schema parse, every run
+    // span closed, and attempt/injection counts matching the journal.
+    let trace = work.join("trace.jsonl");
+    let trace_journal = work.join("trace-journal.jsonl");
+    let _ = run_wasabi_test(
+        wasabi,
+        &[
+            "--quiet",
+            "--json",
+            "--jobs",
+            "2",
+            "--journal",
+            trace_journal.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ],
+        &files,
+    );
+    let stats = Command::new(wasabi)
+        .arg("stats")
+        .arg(&trace)
+        .args(["--journal", trace_journal.to_str().unwrap()])
+        .output()
+        .unwrap_or_else(|e| fail(&format!("spawn wasabi stats: {e}")));
+    if !stats.status.success() {
+        eprintln!("{}", String::from_utf8_lossy(&stats.stderr));
+        fail("trace smoke: `wasabi stats` validation failed");
+    }
+    let table = String::from_utf8_lossy(&stats.stdout);
+    for needed in ["phase", "run", "total", "runs:"] {
+        if !table.contains(needed) {
+            fail(&format!("trace smoke: stats table is missing `{needed}`"));
+        }
+    }
+    eprintln!("    trace validated against journal ({} trace bytes)", fs::metadata(&trace).map(|m| m.len()).unwrap_or(0));
+
     let _ = fs::remove_dir_all(&work);
     eprintln!("smoke: OK");
 }
@@ -255,6 +292,17 @@ fn bench_smoke() {
     if !out.contains("\"runs_per_sec\"") {
         fail("bench smoke: mini bench produced no runs_per_sec");
     }
+    // The per-phase breakdown must tile the measured wall time: the sum
+    // of phase wall times within 10% of the total.
+    let totals = extract_section(&out, "totals");
+    let wall_ms = extract_number(totals, "\"wall_ms\":");
+    let phase_ms = sum_phase_ms(totals);
+    if phase_ms < wall_ms * 0.9 || phase_ms > wall_ms * 1.1 {
+        fail(&format!(
+            "bench smoke: phase sum {phase_ms:.1} ms not within 10% of wall {wall_ms:.1} ms"
+        ));
+    }
+    eprintln!("    per-phase breakdown tiles wall time ({phase_ms:.1} of {wall_ms:.1} ms)");
     eprintln!("bench smoke: OK");
 }
 
@@ -357,17 +405,42 @@ fn extract_section<'a>(doc: &'a str, section: &str) -> &'a str {
 
 /// Parses the first `"runs_per_sec": <number>` after `doc`'s start.
 fn extract_runs_per_sec(doc: &str) -> f64 {
-    let key = "\"runs_per_sec\":";
+    extract_number(doc, "\"runs_per_sec\":")
+}
+
+/// Parses the first `<key> <number>` after `doc`'s start.
+fn extract_number(doc: &str, key: &str) -> f64 {
     let start = doc
         .find(key)
-        .unwrap_or_else(|| fail("bench: no runs_per_sec in measurement"));
+        .unwrap_or_else(|| fail(&format!("bench: no {key} in measurement")));
     let rest = doc[start + key.len()..].trim_start();
     let end = rest
         .find(|c: char| c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' && !c.is_ascii_digit())
         .unwrap_or(rest.len());
     rest[..end]
         .parse::<f64>()
-        .unwrap_or_else(|e| fail(&format!("bench: bad runs_per_sec `{}`: {e}", &rest[..end])))
+        .unwrap_or_else(|e| fail(&format!("bench: bad {key} value `{}`: {e}", &rest[..end])))
+}
+
+/// Sums every numeric value in the first `"phases": {...}` object after
+/// `doc`'s start (the bench per-phase wall-time breakdown, in ms).
+fn sum_phase_ms(doc: &str) -> f64 {
+    let start = doc
+        .find("\"phases\":")
+        .unwrap_or_else(|| fail("bench: no phases object in measurement"));
+    let rest = &doc[start..];
+    let open = rest
+        .find('{')
+        .unwrap_or_else(|| fail("bench: malformed phases object"));
+    let close = rest[open..]
+        .find('}')
+        .unwrap_or_else(|| fail("bench: malformed phases object"))
+        + open;
+    rest[open + 1..close]
+        .split(',')
+        .filter_map(|entry| entry.rsplit(':').next())
+        .filter_map(|number| number.trim().parse::<f64>().ok())
+        .sum()
 }
 
 /// Re-indents a JSON document by `by` extra spaces (cosmetic nesting).

@@ -7,13 +7,17 @@
 #      (json-reports, proptest-suite, bench-criterion) plus the
 #      feature-gated test suites, so gated code can never rot.
 #   3. resilience smoke: a chaos campaign (10% injected run panics,
-#      --jobs 4) must report byte-identically to the serial run, and a
+#      --jobs 4) must report byte-identically to the serial run, a
 #      kill-and-resume round-trip (journal cut mid-line, then --resume)
-#      must report byte-identically to the uninterrupted baseline.
+#      must report byte-identically to the uninterrupted baseline, and a
+#      campaign recorded with --trace-out must pass `wasabi stats`
+#      validation against its journal (schema, closed spans, attempt and
+#      injection counts).
 #   4. bench smoke: the seed-corpus `wasabi test --json` reports must
 #      match the recorded digest (scripts/seed_report_digest.txt) — the
 #      compile-once interning/index layer must never change observable
-#      output — and a one-iteration mini bench must run cleanly.
+#      output — a one-iteration mini bench must run cleanly, and its
+#      per-phase breakdown must sum to within 10% of measured wall time.
 #
 # Everything resolves offline: the workspace has no registry dependencies.
 set -euo pipefail

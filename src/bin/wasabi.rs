@@ -5,7 +5,9 @@
 //! wasabi analyze [--json] <file.jav>...            # retry loops, locations, IF outliers
 //! wasabi sweep   [--json] <file.jav>...            # LLM static sweep (WHEN findings)
 //! wasabi test    [--json] [--jobs N] [--max-attempts N] [--journal PATH]
-//!                [--resume PATH] [--quiet] [--chaos-panic RATE] <file.jav>...
+//!                [--resume PATH] [--quiet] [--chaos-panic RATE]
+//!                [--trace-out PATH] <file.jav>...
+//! wasabi stats   <trace.jsonl>... [--journal PATH] # per-phase/per-run trace tables
 //! wasabi corpus  <APP> <out-dir>                   # write a synthetic app to disk
 //! wasabi bench   [--jobs N] [--iters N] [--apps HD,MA,...] [--scale tiny|small|paper]
 //! ```
@@ -18,7 +20,10 @@ use wasabi::analysis::resolve::ProjectIndex;
 use wasabi::core::dynamic::{run_dynamic_with_observer, DynamicOptions};
 use wasabi::core::identify::identify;
 use wasabi::engine::campaign::{ChaosConfig, RetryPolicy};
-use wasabi::engine::{journal, EngineObserver, NullObserver, StderrProgress};
+use wasabi::engine::{
+    journal, load_trace, render_stats, validate_trace, write_trace, EngineEvent, EngineObserver,
+    MetricsObserver, NullObserver, StderrProgress, Tee,
+};
 use wasabi::lang::project::Project;
 use wasabi::llm::simulated::SimulatedLlm;
 use wasabi::util::Json;
@@ -27,7 +32,9 @@ const USAGE: &str = "usage:
   wasabi analyze [--json] <file.jav>...
   wasabi sweep   [--json] <file.jav>...
   wasabi test    [--json] [--jobs N] [--max-attempts N] [--journal PATH]
-                 [--resume PATH] [--quiet] [--chaos-panic RATE] <file.jav>...
+                 [--resume PATH] [--quiet] [--chaos-panic RATE]
+                 [--trace-out PATH] <file.jav>...
+  wasabi stats   <trace.jsonl>... [--journal PATH]
   wasabi corpus  <APP> <out-dir>     (APP = HA HD MA YA HB HI CA EL)
   wasabi bench   [--jobs N] [--iters N] [--apps HD,MA,...] [--scale tiny|small|paper]";
 
@@ -41,6 +48,7 @@ struct CampaignFlags {
     resume: Option<PathBuf>,
     quiet: bool,
     chaos_panic: Option<f64>,
+    trace_out: Option<PathBuf>,
 }
 
 fn main() -> ExitCode {
@@ -64,6 +72,7 @@ fn main() -> ExitCode {
         "analyze" => with_project(&args, |project| analyze(project, json)),
         "sweep" => with_project(&args, |project| sweep(project, json)),
         "test" => with_project(&args, |project| test(project, json, &flags)),
+        "stats" => stats(&args, &flags),
         "corpus" => corpus(&args),
         "bench" => bench(args, &flags),
         other => {
@@ -123,6 +132,7 @@ fn take_campaign_flags(args: &mut Vec<String>) -> Result<CampaignFlags, String> 
     }
     flags.journal = take_value_flag(args, "--journal")?.map(PathBuf::from);
     flags.resume = take_value_flag(args, "--resume")?.map(PathBuf::from);
+    flags.trace_out = take_value_flag(args, "--trace-out")?.map(PathBuf::from);
     if let Some(value) = take_value_flag(args, "--chaos-panic")? {
         let rate = value
             .parse::<f64>()
@@ -299,8 +309,18 @@ fn sweep(project: &Project, json: bool) -> ExitCode {
 }
 
 fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
+    // With `--trace-out`, a metrics recorder rides along via `Tee`; the
+    // identify step runs before the dynamic pipeline, so bracket it here
+    // and the trace's phases tile the whole command.
+    let mut recorder = flags.trace_out.as_ref().map(|_| MetricsObserver::new());
     let mut llm = SimulatedLlm::with_seed(0);
+    if let Some(recorder) = recorder.as_mut() {
+        recorder.on_event(&EngineEvent::PhaseStarted { name: "identify" });
+    }
     let identified = identify(project, &mut llm);
+    if let Some(recorder) = recorder.as_mut() {
+        recorder.on_event(&EngineEvent::PhaseFinished { name: "identify" });
+    }
     let resume_records = match &flags.resume {
         Some(path) => match journal::load_for_resume(path) {
             Ok(records) => records,
@@ -330,8 +350,32 @@ fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
     } else {
         Box::new(StderrProgress::default())
     };
-    let result =
-        run_dynamic_with_observer(project, &identified.locations, &options, progress.as_mut());
+    let result = match recorder.as_mut() {
+        Some(recorder) => {
+            let mut tee = Tee {
+                first: progress.as_mut(),
+                second: recorder,
+            };
+            run_dynamic_with_observer(project, &identified.locations, &options, &mut tee)
+        }
+        None => {
+            run_dynamic_with_observer(project, &identified.locations, &options, progress.as_mut())
+        }
+    };
+    if let (Some(path), Some(recorder)) = (flags.trace_out.as_ref(), recorder.as_ref()) {
+        if let Err(err) = write_trace(path, "cli", recorder.phases(), recorder.runs()) {
+            eprintln!("{err}");
+            return ExitCode::from(2);
+        }
+        if !flags.quiet {
+            eprintln!(
+                "[trace] {} phase span(s), {} run span(s) written to {}",
+                recorder.phases().len(),
+                recorder.runs().len(),
+                path.display()
+            );
+        }
+    }
     if json {
         // Only record-derived fields appear here (never scheduling- or
         // session-dependent ones like wall-clock or per-worker counts):
@@ -389,6 +433,51 @@ fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
     if result.bugs.is_empty() {
         ExitCode::SUCCESS
     } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `wasabi stats`: renders the per-phase/per-run tables from recorded
+/// trace files and validates them — internal consistency always, and,
+/// with `--journal PATH`, a cross-check of every run span against the
+/// campaign journal (same keys, attempts, injections). Validation
+/// problems go to stderr and fail the command, so CI can gate on it.
+fn stats(paths: &[String], flags: &CampaignFlags) -> ExitCode {
+    if paths.is_empty() {
+        eprintln!("no trace files\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let journal_records = match &flags.journal {
+        Some(path) => match journal::load(path) {
+            Ok(loaded) => Some(loaded.records),
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let mut traces = Vec::new();
+    for path in paths {
+        match load_trace(std::path::Path::new(path)) {
+            Ok(trace) => traces.push(trace),
+            Err(err) => {
+                eprintln!("{err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    print!("{}", render_stats(&traces));
+    let mut problems = Vec::new();
+    for trace in &traces {
+        problems.extend(validate_trace(trace, journal_records.as_deref()));
+    }
+    if problems.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for problem in &problems {
+            eprintln!("trace validation: {problem}");
+        }
         ExitCode::FAILURE
     }
 }
@@ -454,42 +543,61 @@ fn bench(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
     let mut app_rows = Vec::new();
     let (mut runs, mut steps, mut virtual_ms) = (0u64, 0u64, 0u64);
     let mut wall_us = 0u128;
+    // Per-phase wall time, summed across apps (best iteration each), in
+    // first-appearance order so the JSON reads in pipeline order.
+    let mut phase_totals: Vec<(String, u64)> = Vec::new();
     for spec in &specs {
         let app = wasabi::corpus::synth::generate_app(spec, scale);
         let project = wasabi::corpus::synth::compile_app(&app);
         let mut llm = SimulatedLlm::with_seed(app.spec.seed);
         let identified = identify(&project, &mut llm);
-        let mut best: Option<(u128, u64, u64, u64)> = None;
+        let mut best: Option<(u128, u64, u64, u64, Vec<(String, u64)>)> = None;
         for _ in 0..iters {
             let options = DynamicOptions {
                 jobs: flags.jobs,
                 ..DynamicOptions::default()
             };
+            // A metrics recorder attributes the measured wall time to
+            // pipeline phases; the phase sum tiles the measured region.
+            let mut recorder = MetricsObserver::new();
             let started = Instant::now();
             let result = run_dynamic_with_observer(
                 &project,
                 &identified.locations,
                 &options,
-                &mut NullObserver,
+                &mut recorder,
             );
             let elapsed_us = started.elapsed().as_micros();
+            let phases: Vec<(String, u64)> = recorder
+                .phases()
+                .iter()
+                .map(|p| (p.name.clone(), p.wall_us()))
+                .collect();
             let sample = (
                 elapsed_us,
                 result.campaign.runs_total as u64,
                 result.campaign.steps,
                 result.campaign.virtual_ms,
+                phases,
             );
-            if best.map_or(true, |b| sample.0 < b.0) {
+            if best.as_ref().map_or(true, |b| sample.0 < b.0) {
                 best = Some(sample);
             }
         }
-        let (us, app_runs, app_steps, app_virtual) = best.expect("iters >= 1");
+        let (us, app_runs, app_steps, app_virtual, app_phases) = best.expect("iters >= 1");
+        for (name, phase_us) in &app_phases {
+            match phase_totals.iter_mut().find(|(n, _)| n == name) {
+                Some((_, total)) => *total += phase_us,
+                None => phase_totals.push((name.clone(), *phase_us)),
+            }
+        }
         app_rows.push(Json::obj([
             ("app", Json::from(spec.short)),
             ("runs", Json::from(app_runs)),
             ("steps", Json::from(app_steps)),
             ("virtual_ms", Json::from(app_virtual)),
             ("wall_ms", Json::from(us as f64 / 1000.0)),
+            ("phases", phases_to_json(&app_phases)),
         ]));
         runs += app_runs;
         steps += app_steps;
@@ -509,6 +617,7 @@ fn bench(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
                 ("steps", Json::from(steps)),
                 ("virtual_ms", Json::from(virtual_ms)),
                 ("wall_ms", Json::from(wall_us as f64 / 1000.0)),
+                ("phases", phases_to_json(&phase_totals)),
                 ("runs_per_sec", Json::from(runs as f64 / wall_secs)),
                 ("steps_per_sec", Json::from(steps as f64 / wall_secs)),
             ]),
@@ -516,6 +625,16 @@ fn bench(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
     ]);
     print!("{}", value.pretty());
     ExitCode::SUCCESS
+}
+
+/// `{"restore": ms, ...}` per-phase wall-time object for bench rows, in
+/// the order the phases ran.
+fn phases_to_json(phases: &[(String, u64)]) -> Json {
+    Json::obj(
+        phases
+            .iter()
+            .map(|(name, us)| (name.as_str(), Json::from(*us as f64 / 1000.0))),
+    )
 }
 
 fn corpus(args: &[String]) -> ExitCode {
