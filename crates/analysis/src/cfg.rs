@@ -620,4 +620,91 @@ mod tests {
         }
         assert_eq!(throws, vec![Some("E".to_string()), None]);
     }
+
+    /// Shared exceptional-edge invariants: every successor edge is in
+    /// bounds, every catch-entry block has at least one predecessor (the
+    /// exceptional edge from the try body), and every catch entry is
+    /// reachable from the method entry.
+    fn assert_exceptional_invariants(cfg: &Cfg, context: &str) {
+        let n = cfg.blocks.len();
+        let mut preds = vec![0usize; n];
+        for block in &cfg.blocks {
+            for succ in &block.succs {
+                assert!((succ.0 as usize) < n, "{context}: edge out of bounds");
+                preds[succ.0 as usize] += 1;
+            }
+        }
+        let reachable: std::collections::HashSet<BlockId> =
+            cfg.reachable_from(cfg.entry()).into_iter().collect();
+        for (i, block) in cfg.blocks.iter().enumerate() {
+            if block.catch_entry.is_some() {
+                assert!(
+                    preds[i] > 0,
+                    "{context}: catch entry {i} has no exceptional predecessor"
+                );
+                assert!(
+                    reachable.contains(&BlockId(i as u32)),
+                    "{context}: catch entry {i} unreachable from method entry"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn catch_entries_have_exceptional_predecessors() {
+        let cfg = method_cfg(
+            "exception E;\nexception F;\nclass C { method m() {\n\
+                 try {\n\
+                   try { this.a(); } catch (E e) { log(\"inner\"); }\n\
+                   this.b();\n\
+                 } catch (F f) { log(\"outer\"); }\n\
+                 return 1;\n\
+             } }",
+        );
+        let entries = cfg
+            .blocks
+            .iter()
+            .filter(|b| b.catch_entry.is_some())
+            .count();
+        assert_eq!(entries, 2);
+        assert_exceptional_invariants(&cfg, "nested try/catch");
+    }
+
+    #[test]
+    fn catch_after_throwing_body_keeps_invariants() {
+        // The try body unconditionally throws; the handler must still be
+        // wired from inside the body, not from the (dead) fallthrough.
+        let cfg = method_cfg(
+            "exception E;\nclass C { method m() {\n\
+                 while (true) {\n\
+                   try { throw new E(\"x\"); } catch (E e) { log(\"again\"); }\n\
+                 }\n\
+             } }",
+        );
+        assert_exceptional_invariants(&cfg, "throwing body");
+        let catches = cfg.catches_in_loop(LoopId(0));
+        assert_eq!(catches.len(), 1);
+        assert!(cfg.header_reachable_from(catches[0].0, LoopId(0)));
+    }
+
+    #[test]
+    fn finally_and_multi_catch_keep_invariants() {
+        let cfg = method_cfg(
+            "exception E;\nexception F;\nclass C { method m(x) {\n\
+                 try {\n\
+                   if (x > 0) { this.a(); } else { this.b(); }\n\
+                 } catch (E e) { return 1; }\n\
+                 catch (F f) { log(\"f\"); }\n\
+                 finally { log(\"cleanup\"); }\n\
+                 return 2;\n\
+             } }",
+        );
+        let entries: Vec<&str> = cfg
+            .blocks
+            .iter()
+            .filter_map(|b| b.catch_entry.as_deref())
+            .collect();
+        assert_eq!(entries, vec!["E", "F"]);
+        assert_exceptional_invariants(&cfg, "multi-catch with finally");
+    }
 }

@@ -1,0 +1,269 @@
+//! Unified lint diagnostics: stable codes, deterministic ordering, text
+//! and JSON sinks, and baseline suppression.
+//!
+//! Every checker reports through [`Diagnostic`] so all surfaces (the
+//! `wasabi lint` subcommand, the CI gate, tests) agree on one format.
+//! Diagnostics sort by `(file, line, col, code, coordinator, message)` —
+//! nothing scheduling-dependent enters the key, so output is
+//! byte-identical across runs and worker counts.
+//!
+//! # Codes
+//!
+//! | code   | severity | meaning                                            |
+//! |--------|----------|----------------------------------------------------|
+//! | `W001` | warning  | retry loop has no attempt cap                      |
+//! | `W002` | warning  | retry loop has no delay on the retry path          |
+//! | `W003` | warning  | retried callee may throw an exception no catch matches |
+//! | `A001` | warning  | nested retry amplification (multiplicative attempts) |
+//!
+//! # Baselines
+//!
+//! A baseline file holds one [`Diagnostic::fingerprint`] per line
+//! (`#`-prefixed lines are comments). Fingerprints deliberately omit
+//! line/column so unrelated edits that shift code do not resurrect
+//! suppressed findings.
+
+use std::collections::BTreeSet;
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational finding.
+    Info,
+    /// Likely bug; the lint gate fails on new ones.
+    Warning,
+    /// Definite defect.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used by the text sink.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`W001`, `A001`, ...).
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Path of the file the finding anchors to.
+    pub file: String,
+    /// 1-based line of the anchor span.
+    pub line: u32,
+    /// 1-based column of the anchor span.
+    pub col: u32,
+    /// Coordinator method (`Class.method`) the finding is about.
+    pub coordinator: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Call chain (`Class.method` per hop) for interprocedural findings;
+    /// empty otherwise.
+    pub chain: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Renders the finding as one text line.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}:{}:{}: {}[{}] {}: {}",
+            self.file,
+            self.line,
+            self.col,
+            self.severity.label(),
+            self.code,
+            self.coordinator,
+            self.message
+        );
+        if !self.chain.is_empty() {
+            out.push_str(" [chain: ");
+            out.push_str(&self.chain.join(" -> "));
+            out.push(']');
+        }
+        out
+    }
+
+    /// Position-independent identity used by baseline suppression.
+    pub fn fingerprint(&self) -> String {
+        let mut out = format!("{} {} {} {}", self.code, self.file, self.coordinator, self.message);
+        if !self.chain.is_empty() {
+            out.push_str(" chain:");
+            out.push_str(&self.chain.join("->"));
+        }
+        out
+    }
+}
+
+/// Sorts diagnostics into their canonical deterministic order.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.code, &a.coordinator, &a.message, &a.chain).cmp(&(
+            &b.file, b.line, b.col, b.code, &b.coordinator, &b.message, &b.chain,
+        ))
+    });
+}
+
+/// Renders all diagnostics as text, one line each, trailing newline per
+/// line.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders all diagnostics as a JSON array (pretty, two-space indent,
+/// stable field order).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!("\"code\": {}", json_str(d.code)));
+        out.push_str(&format!(", \"severity\": {}", json_str(d.severity.label())));
+        out.push_str(&format!(", \"file\": {}", json_str(&d.file)));
+        out.push_str(&format!(", \"line\": {}", d.line));
+        out.push_str(&format!(", \"col\": {}", d.col));
+        out.push_str(&format!(", \"coordinator\": {}", json_str(&d.coordinator)));
+        out.push_str(&format!(", \"message\": {}", json_str(&d.message)));
+        out.push_str(", \"chain\": [");
+        for (j, hop) in d.chain.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(hop));
+        }
+        out.push_str("]}");
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses a baseline file's contents into its fingerprint set.
+pub fn parse_baseline(contents: &str) -> BTreeSet<String> {
+    contents
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Renders a fingerprint baseline for `diags` (sorted, deduped).
+pub fn render_baseline(diags: &[Diagnostic]) -> String {
+    let prints: BTreeSet<String> = diags.iter().map(Diagnostic::fingerprint).collect();
+    let mut out = String::from("# wasabi lint baseline: one suppressed-diagnostic fingerprint per line.\n");
+    for p in prints {
+        out.push_str(&p);
+        out.push('\n');
+    }
+    out
+}
+
+/// Splits diagnostics into `(new, suppressed)` against a baseline.
+pub fn apply_baseline(
+    diags: Vec<Diagnostic>,
+    baseline: &BTreeSet<String>,
+) -> (Vec<Diagnostic>, usize) {
+    let mut fresh = Vec::new();
+    let mut suppressed = 0usize;
+    for d in diags {
+        if baseline.contains(&d.fingerprint()) {
+            suppressed += 1;
+        } else {
+            fresh.push(d);
+        }
+    }
+    (fresh, suppressed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: u32, code: &'static str, msg: &str) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            file: file.to_string(),
+            line,
+            col: 3,
+            coordinator: "C.run".to_string(),
+            message: msg.to_string(),
+            chain: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn sort_is_total_and_stable() {
+        let mut diags = vec![
+            diag("b.jav", 1, "W001", "x"),
+            diag("a.jav", 9, "W002", "y"),
+            diag("a.jav", 9, "W001", "y"),
+        ];
+        sort_diagnostics(&mut diags);
+        let rendered: Vec<String> = diags.iter().map(Diagnostic::render).collect();
+        assert_eq!(
+            rendered,
+            vec![
+                "a.jav:9:3: warning[W001] C.run: y",
+                "a.jav:9:3: warning[W002] C.run: y",
+                "b.jav:1:3: warning[W001] C.run: x",
+            ]
+        );
+    }
+
+    #[test]
+    fn baseline_round_trips_and_suppresses() {
+        let diags = vec![diag("a.jav", 1, "W001", "m"), diag("b.jav", 2, "W002", "n")];
+        let baseline = parse_baseline(&render_baseline(&diags));
+        // A line shift must not resurrect the finding.
+        let shifted = vec![diag("a.jav", 50, "W001", "m"), diag("c.jav", 1, "W001", "new")];
+        let (fresh, suppressed) = apply_baseline(shifted, &baseline);
+        assert_eq!(suppressed, 1);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].file, "c.jav");
+    }
+
+    #[test]
+    fn json_escapes_and_renders_chain() {
+        let mut d = diag("a.jav", 1, "A001", "amplifies \"badly\"");
+        d.chain = vec!["A.run".to_string(), "B.retry".to_string()];
+        let json = render_json(&[d]);
+        assert!(json.contains("\\\"badly\\\""));
+        assert!(json.contains("\"chain\": [\"A.run\", \"B.retry\"]"));
+        assert!(render_json(&[]).starts_with("[]"));
+    }
+}

@@ -11,7 +11,16 @@
 //! - [`when`] — static missing-delay / missing-cap checks on retry loops;
 //! - [`ifratio`] — application-wide retry-ratio analysis flagging
 //!   inconsistent IF-retry policies;
-//! - [`resolve`] — approximate static callee resolution and project indexes.
+//! - [`resolve`] — dispatch-table-backed callee resolution and project
+//!   indexes;
+//! - [`callgraph`] — the deterministic interprocedural call graph
+//!   (receiver typing + dispatch fanout over subtypes);
+//! - [`summaries`] — per-method may-throw / may-sleep / may-retry /
+//!   attempt-bound facts, solved by fixpoint over call-graph SCCs;
+//! - [`checkers`] — the interprocedural lint (`W001`/`W002`/`W003` WHEN
+//!   checks and the `A001` nested-retry amplification detector);
+//! - [`diag`] — ordered diagnostics with canonical text/JSON rendering
+//!   and baseline suppression.
 //!
 //! # Examples
 //!
@@ -38,15 +47,23 @@
 //! assert_eq!(loops.len(), 1);
 //! ```
 
+pub mod callgraph;
 pub mod cfg;
+pub mod checkers;
+pub mod diag;
 pub mod ifratio;
 pub mod loops;
 pub mod resolve;
+pub mod summaries;
 pub mod when;
 
+pub use callgraph::{sccs, CallGraph, ResolvedCall, Sccs};
+pub use checkers::{lint_project, LintOptions};
+pub use diag::{render_json, render_text, Diagnostic, Severity};
 pub use ifratio::{if_ratio_reports, IfOptions, IfReport, OutlierKind};
 pub use loops::{
     all_retry_locations, find_retry_loops, LoopQueryOptions, Mechanism, RetryLocation, RetryLoop,
 };
 pub use resolve::ProjectIndex;
+pub use summaries::{AttemptBound, MethodSummary, Summaries};
 pub use when::{check_when, DelayScope, WhenVerdict};

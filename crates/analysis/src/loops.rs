@@ -151,27 +151,26 @@ pub fn retry_locations(
             else {
                 continue;
             };
-            let Some((callee, decl)) =
-                index.resolve_callee(loop_site.class, method, *recv_this)
-            else {
-                continue;
-            };
-            for thrown in &decl.throws {
-                let covered = retry_loop.reaching_catches.iter().any(|caught| {
-                    symbols.is_exception_subtype(thrown, caught)
-                        || symbols.is_exception_subtype(caught, thrown)
-                });
-                if covered {
-                    out.push(RetryLocation {
-                        site: CallSite {
-                            file: retry_loop.file,
-                            call: *id,
-                        },
-                        coordinator: retry_loop.coordinator.clone(),
-                        retried: callee.clone(),
-                        exception: thrown.clone(),
-                        mechanism: Mechanism::Loop(retry_loop.loop_id),
+            // All dispatch-consistent targets: a `this` call may reach a
+            // subclass override whose `throws` differ from the base's.
+            for (callee, decl) in index.resolve_targets(loop_site.class, method, *recv_this) {
+                for thrown in &decl.throws {
+                    let covered = retry_loop.reaching_catches.iter().any(|caught| {
+                        symbols.is_exception_subtype(thrown, caught)
+                            || symbols.is_exception_subtype(caught, thrown)
                     });
+                    if covered {
+                        out.push(RetryLocation {
+                            site: CallSite {
+                                file: retry_loop.file,
+                                call: *id,
+                            },
+                            coordinator: retry_loop.coordinator.clone(),
+                            retried: callee.clone(),
+                            exception: thrown.clone(),
+                            mechanism: Mechanism::Loop(retry_loop.loop_id),
+                        });
+                    }
                 }
             }
         }

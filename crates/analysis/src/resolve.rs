@@ -2,12 +2,22 @@
 //!
 //! Like the paper's CodeQL queries, resolution is *static and approximate*:
 //! calls on `this` resolve through the enclosing class hierarchy; calls on
-//! other receivers resolve only when the method name is unique across the
-//! project. Unresolvable calls are skipped, which is a (realistic) source of
-//! false negatives.
+//! other receivers resolve only when the method name names a single
+//! dispatch target across the project. Unresolvable calls are skipped,
+//! which is a (realistic) source of false negatives.
+//!
+//! Resolution consults the compiled [`ProgramIndex`] dispatch tables — the
+//! same tables the VM dispatches through — rather than a parallel
+//! name-matching structure, so static targets can never drift from runtime
+//! targets. [`ProjectIndex::resolve_callee`] keeps the historical
+//! single-target contract (the statically enclosing class's view);
+//! [`ProjectIndex::resolve_targets`] returns the full dispatch-consistent
+//! may-set, which includes subclass overrides a `this` call can reach at
+//! runtime.
 
 use std::collections::HashMap;
 use wasabi_lang::ast::{Item, LoopId, MethodDecl, Stmt};
+use wasabi_lang::index::{ClassId, ProgramIndex};
 use wasabi_lang::project::{FileId, MethodId, Project};
 
 /// Where a loop lives: file, enclosing class/method, and the loop statement.
@@ -82,31 +92,95 @@ impl<'p> ProjectIndex<'p> {
         &self.loops
     }
 
-    /// Resolves a called method statically.
+    /// Maps a compiled method index back to its AST declaration.
+    fn compiled_target(&self, midx: u32) -> Option<(MethodId, &'p MethodDecl)> {
+        let index: &ProgramIndex = &self.project.index;
+        let compiled = &index.methods[midx as usize];
+        let owner = index.classes[compiled.owner.0 as usize].name_str.as_str();
+        let name = index.interner.resolve(compiled.name);
+        self.by_name
+            .get(name)?
+            .iter()
+            .find(|(class, _)| *class == owner)
+            .map(|&(class, decl)| (MethodId::new(class, name), decl))
+    }
+
+    /// The single dispatch target for `method` anywhere in the program, if
+    /// exactly one class hierarchy defines it.
+    fn unique_foreign_target(&self, method: &str) -> Option<u32> {
+        let index: &ProgramIndex = &self.project.index;
+        let sym = index.interner.lookup(method)?;
+        let mut target = None;
+        for cid in (0..index.classes.len() as u32).map(ClassId) {
+            match (index.resolve_dispatch(cid, sym), target) {
+                (None, _) => {}
+                (Some(midx), None) => target = Some(midx),
+                (Some(midx), Some(t)) if midx == t => {}
+                // Two distinct targets: ambiguous, give up like a purely
+                // syntactic query.
+                (Some(_), Some(_)) => return None,
+            }
+        }
+        target
+    }
+
+    /// Resolves a called method statically to a single target.
     ///
     /// `recv_this` means the receiver is `this` (or implicit): resolve
-    /// through `enclosing_class`'s hierarchy. Otherwise the name must be
-    /// unique project-wide.
+    /// through `enclosing_class`'s dispatch table. Otherwise the name must
+    /// map to a single dispatch target project-wide. This is the
+    /// historical point query — a `this` call resolves to the statically
+    /// enclosing class's view and ignores subclass overrides; use
+    /// [`ProjectIndex::resolve_targets`] for the dispatch-consistent set.
     pub fn resolve_callee(
         &self,
         enclosing_class: &str,
         method: &str,
         recv_this: bool,
     ) -> Option<(MethodId, &'p MethodDecl)> {
+        let index: &ProgramIndex = &self.project.index;
         if recv_this {
-            return self
-                .project
-                .resolve_method(enclosing_class, method)
-                .map(|(owner, decl)| (MethodId::new(owner, method), decl));
+            let cid = index.class_by_name(enclosing_class)?;
+            let sym = index.interner.lookup(method)?;
+            return self.compiled_target(index.resolve_dispatch(cid, sym)?);
         }
-        match self.by_name.get(method) {
-            Some(candidates) if candidates.len() == 1 => {
-                let (class, decl) = candidates[0];
-                Some((MethodId::new(class, method), decl))
+        self.compiled_target(self.unique_foreign_target(method)?)
+    }
+
+    /// Every method a call could dispatch to at runtime.
+    ///
+    /// For `this` calls the receiver may be any subtype of the enclosing
+    /// class, so every override in the hierarchy below it is a possible
+    /// target. Foreign receivers keep the unique-target rule. Targets are
+    /// returned in compiled-method order, deduplicated.
+    pub fn resolve_targets(
+        &self,
+        enclosing_class: &str,
+        method: &str,
+        recv_this: bool,
+    ) -> Vec<(MethodId, &'p MethodDecl)> {
+        let index: &ProgramIndex = &self.project.index;
+        let mut mids: Vec<u32> = Vec::new();
+        if recv_this {
+            let (Some(cid), Some(sym)) = (
+                index.class_by_name(enclosing_class),
+                index.interner.lookup(method),
+            ) else {
+                return Vec::new();
+            };
+            for sub in index.subtypes_of_class(cid) {
+                if let Some(midx) = index.resolve_dispatch(sub, sym) {
+                    mids.push(midx);
+                }
             }
-            // Ambiguous or unknown: give up, like a purely syntactic query.
-            _ => None,
+        } else if let Some(midx) = self.unique_foreign_target(method) {
+            mids.push(midx);
         }
+        mids.sort_unstable();
+        mids.dedup();
+        mids.into_iter()
+            .filter_map(|m| self.compiled_target(m))
+            .collect()
     }
 
     /// Methods invoked by `method` (resolved where possible) with their
@@ -131,7 +205,7 @@ impl<'p> ProjectIndex<'p> {
                     recv.as_deref(),
                     None | Some(wasabi_lang::ast::Expr::This(_))
                 );
-                if let Some((callee, decl)) = self.resolve_callee(class, method, recv_this) {
+                for (callee, decl) in self.resolve_targets(class, method, recv_this) {
                     out.push((
                         wasabi_lang::project::CallSite { file, call: *id },
                         callee,
@@ -195,6 +269,47 @@ mod tests {
         );
         let index = ProjectIndex::build(&p);
         assert!(index.resolve_callee("C", "go", false).is_none());
+    }
+
+    #[test]
+    fn this_call_targets_include_subclass_overrides() {
+        // The split-brain divergence this reroute pins down: the old
+        // name-matching resolver saw only the statically enclosing
+        // hierarchy's declaration for a `this` call, but at runtime the
+        // receiver can be a subclass whose override throws something else
+        // entirely. The point query keeps the historical single-target
+        // answer; the dispatch-table may-set includes the override.
+        let p = project(
+            "exception BaseError;\n\
+             exception KidError;\n\
+             class Base {\n\
+               method process() throws BaseError { return 1; }\n\
+               method run() { return this.process(); }\n\
+             }\n\
+             class Kid extends Base {\n\
+               method process() throws KidError { return 2; }\n\
+             }",
+        );
+        let index = ProjectIndex::build(&p);
+        let (id, decl) = index.resolve_callee("Base", "process", true).expect("resolved");
+        assert_eq!(id, MethodId::new("Base", "process"));
+        assert_eq!(decl.throws, vec!["BaseError"]);
+        let targets: Vec<MethodId> = index
+            .resolve_targets("Base", "process", true)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(
+            targets,
+            vec![MethodId::new("Base", "process"), MethodId::new("Kid", "process")]
+        );
+        // From Kid's point of view only the override is reachable.
+        let from_kid: Vec<MethodId> = index
+            .resolve_targets("Kid", "process", true)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(from_kid, vec![MethodId::new("Kid", "process")]);
     }
 
     #[test]

@@ -124,7 +124,8 @@ fn expr_has_comparison(expr: &Expr) -> bool {
     found
 }
 
-fn block_exits(block: &wasabi_lang::ast::Block) -> bool {
+/// Whether a block contains an exit statement (`break`/`return`/`throw`).
+pub fn block_exits(block: &wasabi_lang::ast::Block) -> bool {
     let mut exits = false;
     wasabi_lang::ast::walk_stmts(block, &mut |stmt| {
         if matches!(

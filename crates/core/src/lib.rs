@@ -41,8 +41,10 @@
 
 pub mod dynamic;
 pub mod identify;
+pub mod lint;
 pub mod score;
 
 pub use dynamic::{run_dynamic, DynamicOptions, DynamicResult};
 pub use identify::{identify, Identified};
+pub use lint::{lint_with_overlap, LintReport, WhenOverlap};
 pub use score::{evaluate_app, Aggregate, AppEvaluation, Cell};

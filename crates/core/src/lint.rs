@@ -1,0 +1,162 @@
+//! The `wasabi lint` workflow: interprocedural static diagnostics plus
+//! Figure-4-style overlap accounting between the query-based checkers and
+//! the LLM static sweep.
+//!
+//! The paper's Figure 4 compares what CodeQL-style queries and the
+//! LLM-based checker each find, and what both find. Here the query side is
+//! [`lint_project`]'s WHEN diagnostics (`W001` missing cap, `W002` missing
+//! delay) and the LLM side is the sweep's WHEN findings; a finding is
+//! *shared* when both techniques flag the same `(file, method, kind)`.
+
+use std::collections::BTreeSet;
+use wasabi_analysis::checkers::{lint_project, LintOptions, LintResult};
+use wasabi_lang::project::Project;
+use wasabi_llm::detector::{sweep_project, LlmSweep, LlmWhenKind};
+use wasabi_llm::model::LanguageModel;
+
+/// Overlap counts between the static checkers and the LLM sweep, for WHEN
+/// findings only (the codes both techniques can express).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WhenOverlap {
+    /// WHEN findings only the static checkers report.
+    pub static_only: usize,
+    /// WHEN findings only the LLM sweep reports.
+    pub llm_only: usize,
+    /// WHEN findings both techniques report.
+    pub both: usize,
+}
+
+impl WhenOverlap {
+    /// Total distinct WHEN findings across both techniques.
+    pub fn total(&self) -> usize {
+        self.static_only + self.llm_only + self.both
+    }
+}
+
+/// Everything `wasabi lint` computes for one project.
+#[derive(Debug)]
+pub struct LintReport {
+    /// The static lint result (sorted diagnostics + per-loop facts).
+    pub lint: LintResult,
+    /// The LLM sweep the overlap was computed against.
+    pub sweep: LlmSweep,
+    /// CodeQL-vs-LLM WHEN overlap.
+    pub overlap: WhenOverlap,
+}
+
+/// The diagnostic code an LLM WHEN finding corresponds to.
+fn code_of(kind: LlmWhenKind) -> &'static str {
+    match kind {
+        LlmWhenKind::MissingCap => "W001",
+        LlmWhenKind::MissingDelay => "W002",
+    }
+}
+
+/// Runs the static checkers and the LLM sweep and accounts their overlap.
+pub fn lint_with_overlap(
+    project: &Project,
+    llm: &mut dyn LanguageModel,
+    options: &LintOptions,
+) -> LintReport {
+    let lint = lint_project(project, options);
+    let sweep = sweep_project(project, llm);
+
+    let static_found: BTreeSet<(String, String, &'static str)> = lint
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == "W001" || d.code == "W002")
+        .map(|d| {
+            let method = d
+                .coordinator
+                .rsplit('.')
+                .next()
+                .unwrap_or(&d.coordinator)
+                .to_string();
+            (d.file.clone(), method, d.code)
+        })
+        .collect();
+    let llm_found: BTreeSet<(String, String, &'static str)> = sweep
+        .findings
+        .iter()
+        .map(|f| (f.path.clone(), f.method.clone(), code_of(f.kind)))
+        .collect();
+
+    let both = static_found.intersection(&llm_found).count();
+    let overlap = WhenOverlap {
+        static_only: static_found.len() - both,
+        llm_only: llm_found.len() - both,
+        both,
+    };
+    LintReport {
+        lint,
+        sweep,
+        overlap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi_llm::simulated::SimulatedLlm;
+
+    #[test]
+    fn overlap_counts_are_consistent() {
+        let src = "exception E;\n\
+             class C {\n\
+               method op() throws E { return 1; }\n\
+               method run() {\n\
+                 while (true) {\n\
+                   try { return this.op(); } catch (E e) { log(\"retry\"); }\n\
+                 }\n\
+               }\n\
+             }";
+        let project = Project::compile("t", vec![("t.jav", src)]).unwrap();
+        let mut llm = SimulatedLlm::with_seed(11);
+        let report = lint_with_overlap(&project, &mut llm, &LintOptions::default());
+        // The static side always sees the uncapped, undelayed loop.
+        let static_when = report
+            .lint
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == "W001" || d.code == "W002")
+            .count();
+        assert_eq!(static_when, 2);
+        assert_eq!(
+            report.overlap.static_only + report.overlap.both,
+            static_when,
+            "every static WHEN finding is either shared or static-only"
+        );
+        assert_eq!(
+            report.overlap.llm_only + report.overlap.both,
+            report.sweep.findings.len(),
+            "every LLM finding is either shared or LLM-only"
+        );
+    }
+
+    #[test]
+    fn overlap_is_deterministic_for_a_fixed_seed() {
+        let src = "exception E;\n\
+             class C {\n\
+               method op() throws E { return 1; }\n\
+               method run() {\n\
+                 for (var retry = 0; retry < 3; retry = retry + 1) {\n\
+                   try { return this.op(); } catch (E e) { }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+             }";
+        let project = Project::compile("t", vec![("t.jav", src)]).unwrap();
+        let one = lint_with_overlap(
+            &project,
+            &mut SimulatedLlm::with_seed(7),
+            &LintOptions::default(),
+        );
+        let two = lint_with_overlap(
+            &project,
+            &mut SimulatedLlm::with_seed(7),
+            &LintOptions::default(),
+        );
+        assert_eq!(one.overlap, two.overlap);
+        assert_eq!(one.lint.diagnostics, two.lint.diagnostics);
+    }
+}

@@ -68,6 +68,21 @@ pub fn generate_all(scale: Scale) -> Vec<GeneratedApp> {
         .collect()
 }
 
+/// Generates an application and appends the opt-in nested-retry
+/// amplification seeds (three genuine sites plus three decoys, labelled in
+/// `truth.amp_seeds`).
+///
+/// Kept separate from [`generate_app`] on purpose: the amplification files
+/// add retry loops, which would shift the pinned identification totals the
+/// spec tests and the corpus digest check.
+pub fn generate_app_with_amp(spec: &AppSpec, scale: Scale) -> GeneratedApp {
+    let mut app = generate_app(spec, scale);
+    let (files, seeds) = templates::amp_seed_files(spec.short);
+    app.files.extend(files);
+    app.truth.amp_seeds = seeds;
+    app
+}
+
 // ---- Slot and role machinery ------------------------------------------------
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -682,6 +697,28 @@ mod tests {
             spec.bugs.delay_both + spec.bugs.delay_dyn_only + spec.bugs.delay_llm_only
         );
         assert_eq!(hows, spec.bugs.how);
+    }
+
+    #[test]
+    fn amp_extension_compiles_and_is_labelled() {
+        let spec = &paper_apps()[0];
+        let plain = generate_app(spec, Scale::Tiny);
+        let app = generate_app_with_amp(spec, Scale::Tiny);
+        let _ = compile_app(&app);
+        assert_eq!(app.truth.amp_seeds.len(), 6);
+        let genuine = app.truth.amp_seeds.iter().filter(|s| s.genuine).count();
+        assert_eq!(genuine, 3);
+        assert_eq!(app.files.len(), plain.files.len() + 6);
+        // The base app is untouched: same structures, same pinned totals.
+        assert_eq!(app.truth.structures.len(), plain.truth.structures.len());
+        assert!(plain.truth.amp_seeds.is_empty());
+        for seed in &app.truth.amp_seeds {
+            assert!(
+                app.files.iter().any(|(p, _)| p == &seed.file_path),
+                "seed {} points at a generated file",
+                seed.id
+            );
+        }
     }
 
     #[test]

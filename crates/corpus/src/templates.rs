@@ -1129,3 +1129,227 @@ pub fn filler_file(short: &str, index: usize) -> (String, String) {
         source,
     )
 }
+
+// ---- Nested-retry amplification seeds (opt-in) ------------------------------
+
+/// Opt-in amplification seed files: three genuine nested-retry sites
+/// (same-method nesting, retrying `this` helper, cross-class through a
+/// typed field) and three decoys that look similar but must NOT be
+/// reported (sleep-only helper, plain nested loop, retrying helper called
+/// outside the loop). Returned alongside their ground-truth labels so the
+/// lint tests can score precision and recall mechanically.
+///
+/// These files are never part of the default corpus — extra retry loops
+/// would shift the pinned identification totals — and are appended only by
+/// [`crate::synth::generate_app_with_amp`].
+pub fn amp_seed_files(short: &str) -> (Vec<(String, String)>, Vec<crate::truth::AmpSeed>) {
+    use crate::truth::{AmpKind, AmpSeed};
+    let mut files = Vec::new();
+    let mut seeds = Vec::new();
+    let lower = short.to_lowercase();
+    let mut add = |stem: &str,
+                   kind: AmpKind,
+                   class: String,
+                   inner: String,
+                   expected_product: &str,
+                   genuine: bool,
+                   source: String| {
+        let path = format!("src/amp_{lower}_{stem}.jav");
+        seeds.push(AmpSeed {
+            id: format!("{short}-amp-{stem}"),
+            kind,
+            coordinator: MethodId::new(class, "run"),
+            file_path: path.clone(),
+            inner,
+            expected_product: expected_product.to_string(),
+            genuine,
+        });
+        files.push((path, source));
+    };
+
+    // Genuine 1: loop-in-loop in the same method. 3 outer x 4 inner.
+    let nest = format!("AmpNest{short}");
+    add(
+        "nest",
+        AmpKind::NestedLoops,
+        nest.clone(),
+        format!("{nest}.run"),
+        "12",
+        true,
+        format!(
+            "// Retry the snapshot upload on transient failures.\n\
+             class {nest} {{\n\
+             \x20   method op() throws ConnectException {{ return 1; }}\n\
+             \x20   method run() {{\n\
+             \x20       for (var retries = 0; retries < 3; retries = retries + 1) {{\n\
+             \x20           try {{\n\
+             \x20               for (var retry = 0; retry < 4; retry = retry + 1) {{\n\
+             \x20                   try {{ return this.op(); }}\n\
+             \x20                   catch (ConnectException e) {{ sleep(5); }}\n\
+             \x20               }}\n\
+             \x20               throw new ConnectException(\"inner attempts exhausted\");\n\
+             \x20           }} catch (ConnectException e) {{ sleep(50); }}\n\
+             \x20       }}\n\
+             \x20       return null;\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    );
+
+    // Genuine 2: the loop retries a helper on `this` that retries again.
+    // 3 outer x 4 inner.
+    let helper = format!("AmpHelper{short}");
+    add(
+        "helper",
+        AmpKind::HelperRetry,
+        helper.clone(),
+        format!("{helper}.persist"),
+        "12",
+        true,
+        format!(
+            "// Retry the manifest write on transient store failures.\n\
+             class {helper} {{\n\
+             \x20   method write() throws StoreException {{ return 1; }}\n\
+             \x20   method persist() throws StoreException {{\n\
+             \x20       for (var retry = 0; retry < 4; retry = retry + 1) {{\n\
+             \x20           try {{ return this.write(); }}\n\
+             \x20           catch (StoreException e) {{ sleep(10); }}\n\
+             \x20       }}\n\
+             \x20       throw new StoreException(\"write attempts exhausted\");\n\
+             \x20   }}\n\
+             \x20   method run() {{\n\
+             \x20       for (var retries = 0; retries < 3; retries = retries + 1) {{\n\
+             \x20           try {{ return this.persist(); }}\n\
+             \x20           catch (StoreException e) {{ sleep(40); }}\n\
+             \x20       }}\n\
+             \x20       return null;\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    );
+
+    // Genuine 3: cross-class through a typed field receiver. 3 outer x 5
+    // inner.
+    let store = format!("AmpStore{short}");
+    let client = format!("AmpClient{short}");
+    add(
+        "cross",
+        AmpKind::CrossClass,
+        client.clone(),
+        format!("{store}.save"),
+        "15",
+        true,
+        format!(
+            "// Retry the task checkpoint through the shared store.\n\
+             class {store} {{\n\
+             \x20   method put() throws TaskException {{ return 1; }}\n\
+             \x20   method save() throws TaskException {{\n\
+             \x20       for (var retry = 0; retry < 5; retry = retry + 1) {{\n\
+             \x20           try {{ return this.put(); }}\n\
+             \x20           catch (TaskException e) {{ sleep(8); }}\n\
+             \x20       }}\n\
+             \x20       throw new TaskException(\"save attempts exhausted\");\n\
+             \x20   }}\n\
+             }}\n\
+             class {client} {{\n\
+             \x20   field store = new {store}();\n\
+             \x20   method run() {{\n\
+             \x20       for (var retries = 0; retries < 3; retries = retries + 1) {{\n\
+             \x20           try {{ return this.store.save(); }}\n\
+             \x20           catch (TaskException e) {{ sleep(30); }}\n\
+             \x20       }}\n\
+             \x20       return null;\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    );
+
+    // Decoy 1: the helper called from the catch only sleeps; no nested
+    // retry exists.
+    let sleepy = format!("AmpSleepy{short}");
+    add(
+        "sleepy",
+        AmpKind::DecoySleepHelper,
+        sleepy.clone(),
+        format!("{sleepy}.backoff"),
+        "",
+        false,
+        format!(
+            "// Retry the heartbeat send with helper-managed backoff.\n\
+             class {sleepy} {{\n\
+             \x20   method send() throws ConnectException {{ return 1; }}\n\
+             \x20   method backoff(n) {{ sleep(20 * n); }}\n\
+             \x20   method run() {{\n\
+             \x20       for (var retry = 0; retry < 6; retry = retry + 1) {{\n\
+             \x20           try {{ return this.send(); }}\n\
+             \x20           catch (ConnectException e) {{ this.backoff(retry); }}\n\
+             \x20       }}\n\
+             \x20       return null;\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    );
+
+    // Decoy 2: the inner loop is a plain bounded scan, not a retry loop.
+    let scan = format!("AmpScan{short}");
+    add(
+        "scan",
+        AmpKind::DecoyPlainNested,
+        scan.clone(),
+        format!("{scan}.run"),
+        "",
+        false,
+        format!(
+            "// Retry the segment flush after scanning its pages.\n\
+             class {scan} {{\n\
+             \x20   method touch(i) {{ return i; }}\n\
+             \x20   method flush() throws StoreException {{ return 1; }}\n\
+             \x20   method run() {{\n\
+             \x20       for (var retry = 0; retry < 3; retry = retry + 1) {{\n\
+             \x20           try {{\n\
+             \x20               for (var i = 0; i < 8; i = i + 1) {{ this.touch(i); }}\n\
+             \x20               return this.flush();\n\
+             \x20           }} catch (StoreException e) {{ sleep(15); }}\n\
+             \x20       }}\n\
+             \x20       return null;\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    );
+
+    // Decoy 3: the retrying helper runs once, *before* the loop; the loop
+    // itself only retries a plain call.
+    let warm = format!("AmpWarm{short}");
+    add(
+        "warm",
+        AmpKind::DecoyOutsideLoop,
+        warm.clone(),
+        format!("{warm}.warm"),
+        "",
+        false,
+        format!(
+            "// Warm the connection, then retry the fetch on failures.\n\
+             class {warm} {{\n\
+             \x20   method dial() throws ConnectException {{ return 1; }}\n\
+             \x20   method fetch() throws ConnectException {{ return 2; }}\n\
+             \x20   method warm() {{\n\
+             \x20       for (var retry = 0; retry < 4; retry = retry + 1) {{\n\
+             \x20           try {{ return this.dial(); }}\n\
+             \x20           catch (ConnectException e) {{ sleep(5); }}\n\
+             \x20       }}\n\
+             \x20       return null;\n\
+             \x20   }}\n\
+             \x20   method run() {{\n\
+             \x20       this.warm();\n\
+             \x20       for (var retry = 0; retry < 3; retry = retry + 1) {{\n\
+             \x20           try {{ return this.fetch(); }}\n\
+             \x20           catch (ConnectException e) {{ sleep(25); }}\n\
+             \x20       }}\n\
+             \x20       return null;\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    );
+
+    (files, seeds)
+}

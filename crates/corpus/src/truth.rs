@@ -148,6 +148,49 @@ pub struct IfSeedTruth {
     pub genuine: bool,
 }
 
+/// The shape of a seeded nested-retry amplification site (or decoy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AmpKind {
+    /// Two retry loops nested in the same method.
+    NestedLoops,
+    /// A retry loop whose body calls a retrying helper on `this`.
+    HelperRetry,
+    /// A retry loop retrying a method of another class through a typed
+    /// field receiver.
+    CrossClass,
+    /// Decoy: the helper called from the loop only sleeps, it does not
+    /// retry.
+    DecoySleepHelper,
+    /// Decoy: the nested inner loop is a plain bounded loop, not a retry
+    /// loop.
+    DecoyPlainNested,
+    /// Decoy: the retrying helper is called *before* the loop, not inside
+    /// it.
+    DecoyOutsideLoop,
+}
+
+/// Ground truth for one seeded amplification site. Decoys carry
+/// `genuine: false` and exist to give the precision measurement teeth.
+#[derive(Debug, Clone)]
+pub struct AmpSeed {
+    /// Stable id, e.g. `"HB-amp-nest"`.
+    pub id: String,
+    /// Site shape.
+    pub kind: AmpKind,
+    /// Outer coordinator method.
+    pub coordinator: MethodId,
+    /// Path of the file the site lives in.
+    pub file_path: String,
+    /// `Class.method` owning the inner retry loop (the coordinator itself
+    /// for same-method nesting; the would-be inner for decoys).
+    pub inner: String,
+    /// Worst-case attempt product the detector should report (display form
+    /// of [`AttemptBound`](../../analysis), e.g. `"12"`).
+    pub expected_product: String,
+    /// Whether an amplification finding here is correct.
+    pub genuine: bool,
+}
+
 /// Complete ground truth for one generated application.
 #[derive(Debug, Clone, Default)]
 pub struct AppTruth {
@@ -159,6 +202,9 @@ pub struct AppTruth {
     pub file_traps: Vec<FileTrapTruth>,
     /// Seeded IF-ratio groups.
     pub if_seeds: Vec<IfSeedTruth>,
+    /// Seeded nested-retry amplification sites (opt-in; empty unless the
+    /// app was generated with the amplification extension).
+    pub amp_seeds: Vec<AmpSeed>,
 }
 
 impl AppTruth {
@@ -213,6 +259,7 @@ mod tests {
             }],
             file_traps: vec![],
             if_seeds: vec![],
+            amp_seeds: vec![],
         };
         assert!(truth.by_coordinator(&MethodId::new("Retry0", "run")).is_some());
         assert!(truth.by_coordinator(&MethodId::new("X", "y")).is_none());

@@ -108,6 +108,13 @@ pub struct CompiledMethod {
     pub body: Vec<LStmt>,
     /// Whether this is a `test` method.
     pub is_test: bool,
+    /// Declaring class (the class whose `methods` list this body came
+    /// from; subclasses inherit it through their dispatch tables).
+    pub owner: ClassId,
+    /// File the declaring class lives in.
+    pub file: FileId,
+    /// Declared `throws` clause, lowered to dense ids, sorted and deduped.
+    pub throws: Vec<ExcId>,
 }
 
 /// A compiled class: layout, initializers, and the flattened dispatch
@@ -248,6 +255,34 @@ impl ProgramIndex {
     /// Resolves `method` on `class` via the flattened dispatch table.
     pub fn resolve_dispatch(&self, class: ClassId, method: Symbol) -> Option<u32> {
         lookup_sorted(&self.classes[class.0 as usize].dispatch, method)
+    }
+
+    /// The full flattened dispatch table of `class`:
+    /// `(method name, index into methods)`, sorted by symbol, inherited
+    /// entries included. This is the same table the interpreter consults,
+    /// exposed so static analyses resolve calls identically.
+    pub fn dispatch_entries(&self, class: ClassId) -> &[(Symbol, u32)] {
+        &self.classes[class.0 as usize].dispatch
+    }
+
+    /// All classes that are `class` or a subclass of it, ascending by id.
+    /// Static this-call resolution uses this to over-approximate dynamic
+    /// dispatch: at run time `this` may be any subtype of the declaring
+    /// class.
+    pub fn subtypes_of_class(&self, class: ClassId) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.classes.len() as u32)
+            .map(ClassId)
+            .filter(move |&sub| self.is_class_subtype(sub, class))
+    }
+
+    /// Renders a method index as `DeclaringClass.method`.
+    pub fn method_display(&self, midx: u32) -> String {
+        let m = &self.methods[midx as usize];
+        format!(
+            "{}.{}",
+            self.classes[m.owner.0 as usize].name_str,
+            self.interner.resolve(m.name)
+        )
     }
 
     /// Builds the index for a validated project. Must only be called after
@@ -622,7 +657,7 @@ impl<'a> Builder<'a> {
             let mut own: Vec<(Symbol, u32)> = Vec::new();
             for method in &class.methods {
                 let midx = methods.len() as u32;
-                let compiled = compile_method(&mut b, *file, method);
+                let compiled = compile_method(&mut b, *file, ClassId(idx as u32), method);
                 own.push((compiled.name, midx));
                 methods.push(compiled);
             }
@@ -727,7 +762,19 @@ fn ancestry_matrix(n: usize, parent: impl Fn(usize) -> Option<usize>) -> Vec<boo
     matrix
 }
 
-fn compile_method(b: &mut Builder<'_>, file: FileId, method: &MethodDecl) -> CompiledMethod {
+fn compile_method(
+    b: &mut Builder<'_>,
+    file: FileId,
+    owner: ClassId,
+    method: &MethodDecl,
+) -> CompiledMethod {
+    let mut throws: Vec<ExcId> = method
+        .throws
+        .iter()
+        .filter_map(|t| b.exc_ids.get(t).copied())
+        .collect();
+    throws.sort_unstable();
+    throws.dedup();
     let mut lower = Lowerer::new(b, file);
     for param in &method.params {
         lower.slot_for(param);
@@ -746,6 +793,9 @@ fn compile_method(b: &mut Builder<'_>, file: FileId, method: &MethodDecl) -> Com
         n_slots: lower.n_slots,
         body,
         is_test: method.is_test,
+        owner,
+        file,
+        throws,
     }
 }
 

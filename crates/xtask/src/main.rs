@@ -17,7 +17,7 @@
 //!   would leave it, resume) whose report must be byte-identical to the
 //!   uninterrupted baseline.
 //! - `bench` — full engine-throughput benchmark over the repro corpus
-//!   (`wasabi bench`, serial and `--jobs 4`); composes `BENCH_PR3.json`
+//!   (`wasabi bench`, serial and `--jobs 4`); composes `BENCH_PR5.json`
 //!   at the repo root from the recorded baseline
 //!   (`scripts/bench_baseline.json`, written once with
 //!   `bench --record-baseline`) and the current measurement.
@@ -29,6 +29,12 @@
 //!   digest and compare against the recorded one (`--record` rewrites
 //!   the file). Guards against execution-layer changes altering any
 //!   observable report byte.
+//! - `lint` — the static-analysis gate: regenerate the pinned corpus apps
+//!   (with the amplification seeds), check `wasabi lint` output is
+//!   byte-identical between `--jobs 1` and `--jobs 4`, and fail on any
+//!   diagnostic not in the checked-in baseline
+//!   (`scripts/lint_baseline.txt`, rewritten with `lint --record`).
+//!   Wired into `ci`.
 
 use std::env;
 use std::fs;
@@ -37,7 +43,7 @@ use std::process::{exit, Command};
 
 fn main() {
     let task = env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: cargo xtask <tier1|ci|smoke|bench|digest>");
+        eprintln!("usage: cargo xtask <tier1|ci|smoke|bench|digest|lint>");
         exit(2);
     });
     let flags: Vec<String> = env::args().skip(2).collect();
@@ -59,6 +65,7 @@ fn main() {
             );
             smoke();
             bench_smoke();
+            lint_gate(false);
             eprintln!("ci: OK");
         }
         "smoke" => {
@@ -77,8 +84,12 @@ fn main() {
             run_stage("build --release --bin wasabi", &["build", "--release", "--bin", "wasabi"]);
             digest(flags.iter().any(|f| f == "--record"));
         }
+        "lint" => {
+            run_stage("build --release --bin wasabi", &["build", "--release", "--bin", "wasabi"]);
+            lint_gate(flags.iter().any(|f| f == "--record"));
+        }
         other => {
-            eprintln!("unknown task `{other}`; expected tier1, ci, smoke, bench, or digest");
+            eprintln!("unknown task `{other}`; expected tier1, ci, smoke, bench, digest, or lint");
             exit(2);
         }
     }
@@ -224,9 +235,119 @@ fn smoke() {
 
 const BASELINE_PATH: &str = "scripts/bench_baseline.json";
 const DIGEST_PATH: &str = "scripts/seed_report_digest.txt";
-const BENCH_OUT: &str = "BENCH_PR3.json";
+const LINT_BASELINE_PATH: &str = "scripts/lint_baseline.txt";
+const BENCH_OUT: &str = "BENCH_PR5.json";
 /// Apps whose `wasabi test --json` reports are digest-pinned.
 const DIGEST_APPS: &[&str] = &["HD", "MA"];
+/// Apps the lint gate sweeps (generated with the amplification seeds).
+const LINT_APPS: &[&str] = &["HD", "MA"];
+
+/// The static-analysis gate: `wasabi lint` over the pinned corpus apps
+/// (amplification seeds included) must be byte-identical between
+/// `--jobs 1` and `--jobs 4`, and — unless `record` — every diagnostic
+/// must be fingerprinted in the checked-in baseline.
+fn lint_gate(record: bool) {
+    eprintln!("==> lint gate: corpus sweep vs {LINT_BASELINE_PATH}");
+    let wasabi = release_wasabi()
+        .canonicalize()
+        .unwrap_or_else(|e| fail(&format!("canonicalize wasabi path: {e}")));
+    let baseline_abs = Path::new(LINT_BASELINE_PATH)
+        .parent()
+        .and_then(|dir| dir.canonicalize().ok())
+        .map(|dir| dir.join("lint_baseline.txt"))
+        .unwrap_or_else(|| fail("scripts/ directory missing"));
+    let work = env::temp_dir().join(format!("wasabi-lint-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&work);
+    let mut baseline_out = String::new();
+    for app in LINT_APPS {
+        let app_dir = work.join(app);
+        let status = Command::new(&wasabi)
+            .args(["corpus", app, "--amp"])
+            .arg(&app_dir)
+            .status()
+            .unwrap_or_else(|e| fail(&format!("spawn wasabi corpus: {e}")));
+        if !status.success() {
+            fail(&format!("wasabi corpus {app} --amp failed"));
+        }
+        let mut files = Vec::new();
+        collect_jav(&app_dir, &mut files);
+        files.sort();
+        // Diagnostics anchor on the paths the CLI is given: pass them
+        // relative to the work dir so the baseline fingerprints are
+        // independent of the temp-dir location.
+        let rel: Vec<PathBuf> = files
+            .iter()
+            .map(|f| f.strip_prefix(&work).expect("file under work dir").to_path_buf())
+            .collect();
+
+        // Determinism: serial and 4-worker runs render identically.
+        let serial = run_wasabi_lint_in(&wasabi, &work, &["--jobs", "1"], &rel);
+        let parallel = run_wasabi_lint_in(&wasabi, &work, &["--jobs", "4"], &rel);
+        if serial.1 != parallel.1 {
+            fail(&format!("lint gate: {app} output differs between --jobs 1 and --jobs 4"));
+        }
+        eprintln!("    {app}: output identical across jobs=1/4 ({} bytes)", serial.1.len());
+
+        if record {
+            let app_baseline = work.join(format!("{app}-baseline.txt"));
+            let _ = run_wasabi_lint_in(
+                &wasabi,
+                &work,
+                &["--write-baseline", app_baseline.to_str().unwrap()],
+                &rel,
+            );
+            baseline_out.push_str(
+                &fs::read_to_string(&app_baseline)
+                    .unwrap_or_else(|e| fail(&format!("read {}: {e}", app_baseline.display()))),
+            );
+        } else {
+            let (code, stdout) = run_wasabi_lint_in(
+                &wasabi,
+                &work,
+                &["--baseline", baseline_abs.to_str().unwrap()],
+                &rel,
+            );
+            if code != 0 {
+                eprintln!("{stdout}");
+                fail(&format!(
+                    "lint gate: {app} has diagnostics not in {LINT_BASELINE_PATH} \
+                     (rewrite it with `cargo xtask lint --record` if they are intended)"
+                ));
+            }
+            eprintln!("    {app}: no diagnostics outside the baseline");
+        }
+    }
+    let _ = fs::remove_dir_all(&work);
+    if record {
+        fs::write(LINT_BASELINE_PATH, &baseline_out)
+            .unwrap_or_else(|e| fail(&format!("write {LINT_BASELINE_PATH}: {e}")));
+        eprintln!(
+            "lint gate: recorded {} fingerprints to {LINT_BASELINE_PATH}",
+            baseline_out.lines().count()
+        );
+        return;
+    }
+    eprintln!("lint gate: OK");
+}
+
+/// Runs `wasabi lint <flags> <files>` in `cwd` and returns (exit code,
+/// stdout). Exit code 1 (diagnostics found) is an expected outcome — only
+/// codes ≥ 2 abort.
+fn run_wasabi_lint_in(wasabi: &Path, cwd: &Path, flags: &[&str], files: &[PathBuf]) -> (i32, String) {
+    let output = Command::new(wasabi)
+        .current_dir(cwd)
+        .arg("lint")
+        .args(flags)
+        .args(files)
+        .output()
+        .unwrap_or_else(|e| fail(&format!("spawn wasabi lint: {e}")));
+    let code = output.status.code().unwrap_or(-1);
+    if code != 0 && code != 1 {
+        eprintln!("{}", String::from_utf8_lossy(&output.stderr));
+        fail(&format!("wasabi lint exited with code {code}"));
+    }
+    (code, String::from_utf8_lossy(&output.stdout).into_owned())
+}
 
 /// Full benchmark: measure serial and 4-worker throughput over the whole
 /// repro corpus, then compose `BENCH_PR3.json` from the recorded baseline
@@ -266,19 +387,64 @@ fn bench_full(record: bool) {
         curr / base
     };
     let (serial_speedup, parallel_speedup) = (speedup("serial"), speedup("parallel"));
+    let static_sweep = bench_static_sweep();
     let doc = format!(
         "{{\n  \"harness\": \"wasabi bench (full dynamic workflow over all 8 corpus apps, \
          scale paper, best of 3 iterations)\",\n  \"baseline\": {},\n  \"current\": {},\n  \
          \"speedup\": {{\n    \"serial_runs_per_sec\": {serial_speedup:.2},\n    \
-         \"parallel_runs_per_sec\": {parallel_speedup:.2}\n  }}\n}}\n",
+         \"parallel_runs_per_sec\": {parallel_speedup:.2}\n  }},\n  \"static_sweep\": {}\n}}\n",
         indent_json(baseline.trim(), 2),
-        indent_json(measurement.trim(), 2)
+        indent_json(measurement.trim(), 2),
+        indent_json(&static_sweep, 2)
     );
     fs::write(BENCH_OUT, doc).unwrap_or_else(|e| fail(&format!("write {BENCH_OUT}: {e}")));
     eprintln!(
         "bench: wrote {BENCH_OUT} (speedup: {serial_speedup:.2}x serial, \
          {parallel_speedup:.2}x parallel)"
     );
+}
+
+/// Times the interprocedural lint (`wasabi lint --jobs 1`) over each
+/// pinned corpus app (amplification seeds included) and returns a JSON
+/// fragment with per-app wall time and diagnostic counts.
+fn bench_static_sweep() -> String {
+    eprintln!("==> bench: static lint sweep");
+    let wasabi = release_wasabi()
+        .canonicalize()
+        .unwrap_or_else(|e| fail(&format!("canonicalize wasabi path: {e}")));
+    let work = env::temp_dir().join(format!("wasabi-lintbench-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&work);
+    let mut rows = Vec::new();
+    for app in LINT_APPS {
+        let app_dir = work.join(app);
+        let status = Command::new(&wasabi)
+            .args(["corpus", app, "--amp"])
+            .arg(&app_dir)
+            .status()
+            .unwrap_or_else(|e| fail(&format!("spawn wasabi corpus: {e}")));
+        if !status.success() {
+            fail(&format!("wasabi corpus {app} --amp failed"));
+        }
+        let mut files = Vec::new();
+        collect_jav(&app_dir, &mut files);
+        files.sort();
+        let rel: Vec<PathBuf> = files
+            .iter()
+            .map(|f| f.strip_prefix(&work).expect("file under work dir").to_path_buf())
+            .collect();
+        let start = std::time::Instant::now();
+        let (_, stdout) = run_wasabi_lint_in(&wasabi, &work, &["--jobs", "1"], &rel);
+        let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let diagnostics = stdout.lines().filter(|l| l.contains(": warning[")).count();
+        eprintln!("    {app}: {} files, {diagnostics} diagnostics, {wall_ms:.1} ms", rel.len());
+        rows.push(format!(
+            "    \"{app}\": {{ \"files\": {}, \"diagnostics\": {diagnostics}, \
+             \"wall_ms\": {wall_ms:.1} }}",
+            rel.len()
+        ));
+    }
+    let _ = fs::remove_dir_all(&work);
+    format!("{{\n{}\n  }}", rows.join(",\n"))
 }
 
 /// The CI bench smoke: the seed-corpus report digest must match the

@@ -18,6 +18,10 @@
 #      compile-once interning/index layer must never change observable
 #      output — a one-iteration mini bench must run cleanly, and its
 #      per-phase breakdown must sum to within 10% of measured wall time.
+#   5. lint gate: `wasabi lint` over the pinned corpus apps (amplification
+#      seeds included) must be byte-identical between --jobs 1 and
+#      --jobs 4 and must report nothing outside the checked-in baseline
+#      (scripts/lint_baseline.txt).
 #
 # Everything resolves offline: the workspace has no registry dependencies.
 set -euo pipefail
@@ -36,5 +40,8 @@ cargo xtask smoke
 
 echo "== stage 4: bench smoke (report digest + mini bench) =="
 cargo xtask bench --smoke
+
+echo "== stage 5: lint gate (static diagnostics vs baseline) =="
+cargo xtask lint
 
 echo "== ci: all stages passed =="

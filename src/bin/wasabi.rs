@@ -4,21 +4,26 @@
 //! ```text
 //! wasabi analyze [--json] <file.jav>...            # retry loops, locations, IF outliers
 //! wasabi sweep   [--json] <file.jav>...            # LLM static sweep (WHEN findings)
+//! wasabi lint    [--json] [--jobs N] [--baseline PATH] [--write-baseline PATH]
+//!                <file.jav>...                     # interprocedural retry diagnostics
+
 //! wasabi test    [--json] [--jobs N] [--max-attempts N] [--journal PATH]
 //!                [--resume PATH] [--quiet] [--chaos-panic RATE]
 //!                [--trace-out PATH] <file.jav>...
 //! wasabi stats   <trace.jsonl>... [--journal PATH] # per-phase/per-run trace tables
-//! wasabi corpus  <APP> <out-dir>                   # write a synthetic app to disk
+//! wasabi corpus  <APP> <out-dir> [--amp]           # write a synthetic app to disk
 //! wasabi bench   [--jobs N] [--iters N] [--apps HD,MA,...] [--scale tiny|small|paper]
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use wasabi::analysis::checkers::LintOptions;
 use wasabi::analysis::ifratio::{if_ratio_reports, IfOptions};
 use wasabi::analysis::loops::{all_retry_locations, LoopQueryOptions};
 use wasabi::analysis::resolve::ProjectIndex;
 use wasabi::core::dynamic::{run_dynamic_with_observer, DynamicOptions};
 use wasabi::core::identify::identify;
+use wasabi::core::lint::lint_with_overlap;
 use wasabi::engine::campaign::{ChaosConfig, RetryPolicy};
 use wasabi::engine::{
     journal, load_trace, render_stats, validate_trace, write_trace, EngineEvent, EngineObserver,
@@ -31,11 +36,13 @@ use wasabi::util::Json;
 const USAGE: &str = "usage:
   wasabi analyze [--json] <file.jav>...
   wasabi sweep   [--json] <file.jav>...
+  wasabi lint    [--json] [--jobs N] [--baseline PATH] [--write-baseline PATH]
+                 <file.jav>...
   wasabi test    [--json] [--jobs N] [--max-attempts N] [--journal PATH]
                  [--resume PATH] [--quiet] [--chaos-panic RATE]
                  [--trace-out PATH] <file.jav>...
   wasabi stats   <trace.jsonl>... [--journal PATH]
-  wasabi corpus  <APP> <out-dir>     (APP = HA HD MA YA HB HI CA EL)
+  wasabi corpus  <APP> <out-dir> [--amp]   (APP = HA HD MA YA HB HI CA EL)
   wasabi bench   [--jobs N] [--iters N] [--apps HD,MA,...] [--scale tiny|small|paper]";
 
 /// Campaign-related flags shared by `wasabi test` (and tolerated, unused,
@@ -71,6 +78,7 @@ fn main() -> ExitCode {
     match command.as_str() {
         "analyze" => with_project(&args, |project| analyze(project, json)),
         "sweep" => with_project(&args, |project| sweep(project, json)),
+        "lint" => lint(&mut args, json, &flags),
         "test" => with_project(&args, |project| test(project, json, &flags)),
         "stats" => stats(&args, &flags),
         "corpus" => corpus(&args),
@@ -80,6 +88,13 @@ fn main() -> ExitCode {
             ExitCode::from(2)
         }
     }
+}
+
+/// Extracts a boolean `--flag` from the argument list.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let found = args.iter().any(|a| a == flag);
+    args.retain(|a| a != flag);
+    found
 }
 
 /// Extracts `--flag VALUE` (or `--flag=VALUE`) from the argument list.
@@ -306,6 +321,108 @@ fn sweep(project: &Project, json: bool) -> ExitCode {
         sweep.usage.cost_usd()
     );
     ExitCode::SUCCESS
+}
+
+/// `wasabi lint`: run the interprocedural checkers and the LLM overlap
+/// accounting. Exit code 0 with no (non-suppressed) diagnostics, 1 when
+/// any remain, 2 on usage errors. Output is byte-identical for any
+/// `--jobs` value.
+fn lint(args: &mut Vec<String>, json: bool, flags: &CampaignFlags) -> ExitCode {
+    let (baseline_path, write_baseline) = match (
+        take_value_flag(args, "--baseline"),
+        take_value_flag(args, "--write-baseline"),
+    ) {
+        (Ok(read), Ok(write)) => (read, write),
+        (Err(message), _) | (_, Err(message)) => {
+            eprintln!("{message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match &baseline_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(contents) => Some(wasabi::analysis::diag::parse_baseline(&contents)),
+            Err(err) => {
+                eprintln!("cannot read baseline {path}: {err}");
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let jobs = flags.jobs;
+    with_project(args, move |project| {
+        let mut llm = SimulatedLlm::with_seed(0);
+        let options = LintOptions {
+            jobs,
+            ..LintOptions::default()
+        };
+        let report = lint_with_overlap(project, &mut llm, &options);
+        if let Some(path) = &write_baseline {
+            let rendered = wasabi::analysis::diag::render_baseline(&report.lint.diagnostics);
+            if let Err(err) = std::fs::write(path, rendered) {
+                eprintln!("cannot write baseline {path}: {err}");
+                return ExitCode::from(2);
+            }
+            println!(
+                "wrote {} fingerprints to {path}",
+                report.lint.diagnostics.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        let (diags, suppressed) = match &baseline {
+            Some(fingerprints) => {
+                wasabi::analysis::diag::apply_baseline(report.lint.diagnostics, fingerprints)
+            }
+            None => (report.lint.diagnostics, 0),
+        };
+        if json {
+            let value = Json::obj([
+                (
+                    "diagnostics",
+                    Json::arr(diags.iter().map(|d| {
+                        Json::obj([
+                            ("code", Json::from(d.code)),
+                            ("severity", Json::from(d.severity.label())),
+                            ("file", Json::from(d.file.as_str())),
+                            ("line", Json::from(d.line as i64)),
+                            ("col", Json::from(d.col as i64)),
+                            ("coordinator", Json::from(d.coordinator.as_str())),
+                            ("message", Json::from(d.message.as_str())),
+                            (
+                                "chain",
+                                Json::arr(d.chain.iter().map(|h| Json::from(h.as_str()))),
+                            ),
+                        ])
+                    })),
+                ),
+                ("suppressed", Json::from(suppressed as i64)),
+                (
+                    "overlap",
+                    Json::obj([
+                        ("static_only", Json::from(report.overlap.static_only as i64)),
+                        ("llm_only", Json::from(report.overlap.llm_only as i64)),
+                        ("both", Json::from(report.overlap.both as i64)),
+                        ("total", Json::from(report.overlap.total() as i64)),
+                    ]),
+                ),
+            ]);
+            print!("{}", value.pretty());
+        } else {
+            print!("{}", wasabi::analysis::diag::render_text(&diags));
+            println!(
+                "{} diagnostics ({} suppressed by baseline); WHEN overlap: {} static-only, {} llm-only, {} both",
+                diags.len(),
+                suppressed,
+                report.overlap.static_only,
+                report.overlap.llm_only,
+                report.overlap.both
+            );
+        }
+        if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    })
 }
 
 fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
@@ -638,6 +755,8 @@ fn phases_to_json(phases: &[(String, u64)]) -> Json {
 }
 
 fn corpus(args: &[String]) -> ExitCode {
+    let mut args: Vec<String> = args.to_vec();
+    let amp = take_flag(&mut args, "--amp");
     let (Some(app), Some(out_dir)) = (args.first(), args.get(1)) else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
@@ -649,8 +768,12 @@ fn corpus(args: &[String]) -> ExitCode {
         eprintln!("unknown app `{app}` (HA HD MA YA HB HI CA EL)");
         return ExitCode::from(2);
     };
-    let generated =
-        wasabi::corpus::synth::generate_app(&spec, wasabi::corpus::spec::Scale::Small);
+    let scale = wasabi::corpus::spec::Scale::Small;
+    let generated = if amp {
+        wasabi::corpus::synth::generate_app_with_amp(&spec, scale)
+    } else {
+        wasabi::corpus::synth::generate_app(&spec, scale)
+    };
     for (path, source) in &generated.files {
         let full = std::path::Path::new(out_dir).join(path);
         if let Some(parent) = full.parent() {

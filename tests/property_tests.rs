@@ -546,3 +546,114 @@ fn plan_covers_each_site_exactly_once() {
         );
     }
 }
+
+// ---- Interprocedural summary properties -------------------------------------
+
+/// A method body made of throws, rethrowing catches, and acyclic
+/// `this` calls: method `i` may only call methods with larger indices, so
+/// every generated program terminates and the call graph is a DAG.
+fn gen_throwy_method(rng: &mut Rng, index: usize, methods: usize, depth: u32) -> String {
+    let excs = ["E0", "E1", "E2"];
+    let call = |rng: &mut Rng| -> Option<String> {
+        if index + 1 >= methods {
+            return None;
+        }
+        let callee = rng.range(index as i64 + 1, methods as i64) as usize;
+        Some(format!("this.m{callee}((p + 1));"))
+    };
+    let simple = |rng: &mut Rng| match rng.below(4) {
+        0 => format!("throw new {}(\"boom\");", rng.pick(&excs)),
+        1 => call(rng).unwrap_or_else(|| "log(\"leaf\");".to_string()),
+        2 => "return 1;".to_string(),
+        _ => "log(\"noop\");".to_string(),
+    };
+    if depth == 0 {
+        return simple(rng);
+    }
+    match rng.below(5) {
+        0 | 1 => simple(rng),
+        2 => {
+            let a = gen_throwy_method(rng, index, methods, depth - 1);
+            let b = gen_throwy_method(rng, index, methods, depth - 1);
+            format!("if (p < {}) {{ {a} }} else {{ {b} }}", rng.below(10))
+        }
+        3 => {
+            let body = gen_throwy_method(rng, index, methods, depth - 1);
+            let caught = rng.pick(&excs);
+            let handler = match rng.below(3) {
+                0 => "throw e;".to_string(),
+                1 => format!("throw new {}(\"wrapped\");", rng.pick(&excs)),
+                _ => "log(\"swallowed\");".to_string(),
+            };
+            format!("try {{ {body} }} catch ({caught} e) {{ {handler} }}")
+        }
+        _ => {
+            let a = gen_throwy_method(rng, index, methods, depth - 1);
+            let b = gen_throwy_method(rng, index, methods, depth - 1);
+            format!("{a}\n{b}")
+        }
+    }
+}
+
+/// Every exception the VM observes escaping a method is predicted by that
+/// method's interprocedural may-throw summary (the static set
+/// over-approximates the dynamic behaviour).
+#[test]
+fn may_throw_over_approximates_vm_exceptions() {
+    use wasabi::analysis::callgraph::CallGraph;
+    use wasabi::analysis::summaries::Summaries;
+    use wasabi::lang::project::Project;
+    use wasabi::vm::interceptor::NoopInterceptor;
+    use wasabi::vm::interp::{Interp, InvokeResult, RunLimits};
+    use wasabi::vm::Value;
+
+    for case in 0..96u64 {
+        let mut rng = Rng::new(0x7112_0000 + case);
+        let methods = rng.range(2, 6) as usize;
+        let bodies: Vec<String> = (0..methods)
+            .map(|i| {
+                let body = gen_throwy_method(&mut rng, i, methods, 3);
+                format!(" method m{i}(p) {{ {body}\n return 0; }}")
+            })
+            .collect();
+        let source = format!(
+            "exception E0;\nexception E1;\nexception E2;\nclass C {{\n{}\n}}\n",
+            bodies.join("\n")
+        );
+        let project = Project::compile("prop", vec![("c.jav", source.clone())])
+            .unwrap_or_else(|e| panic!("[case {case}] compile failed: {e:?}\n{source}"));
+        let cg = CallGraph::build(&project);
+        let summaries = Summaries::compute(&project, &cg, &[], 1);
+        let index = &project.index;
+
+        for i in 0..methods {
+            let name = format!("m{i}");
+            let midx = (0..index.methods.len() as u32)
+                .find(|&m| index.method_display(m) == format!("C.{name}"))
+                .unwrap_or_else(|| panic!("[case {case}] method C.{name} not indexed"));
+            let may_throw = &summaries.methods[midx as usize].may_throw;
+            for arg in [0i64, 3, 7, 11] {
+                let mut noop = NoopInterceptor;
+                let mut interp = Interp::new(&project, &mut noop, RunLimits::default());
+                match interp.invoke("C", &name, vec![Value::Int(arg)]) {
+                    InvokeResult::Ok(_) => {}
+                    InvokeResult::Exception(exc) => {
+                        let escaped = index
+                            .exc_by_name(&exc.ty)
+                            .unwrap_or_else(|| panic!("[case {case}] undeclared {}", exc.ty));
+                        assert!(
+                            may_throw.iter().any(|&t| index.is_exc_subtype(escaped, t)),
+                            "[case {case}] C.{name}({arg}) escaped {} but may-throw \
+                             predicts only {:?}\n{source}",
+                            exc.ty,
+                            may_throw,
+                        );
+                    }
+                    InvokeResult::Vm(err) => {
+                        panic!("[case {case}] VM error in C.{name}({arg}): {err:?}\n{source}")
+                    }
+                }
+            }
+        }
+    }
+}
