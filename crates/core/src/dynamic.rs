@@ -19,7 +19,7 @@ use wasabi_lang::project::Project;
 use wasabi_oracles::dedup::{dedup_reports, DistinctBug};
 use wasabi_oracles::judge::{OracleConfig, OracleReport};
 use wasabi_planner::configfix::{restore_retry_configs, ConfigRestoration};
-use wasabi_planner::coverage::{profile_coverage, CoverageProfile};
+use wasabi_planner::coverage::{profile_coverage_jobs, CoverageProfile};
 use wasabi_planner::plan::{expand_plan, naive_run_count, plan, TestPlan};
 use wasabi_vm::runner::RunOptions;
 
@@ -51,6 +51,10 @@ pub struct DynamicOptions {
     /// injection into the engine itself (panics/delays in a fraction of
     /// runs). Used by the CI chaos smoke; `None` in normal operation.
     pub chaos: Option<ChaosConfig>,
+    /// Capture per-run host timings (see
+    /// [`CampaignOptions::capture_timing`]). On by default; callers that
+    /// do not record traces turn it off to keep the hot loop clock-free.
+    pub capture_timing: bool,
 }
 
 impl Default for DynamicOptions {
@@ -65,6 +69,7 @@ impl Default for DynamicOptions {
             journal: None,
             resume_records: Vec::new(),
             chaos: None,
+            capture_timing: true,
         }
     }
 }
@@ -154,9 +159,12 @@ pub fn run_dynamic_with_observer(
     run_options.pinned_configs = restoration.pinned.clone();
     close(name, observer);
 
-    // 2. Profile which test covers which retry location.
+    // 2. Profile which test covers which retry location. Baseline runs
+    //    are independent, so the profile parallelizes across the same
+    //    worker count as the campaign (byte-identical merge; see
+    //    `profile_coverage_jobs`).
     let name = phase("profile", observer);
-    let profile = profile_coverage(project, locations, &run_options);
+    let profile = profile_coverage_jobs(project, locations, &run_options, options.jobs);
     close(name, observer);
 
     // 3. Plan one {test, location} pair per coverable location.
@@ -178,6 +186,7 @@ pub fn run_dynamic_with_observer(
         journal: options.journal.clone(),
         resume: options.resume_records.clone(),
         chaos: options.chaos.clone(),
+        capture_timing: options.capture_timing,
         ..CampaignOptions::default()
     };
     let name = phase("run", observer);

@@ -39,11 +39,13 @@
 //! assert_eq!(result.bugs.len(), 2, "missing cap + missing delay");
 //! ```
 
+pub mod api;
 pub mod dynamic;
 pub mod identify;
 pub mod lint;
 pub mod score;
 
+pub use api::{compile_app, report_json, run_app_job, source_digest, AppJob};
 pub use dynamic::{run_dynamic, DynamicOptions, DynamicResult};
 pub use identify::{identify, Identified};
 pub use lint::{lint_with_overlap, LintReport, WhenOverlap};

@@ -60,7 +60,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 use wasabi_inject::InjectionHandler;
 use wasabi_lang::project::Project;
-use wasabi_oracles::judge::{judge_run_timed, OracleConfig, OracleReport};
+use wasabi_oracles::judge::{judge_run, judge_run_timed, OracleConfig, OracleReport};
 use wasabi_planner::plan::{InjectionRun, RunKey};
 use wasabi_util::rng::{fnv1a64, Rng};
 use wasabi_util::{saturating_ms, saturating_us};
@@ -234,6 +234,14 @@ pub struct CampaignOptions {
     /// a resumed campaign's report is byte-identical to an uninterrupted
     /// one.
     pub resume: Vec<RunRecord>,
+    /// Whether to capture per-run host timings ([`RunTiming`]): the
+    /// `Instant` reads bracketing each run, the timed oracle judgement,
+    /// and the queue-wait stamp. On by default; campaigns that do not
+    /// record traces (`wasabi bench`, plain `wasabi test`) turn it off so
+    /// the hot loop carries no clock reads beyond the interpreter's own.
+    /// Never affects [`CampaignResult::records`] — timings live only in
+    /// the metrics/observer layer.
+    pub capture_timing: bool,
 }
 
 impl Default for CampaignOptions {
@@ -247,6 +255,7 @@ impl Default for CampaignOptions {
             chaos: None,
             journal: None,
             resume: Vec::new(),
+            capture_timing: true,
         }
     }
 }
@@ -619,7 +628,11 @@ pub fn run_campaign(
             key: &key,
             worker: jobs,
         });
-        let queue_wait_us = saturating_us(started_at.elapsed());
+        let queue_wait_us = if options.capture_timing {
+            saturating_us(started_at.elapsed())
+        } else {
+            0
+        };
         let (record, mut timing) = {
             let observer_cell = std::cell::RefCell::new(&mut *observer);
             let mut notify = |attempt: u8, delay: Duration| {
@@ -713,7 +726,11 @@ fn worker_loop(
     campaign_started: Instant,
 ) -> WorkerExit {
     while let Some(slot) = queue.pop(worker) {
-        let queue_wait_us = saturating_us(campaign_started.elapsed());
+        let queue_wait_us = if options.capture_timing {
+            saturating_us(campaign_started.elapsed())
+        } else {
+            0
+        };
         let run = &runs[order[slot]];
         let key = run.key();
         if sender
@@ -814,7 +831,7 @@ fn execute_run(
     options: &CampaignOptions,
     notify_retry: &mut dyn FnMut(u8, Duration),
 ) -> (RunRecord, RunTiming) {
-    let run_started = Instant::now();
+    let run_started = options.capture_timing.then(Instant::now);
     let max_attempts = options.retry.max_attempts.max(1);
     // Clone the run options (pinned-config list included) once per run, not
     // once per attempt; only the wall-clock deadline varies between attempts.
@@ -851,7 +868,9 @@ fn execute_run(
             continue;
         }
         record.quarantined = transient;
-        timing.run_wall_us = saturating_us(run_started.elapsed());
+        if let Some(started) = run_started {
+            timing.run_wall_us = saturating_us(started.elapsed());
+        }
         return (record, timing);
     }
 }
@@ -919,8 +938,13 @@ fn execute_attempt(
             quarantined: false,
         };
     }
-    let (verdict, judge_elapsed) = judge_run_timed(&test_run, &run.spec, &options.oracle);
-    timing.judge_us = timing.judge_us.saturating_add(saturating_us(judge_elapsed));
+    let verdict = if options.capture_timing {
+        let (verdict, judge_elapsed) = judge_run_timed(&test_run, &run.spec, &options.oracle);
+        timing.judge_us = timing.judge_us.saturating_add(saturating_us(judge_elapsed));
+        verdict
+    } else {
+        judge_run(&test_run, &run.spec, &options.oracle)
+    };
     RunRecord {
         key,
         outcome: RunOutcome::Completed(test_run.outcome.clone()),

@@ -43,7 +43,7 @@ pub use campaign::{
     RunOutcome, RunRecord,
 };
 pub use metrics::{CampaignMetrics, MetricsObserver, RunTiming};
-pub use observer::{EngineEvent, EngineObserver, NullObserver, StderrProgress, Tee};
+pub use observer::{EngineEvent, EngineObserver, FanOut, NullObserver, StderrProgress, Tee};
 pub use spans::{load_trace, render_stats, validate_trace, write_trace, TraceFile};
 
 #[cfg(feature = "json-reports")]

@@ -377,3 +377,28 @@ impl EngineObserver for Tee<'_, '_> {
         self.second.on_event(event);
     }
 }
+
+/// Fans one event stream out to any number of observers, in registration
+/// order. The N-way generalization of [`Tee`] for callers whose observer
+/// set is dynamic — the serve daemon attaches one bridge per live
+/// subscriber on top of its own progress recorder.
+#[derive(Default)]
+pub struct FanOut<'a> {
+    /// Observers, invoked in order for every event.
+    pub observers: Vec<&'a mut dyn EngineObserver>,
+}
+
+impl<'a> FanOut<'a> {
+    /// A fan-out over `observers`.
+    pub fn new(observers: Vec<&'a mut dyn EngineObserver>) -> Self {
+        FanOut { observers }
+    }
+}
+
+impl EngineObserver for FanOut<'_> {
+    fn on_event(&mut self, event: &EngineEvent<'_>) {
+        for observer in self.observers.iter_mut() {
+            observer.on_event(event);
+        }
+    }
+}

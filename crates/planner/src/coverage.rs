@@ -7,7 +7,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use wasabi_analysis::loops::RetryLocation;
 use wasabi_inject::CoverageRecorder;
-use wasabi_lang::project::{CallSite, MethodId, Project};
+use wasabi_lang::project::{CallSite, FileId, MethodId, Project};
 use wasabi_vm::runner::{run_test, RunOptions};
 
 /// The result of the profiling pass.
@@ -41,16 +41,48 @@ pub fn profile_coverage(
     locations: &[RetryLocation],
     options: &RunOptions,
 ) -> CoverageProfile {
+    profile_coverage_jobs(project, locations, options, 1)
+}
+
+/// [`profile_coverage`] on `jobs` worker threads. Baseline executions are
+/// independent (each test runs in its own interpreter with its own
+/// recorder), so the suite is split into contiguous chunks and the
+/// per-chunk results concatenated back in suite order — the resulting
+/// profile is byte-identical to the serial one for any `jobs` value.
+pub fn profile_coverage_jobs(
+    project: &Project,
+    locations: &[RetryLocation],
+    options: &RunOptions,
+    jobs: usize,
+) -> CoverageProfile {
     let sites: BTreeSet<CallSite> = locations.iter().map(|l| l.site).collect();
-    let mut recorder = CoverageRecorder::new(sites.iter().copied());
-    let mut profile = CoverageProfile::default();
     let tests = project.tests();
-    profile.tests_total = tests.len();
-    for (_, test) in &tests {
-        recorder.reset();
-        let run = run_test(project, test, &mut recorder, options);
-        profile.profile_virtual_ms += run.virtual_ms;
-        let covered = recorder.covered();
+    let mut profile = CoverageProfile {
+        tests_total: tests.len(),
+        ..CoverageProfile::default()
+    };
+    let jobs = jobs.max(1).min(tests.len().max(1));
+    let per_test: Vec<(MethodId, Vec<CallSite>, u64)> = if jobs == 1 {
+        profile_chunk(project, &sites, &tests, options)
+    } else {
+        let chunk_len = tests.len().div_ceil(jobs);
+        let mut merged = Vec::with_capacity(tests.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = tests
+                .chunks(chunk_len)
+                .map(|chunk| {
+                    let sites = &sites;
+                    scope.spawn(move || profile_chunk(project, sites, chunk, options))
+                })
+                .collect();
+            for handle in handles {
+                merged.extend(handle.join().expect("profile worker panicked"));
+            }
+        });
+        merged
+    };
+    for (test, covered, virtual_ms) in per_test {
+        profile.profile_virtual_ms += virtual_ms;
         if covered.is_empty() {
             continue;
         }
@@ -61,9 +93,28 @@ pub fn profile_coverage(
                 .or_default()
                 .push(test.clone());
         }
-        profile.per_test.insert(test.clone(), covered);
+        profile.per_test.insert(test, covered);
     }
     profile
+}
+
+/// Profiles one contiguous chunk of the suite, returning `(test, covered
+/// sites, virtual ms)` in chunk order.
+fn profile_chunk(
+    project: &Project,
+    sites: &BTreeSet<CallSite>,
+    tests: &[(FileId, MethodId)],
+    options: &RunOptions,
+) -> Vec<(MethodId, Vec<CallSite>, u64)> {
+    let mut recorder = CoverageRecorder::new(sites.iter().copied());
+    tests
+        .iter()
+        .map(|(_, test)| {
+            recorder.reset();
+            let run = run_test(project, test, &mut recorder, options);
+            (test.clone(), recorder.covered(), run.virtual_ms)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -117,5 +168,26 @@ mod tests {
         // Both t1 and t2 cover the runA site.
         let shared = profile.site_to_tests.get(&t1[0]).unwrap();
         assert_eq!(shared.len(), 2);
+    }
+
+    #[test]
+    fn parallel_profile_is_identical_to_serial() {
+        let p = project();
+        let index = ProjectIndex::build(&p);
+        let locations: Vec<RetryLocation> =
+            all_retry_locations(&index, &LoopQueryOptions::default())
+                .into_iter()
+                .flat_map(|(_, locs)| locs)
+                .collect();
+        let serial = profile_coverage(&p, &locations, &RunOptions::default());
+        // jobs beyond the suite size must clamp, not spawn idle workers.
+        for jobs in [2, 3, 4, 16] {
+            let parallel = profile_coverage_jobs(&p, &locations, &RunOptions::default(), jobs);
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{parallel:?}"),
+                "profile diverges at jobs={jobs}"
+            );
+        }
     }
 }

@@ -1,0 +1,120 @@
+//! LRU cache of compiled apps, keyed by source digest.
+//!
+//! Compilation plus identification is the expensive front half of a
+//! campaign (interning, lowering, the LLM sweep); a repeat submission of
+//! the same sources skips it entirely by hitting this cache. Entries are
+//! `Arc<AppJob>` so a runner can hold a compiled app while another
+//! submission evicts it.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use wasabi_core::AppJob;
+
+/// A small LRU over compiled apps. Linear scans are fine: the capacity is
+/// single digits (the daemon default is 8) and entries are compared by
+/// `u64` digest.
+#[derive(Debug)]
+pub struct IndexCache {
+    capacity: usize,
+    /// Front is least-recently-used; back is most-recently-used.
+    entries: VecDeque<(u64, Arc<AppJob>)>,
+    /// Lookups that found a compiled app.
+    pub hits: u64,
+    /// Lookups that missed (the caller compiled and inserted).
+    pub misses: u64,
+    /// Entries evicted to stay within capacity.
+    pub evicted: u64,
+}
+
+impl IndexCache {
+    /// A cache holding at most `capacity` compiled apps (min 1).
+    pub fn new(capacity: usize) -> Self {
+        IndexCache {
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Number of cached apps.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a compiled app by digest, marking it most-recently-used.
+    pub fn get(&mut self, digest: u64) -> Option<Arc<AppJob>> {
+        if let Some(index) = self.entries.iter().position(|(d, _)| *d == digest) {
+            let entry = self.entries.remove(index).expect("index from position");
+            let job = Arc::clone(&entry.1);
+            self.entries.push_back(entry);
+            self.hits += 1;
+            Some(job)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Inserts a freshly compiled app, evicting the least-recently-used
+    /// entry if over capacity. Re-inserting an existing digest refreshes
+    /// its position.
+    pub fn insert(&mut self, job: Arc<AppJob>) {
+        let digest = job.digest;
+        if let Some(index) = self.entries.iter().position(|(d, _)| *d == digest) {
+            self.entries.remove(index);
+        }
+        self.entries.push_back((digest, job));
+        while self.entries.len() > self.capacity {
+            self.entries.pop_front();
+            self.evicted += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi_core::compile_app;
+
+    fn job(tag: &str) -> Arc<AppJob> {
+        // Distinct sources per tag → distinct digests.
+        let src = format!(
+            "exception E;\nclass C{tag} {{\n  method op() throws E {{ return \"ok\"; }}\n  test t() {{ assert(this.op() == \"ok\"); }}\n}}\n"
+        );
+        Arc::new(compile_app("cli", vec![(format!("{tag}.jav"), src)], 0).expect("compile"))
+    }
+
+    #[test]
+    fn get_hits_after_insert_and_counts() {
+        let mut cache = IndexCache::new(2);
+        let a = job("A");
+        assert!(cache.get(a.digest).is_none());
+        cache.insert(Arc::clone(&a));
+        let hit = cache.get(a.digest).expect("hit");
+        assert_eq!(hit.digest, a.digest);
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = IndexCache::new(2);
+        let (a, b, c) = (job("A"), job("B"), job("C"));
+        cache.insert(Arc::clone(&a));
+        cache.insert(Arc::clone(&b));
+        // Touch A so B becomes the LRU entry.
+        cache.get(a.digest).expect("a cached");
+        cache.insert(Arc::clone(&c));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(b.digest).is_none(), "B was evicted");
+        assert!(cache.get(a.digest).is_some());
+        assert!(cache.get(c.digest).is_some());
+        assert_eq!(cache.evicted, 1);
+    }
+}

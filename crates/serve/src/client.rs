@@ -1,0 +1,79 @@
+//! A small blocking client for the serve protocol, shared by the
+//! `wasabi submit` subcommand and the integration tests.
+
+use crate::protocol::{render_request, Request};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use wasabi_util::Json;
+
+trait StreamIo: Read + Write {}
+impl<T: Read + Write> StreamIo for T {}
+
+/// One connection to a serve daemon.
+pub struct Connection {
+    reader: BufReader<Box<dyn StreamIo>>,
+}
+
+impl Connection {
+    /// Connects to `addr` — a unix socket path when it starts with `/`
+    /// or `.`, a TCP `host:port` otherwise.
+    pub fn connect(addr: &str) -> io::Result<Connection> {
+        let stream: Box<dyn StreamIo> = {
+            #[cfg(unix)]
+            if addr.starts_with('/') || addr.starts_with('.') {
+                Box::new(UnixStream::connect(addr)?)
+            } else {
+                let stream = TcpStream::connect(addr)?;
+                let _ = stream.set_nodelay(true);
+                Box::new(stream)
+            }
+            #[cfg(not(unix))]
+            {
+                let stream = TcpStream::connect(addr)?;
+                let _ = stream.set_nodelay(true);
+                Box::new(stream)
+            }
+        };
+        Ok(Connection {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends a raw line (tests use this for malformed frames).
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        // One write per frame (see the daemon's write_line): a separate
+        // newline segment interacts badly with Nagle on TCP.
+        let mut framed = Vec::with_capacity(line.len() + 1);
+        framed.extend_from_slice(line.as_bytes());
+        framed.push(b'\n');
+        let writer = self.reader.get_mut();
+        writer.write_all(&framed)?;
+        writer.flush()
+    }
+
+    /// Reads one response line; `None` when the daemon closed the
+    /// connection.
+    pub fn read_line(&mut self) -> io::Result<Option<String>> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// Sends a request and parses the one-line response.
+    pub fn request(&mut self, request: &Request) -> io::Result<Json> {
+        self.send_line(&render_request(request))?;
+        let line = self
+            .read_line()?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed connection"))?;
+        Json::parse(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad response: {e}")))
+    }
+}

@@ -1,0 +1,192 @@
+//! A slotted timer wheel driven by an external microsecond clock.
+//!
+//! The daemon's scheduler needs deadlines (queue-wait timeouts) without
+//! sleeping threads: deadlines are scheduled into a fixed ring of slots,
+//! and whoever owns the wheel calls [`TimerWheel::advance`] with the
+//! current [`Clock`](wasabi_util::metrics::Clock) reading — the wall
+//! clock in the daemon, a `ManualClock` in tests, which is what makes
+//! every scheduling test deterministic with zero real sleeps.
+//!
+//! Guarantees:
+//! - an entry fires on the first `advance(now)` where `now` has reached
+//!   its deadline tick, never before;
+//! - entries firing on the same tick come back in schedule (FIFO) order;
+//! - entries further out than one ring revolution stay parked in their
+//!   slot (round counting) — capacity is unbounded, only *resolution* is
+//!   fixed by `tick_us × slots`.
+
+use std::collections::VecDeque;
+
+/// One scheduled entry.
+#[derive(Debug)]
+struct Entry<T> {
+    deadline_tick: u64,
+    seq: u64,
+    item: T,
+}
+
+/// A slotted timer wheel; see the module docs.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    tick_us: u64,
+    slots: Vec<VecDeque<Entry<T>>>,
+    /// The last tick fully processed by [`TimerWheel::advance`].
+    current_tick: u64,
+    seq: u64,
+    len: usize,
+}
+
+impl<T> TimerWheel<T> {
+    /// A wheel with `slots` slots of `tick_us` microseconds each. Both
+    /// are clamped to at least 1 (slot count to at least 2).
+    pub fn new(tick_us: u64, slots: usize) -> Self {
+        TimerWheel {
+            tick_us: tick_us.max(1),
+            slots: (0..slots.max(2)).map(|_| VecDeque::new()).collect(),
+            current_tick: 0,
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of entries waiting in the wheel.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn tick_of(&self, at_us: u64) -> u64 {
+        at_us / self.tick_us
+    }
+
+    /// Schedules `item` to fire once `now_us + delay_us` is reached,
+    /// rounded up to the next tick boundary (an entry never fires early).
+    pub fn schedule(&mut self, now_us: u64, delay_us: u64, item: T) {
+        let deadline_us = now_us.saturating_add(delay_us);
+        let deadline_tick = self
+            .tick_of(deadline_us.saturating_add(self.tick_us - 1))
+            .max(self.current_tick + 1);
+        let slot = (deadline_tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push_back(Entry {
+            deadline_tick,
+            seq: self.seq,
+            item,
+        });
+        self.seq += 1;
+        self.len += 1;
+    }
+
+    /// Advances the wheel to `now_us`, returning every entry whose
+    /// deadline has been reached, in (deadline tick, schedule order).
+    pub fn advance(&mut self, now_us: u64) -> Vec<T> {
+        let target = self.tick_of(now_us);
+        let mut due: Vec<Entry<T>> = Vec::new();
+        // One revolution past the target covers every slot that could
+        // hold a due entry; iterating per-tick keeps deadline order.
+        let span = self.slots.len() as u64;
+        let first = self.current_tick + 1;
+        if target >= first {
+            let whole_revolutions = target - first >= span;
+            if whole_revolutions {
+                // Every slot gets visited at least once: drain all due
+                // entries in one pass and sort (rare path — the wheel
+                // was left unadvanced for a long time).
+                for slot in &mut self.slots {
+                    let mut keep = VecDeque::new();
+                    while let Some(entry) = slot.pop_front() {
+                        if entry.deadline_tick <= target {
+                            due.push(entry);
+                        } else {
+                            keep.push_back(entry);
+                        }
+                    }
+                    *slot = keep;
+                }
+                due.sort_by_key(|e| (e.deadline_tick, e.seq));
+            } else {
+                for tick in first..=target {
+                    let slot = (tick % span) as usize;
+                    let mut keep = VecDeque::new();
+                    let mut batch: Vec<Entry<T>> = Vec::new();
+                    while let Some(entry) = self.slots[slot].pop_front() {
+                        if entry.deadline_tick <= tick {
+                            batch.push(entry);
+                        } else {
+                            keep.push_back(entry);
+                        }
+                    }
+                    self.slots[slot] = keep;
+                    batch.sort_by_key(|e| (e.deadline_tick, e.seq));
+                    due.extend(batch);
+                }
+            }
+            self.current_tick = target;
+        }
+        self.len -= due.len();
+        due.into_iter().map(|e| e.item).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wasabi_util::metrics::{Clock, ManualClock};
+
+    #[test]
+    fn fires_at_deadline_never_early() {
+        let clock = ManualClock::with_step(0);
+        let mut wheel: TimerWheel<&str> = TimerWheel::new(100, 8);
+        let now = clock.now_us();
+        wheel.schedule(now, 250, "a"); // deadline rounds up to tick 3
+        clock.advance(200);
+        assert!(wheel.advance(clock.now_us()).is_empty(), "not due at 200us");
+        clock.advance(100);
+        assert_eq!(wheel.advance(clock.now_us()), vec!["a"], "due at 300us");
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn same_tick_fires_in_fifo_order() {
+        let mut wheel: TimerWheel<u32> = TimerWheel::new(10, 4);
+        for item in 0..5u32 {
+            wheel.schedule(0, 25, item);
+        }
+        assert_eq!(wheel.advance(30), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn entries_beyond_one_revolution_stay_parked() {
+        let mut wheel: TimerWheel<&str> = TimerWheel::new(10, 4);
+        // 4 slots × 10us: 95us is over two revolutions out.
+        wheel.schedule(0, 95, "far");
+        wheel.schedule(0, 15, "near");
+        assert_eq!(wheel.advance(20), vec!["near"]);
+        assert!(wheel.advance(80).is_empty(), "far entry not due yet");
+        assert_eq!(wheel.advance(100), vec!["far"]);
+    }
+
+    #[test]
+    fn big_jump_drains_in_deadline_order() {
+        let mut wheel: TimerWheel<u32> = TimerWheel::new(10, 4);
+        wheel.schedule(0, 95, 2);
+        wheel.schedule(0, 15, 0);
+        wheel.schedule(0, 35, 1);
+        // Advance far past everything in one leap (> one revolution).
+        assert_eq!(wheel.advance(10_000), vec![0, 1, 2]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn advance_is_monotonic() {
+        let mut wheel: TimerWheel<&str> = TimerWheel::new(10, 4);
+        assert!(wheel.advance(50).is_empty());
+        wheel.schedule(50, 10, "x");
+        // A stale (earlier) reading must not rewind the wheel.
+        assert!(wheel.advance(30).is_empty());
+        assert_eq!(wheel.advance(60), vec!["x"]);
+    }
+}

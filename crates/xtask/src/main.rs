@@ -17,7 +17,7 @@
 //!   would leave it, resume) whose report must be byte-identical to the
 //!   uninterrupted baseline.
 //! - `bench` — full engine-throughput benchmark over the repro corpus
-//!   (`wasabi bench`, serial and `--jobs 4`); composes `BENCH_PR5.json`
+//!   (`wasabi bench`, serial and `--jobs 4`); composes `BENCH_PR6.json`
 //!   at the repo root from the recorded baseline
 //!   (`scripts/bench_baseline.json`, written once with
 //!   `bench --record-baseline`) and the current measurement.
@@ -29,6 +29,11 @@
 //!   digest and compare against the recorded one (`--record` rewrites
 //!   the file). Guards against execution-layer changes altering any
 //!   observable report byte.
+//! - `serve-smoke` — the campaign-as-a-service gate: start a `wasabi
+//!   serve` daemon on a loopback port, submit the seed app twice, and
+//!   require (a) both submissions return byte-identical reports, (b) the
+//!   second is a ProgramIndex cache hit, and (c) the report digest equals
+//!   the batch digest pinned in `scripts/seed_report_digest.txt`.
 //! - `lint` — the static-analysis gate: regenerate the pinned corpus apps
 //!   (with the amplification seeds), check `wasabi lint` output is
 //!   byte-identical between `--jobs 1` and `--jobs 4`, and fail on any
@@ -43,7 +48,7 @@ use std::process::{exit, Command};
 
 fn main() {
     let task = env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: cargo xtask <tier1|ci|smoke|bench|digest|lint>");
+        eprintln!("usage: cargo xtask <tier1|ci|smoke|bench|digest|lint|serve-smoke>");
         exit(2);
     });
     let flags: Vec<String> = env::args().skip(2).collect();
@@ -88,8 +93,14 @@ fn main() {
             run_stage("build --release --bin wasabi", &["build", "--release", "--bin", "wasabi"]);
             lint_gate(flags.iter().any(|f| f == "--record"));
         }
+        "serve-smoke" => {
+            run_stage("build --release --bin wasabi", &["build", "--release", "--bin", "wasabi"]);
+            serve_smoke();
+        }
         other => {
-            eprintln!("unknown task `{other}`; expected tier1, ci, smoke, bench, digest, or lint");
+            eprintln!(
+                "unknown task `{other}`; expected tier1, ci, smoke, bench, digest, lint, or serve-smoke"
+            );
             exit(2);
         }
     }
@@ -236,7 +247,7 @@ fn smoke() {
 const BASELINE_PATH: &str = "scripts/bench_baseline.json";
 const DIGEST_PATH: &str = "scripts/seed_report_digest.txt";
 const LINT_BASELINE_PATH: &str = "scripts/lint_baseline.txt";
-const BENCH_OUT: &str = "BENCH_PR5.json";
+const BENCH_OUT: &str = "BENCH_PR6.json";
 /// Apps whose `wasabi test --json` reports are digest-pinned.
 const DIGEST_APPS: &[&str] = &["HD", "MA"];
 /// Apps the lint gate sweeps (generated with the amplification seeds).
@@ -526,6 +537,122 @@ fn digest(record: bool) {
         fail("digest: seed-corpus report digest changed — execution output is no longer byte-identical");
     }
     eprintln!("    seed-corpus report digest unchanged ({} apps)", DIGEST_APPS.len());
+}
+
+/// The campaign-as-a-service gate: a real daemon on a loopback port must
+/// serve the seed app byte-identically to batch mode (digest-pinned),
+/// and a repeat submission must hit the compiled-app cache.
+fn serve_smoke() {
+    use std::io::BufRead;
+
+    eprintln!("==> serve smoke: daemon round-trip vs {DIGEST_PATH}");
+    let wasabi = release_wasabi()
+        .canonicalize()
+        .unwrap_or_else(|e| fail(&format!("canonicalize wasabi path: {e}")));
+    let work = env::temp_dir().join(format!("wasabi-serve-smoke-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&work);
+
+    let app = "HD";
+    let app_dir = work.join(app);
+    let status = Command::new(&wasabi)
+        .args(["corpus", app])
+        .arg(&app_dir)
+        .status()
+        .unwrap_or_else(|e| fail(&format!("spawn wasabi corpus: {e}")));
+    if !status.success() {
+        fail(&format!("wasabi corpus {app} failed"));
+    }
+    let mut files = Vec::new();
+    collect_jav(&app_dir, &mut files);
+    files.sort();
+    // Relative paths from the work dir, exactly as `digest` runs batch
+    // mode: the simulated LLM keys on the paths the runner sees, so this
+    // is what makes the daemon and batch digests comparable.
+    let rel: Vec<PathBuf> = files
+        .iter()
+        .map(|f| f.strip_prefix(&work).expect("file under work dir").to_path_buf())
+        .collect();
+
+    let mut daemon = Command::new(&wasabi)
+        .args(["serve", "--addr", "127.0.0.1:0", "--jobs", "2", "--quiet"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| fail(&format!("spawn wasabi serve: {e}")));
+    let mut banner = String::new();
+    std::io::BufReader::new(daemon.stdout.take().expect("piped stdout"))
+        .read_line(&mut banner)
+        .unwrap_or_else(|e| fail(&format!("read serve banner: {e}")));
+    let addr = banner
+        .split("\"addr\":\"")
+        .nth(1)
+        .and_then(|rest| rest.split('"').next())
+        .unwrap_or_else(|| fail(&format!("serve banner carried no addr: {banner}")))
+        .to_string();
+    eprintln!("    daemon on {addr}");
+
+    let submit = |extra: &[&str], files: &[PathBuf]| -> (i32, String) {
+        let output = Command::new(&wasabi)
+            .current_dir(&work)
+            .args(["submit", "--addr", &addr, "--quiet"])
+            .args(extra)
+            .args(files)
+            .output()
+            .unwrap_or_else(|e| fail(&format!("spawn wasabi submit: {e}")));
+        let code = output.status.code().unwrap_or(-1);
+        (code, String::from_utf8_lossy(&output.stdout).into_owned())
+    };
+
+    // Exit 1 (bugs found) is the expected outcome for the seed app.
+    let (first_code, first) = submit(&[], &rel);
+    if first_code != 0 && first_code != 1 {
+        fail(&format!("first submit exited with code {first_code}"));
+    }
+    let (second_code, second) = submit(&[], &rel);
+    if second_code != first_code {
+        fail(&format!("repeat submit exit code drifted: {first_code} -> {second_code}"));
+    }
+    if first != second {
+        fail("serve smoke: repeat submission report differs from the first");
+    }
+
+    // The daemon's report must equal batch mode's, byte for byte: its
+    // digest is pinned in the same file `cargo xtask digest` verifies.
+    let recorded = fs::read_to_string(DIGEST_PATH)
+        .unwrap_or_else(|_| fail(&format!("{DIGEST_PATH} missing — run `cargo xtask digest --record`")));
+    let pinned = recorded
+        .lines()
+        .find_map(|line| line.strip_prefix(&format!("{app} ")))
+        .unwrap_or_else(|| fail(&format!("{DIGEST_PATH} has no {app} line")));
+    let computed = format!("{:016x}", fnv1a64(first.as_bytes()));
+    if computed != pinned {
+        fail(&format!(
+            "serve smoke: daemon report digest {computed} != batch digest {pinned}"
+        ));
+    }
+    eprintln!("    daemon report matches batch digest ({computed})");
+
+    let (stats_code, stats) = submit(&["--stats"], &[]);
+    if stats_code != 0 {
+        fail(&format!("submit --stats exited with code {stats_code}"));
+    }
+    let cache_hits = extract_number(&stats, "\"cache_hits\":");
+    if cache_hits < 1.0 {
+        fail(&format!("serve smoke: expected a cache hit, stats were {stats}"));
+    }
+    eprintln!("    repeat submission was a cache hit ({cache_hits} hit(s))");
+
+    let (shutdown_code, _) = submit(&["--shutdown"], &[]);
+    if shutdown_code != 0 {
+        fail(&format!("submit --shutdown exited with code {shutdown_code}"));
+    }
+    let status = daemon
+        .wait()
+        .unwrap_or_else(|e| fail(&format!("wait for daemon exit: {e}")));
+    if !status.success() {
+        fail(&format!("daemon exited with {status}"));
+    }
+    let _ = fs::remove_dir_all(&work);
+    eprintln!("serve smoke: OK");
 }
 
 fn release_wasabi() -> PathBuf {

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI entry point. Three stages:
+# CI entry point. Six stages:
 #
 #   1. tier-1: the gate every change must pass — release build + full test
 #      suite with default features, exactly what `cargo tier1` runs.
@@ -22,6 +22,11 @@
 #      seeds included) must be byte-identical between --jobs 1 and
 #      --jobs 4 and must report nothing outside the checked-in baseline
 #      (scripts/lint_baseline.txt).
+#   6. serve smoke: a `wasabi serve` daemon on a loopback port must
+#      answer two submissions of the seed app with byte-identical
+#      reports whose digest equals the batch value pinned in
+#      scripts/seed_report_digest.txt, and the second submission must
+#      be a compiled-app cache hit.
 #
 # Everything resolves offline: the workspace has no registry dependencies.
 set -euo pipefail
@@ -43,5 +48,8 @@ cargo xtask bench --smoke
 
 echo "== stage 5: lint gate (static diagnostics vs baseline) =="
 cargo xtask lint
+
+echo "== stage 6: serve smoke (daemon vs batch digest, cache hit) =="
+cargo xtask serve-smoke
 
 echo "== ci: all stages passed =="

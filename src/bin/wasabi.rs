@@ -13,7 +13,15 @@
 //! wasabi stats   <trace.jsonl>... [--journal PATH] # per-phase/per-run trace tables
 //! wasabi corpus  <APP> <out-dir> [--amp]           # write a synthetic app to disk
 //! wasabi bench   [--jobs N] [--iters N] [--apps HD,MA,...] [--scale tiny|small|paper]
+//! wasabi serve   [--addr HOST:PORT] [--unix PATH] [--max-queued N] [--max-inflight N]
+//!                [--cache N] [--jobs N]            # campaign-as-a-service daemon
+//! wasabi submit  --addr ADDR [--priority N] [--jobs N] [--subscribe] <file.jav>...
+//! wasabi submit  --addr ADDR (--stats | --shutdown | --cancel ID | --status ID)
 //! ```
+//!
+//! Exit codes, uniform across subcommands: 0 = success, 1 = findings
+//! (retry bugs, lint diagnostics, trace mismatches), 2 = usage, input,
+//! or I/O errors.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,6 +32,7 @@ use wasabi::analysis::resolve::ProjectIndex;
 use wasabi::core::dynamic::{run_dynamic_with_observer, DynamicOptions};
 use wasabi::core::identify::identify;
 use wasabi::core::lint::lint_with_overlap;
+use wasabi::core::report_json;
 use wasabi::engine::campaign::{ChaosConfig, RetryPolicy};
 use wasabi::engine::{
     journal, load_trace, render_stats, validate_trace, write_trace, EngineEvent, EngineObserver,
@@ -31,6 +40,10 @@ use wasabi::engine::{
 };
 use wasabi::lang::project::Project;
 use wasabi::llm::simulated::SimulatedLlm;
+use wasabi::serve::daemon::{Bind, ServeOptions};
+use wasabi::serve::protocol::Request;
+use wasabi::serve::scheduler::SchedulerConfig;
+use wasabi::serve::Connection;
 use wasabi::util::Json;
 
 const USAGE: &str = "usage:
@@ -43,13 +56,21 @@ const USAGE: &str = "usage:
                  [--trace-out PATH] <file.jav>...
   wasabi stats   <trace.jsonl>... [--journal PATH]
   wasabi corpus  <APP> <out-dir> [--amp]   (APP = HA HD MA YA HB HI CA EL)
-  wasabi bench   [--jobs N] [--iters N] [--apps HD,MA,...] [--scale tiny|small|paper]";
+  wasabi bench   [--jobs N] [--iters N] [--apps HD,MA,...] [--scale tiny|small|paper]
+  wasabi serve   [--addr HOST:PORT] [--unix PATH] [--max-queued N] [--max-inflight N]
+                 [--cache N] [--jobs N]
+  wasabi submit  --addr ADDR [--priority N] [--jobs N] [--subscribe] <file.jav>...
+  wasabi submit  --addr ADDR (--stats | --shutdown | --cancel ID | --status ID)";
 
 /// Campaign-related flags shared by `wasabi test` (and tolerated, unused,
 /// by the other commands so flag order never matters).
 #[derive(Debug, Default)]
 struct CampaignFlags {
     jobs: usize,
+    /// Whether `--jobs` was given explicitly (vs. the serial default);
+    /// `wasabi submit` forwards the override only when explicit, so the
+    /// daemon's own worker-count default wins otherwise.
+    jobs_explicit: bool,
     max_attempts: Option<u8>,
     journal: Option<PathBuf>,
     resume: Option<PathBuf>,
@@ -83,6 +104,8 @@ fn main() -> ExitCode {
         "stats" => stats(&args, &flags),
         "corpus" => corpus(&args),
         "bench" => bench(args, &flags),
+        "serve" => serve(args, &flags),
+        "submit" => submit(args, &flags),
         other => {
             eprintln!("unknown command `{other}`\n{USAGE}");
             ExitCode::from(2)
@@ -135,6 +158,7 @@ fn take_campaign_flags(args: &mut Vec<String>) -> Result<CampaignFlags, String> 
         if flags.jobs == 0 {
             return Err("--jobs must be at least 1".to_string());
         }
+        flags.jobs_explicit = true;
     }
     if let Some(value) = take_value_flag(args, "--max-attempts")? {
         let attempts = value
@@ -183,7 +207,9 @@ fn with_project(paths: &[String], run: impl FnOnce(&Project) -> ExitCode) -> Exi
             for error in errors.iter().take(20) {
                 eprintln!("{error}");
             }
-            ExitCode::FAILURE
+            // Input errors are 2, like any other unusable invocation;
+            // exit 1 is reserved for findings in valid inputs.
+            ExitCode::from(2)
         }
     }
 }
@@ -459,6 +485,10 @@ fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
         // Fixed seed: the chaos smoke relies on identical draws across
         // reruns and worker counts.
         chaos: flags.chaos_panic.map(|rate| ChaosConfig::panics(rate, 0xC4A05)),
+        // Per-run host timing feeds only the trace recorder; without
+        // `--trace-out`, skip the clock reads (the report JSON never
+        // carries timing, so output bytes cannot change).
+        capture_timing: flags.trace_out.is_some(),
         ..DynamicOptions::default()
     };
     // Progress goes to stderr, so `--json` output on stdout stays clean.
@@ -494,46 +524,9 @@ fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
         }
     }
     if json {
-        // Only record-derived fields appear here (never scheduling- or
-        // session-dependent ones like wall-clock or per-worker counts):
-        // this document must be byte-identical across `--jobs` values and
-        // across an uninterrupted run vs. a `--resume` of it.
-        let value = Json::obj([
-            ("schema_version", Json::from(journal::SCHEMA_VERSION)),
-            ("locations", Json::from(identified.locations.len())),
-            (
-                "covering_tests",
-                Json::from(result.profile.tests_covering_retry()),
-            ),
-            ("runs_planned", Json::from(result.runs_planned)),
-            ("runs_naive", Json::from(result.runs_naive)),
-            ("timed_out", Json::from(result.campaign.timed_out)),
-            ("crashed", Json::from(result.campaign.crashed)),
-            ("quarantined", Json::from(result.campaign.quarantined)),
-            (
-                "pinned_configs",
-                Json::arr(result.restoration.pinned.iter().map(|k| Json::from(k.as_str()))),
-            ),
-            (
-                "bugs",
-                Json::arr(result.bugs.iter().map(|b| {
-                    Json::obj([
-                        ("kind", Json::from(b.kind.to_string())),
-                        (
-                            "coordinator",
-                            Json::from(b.representative().location.coordinator.to_string()),
-                        ),
-                        (
-                            "exception",
-                            Json::from(b.representative().location.exception.as_str()),
-                        ),
-                        ("detail", Json::from(b.representative().detail.as_str())),
-                        ("reports", Json::from(b.reports.len())),
-                    ])
-                })),
-            ),
-        ]);
-        print!("{}", value.pretty());
+        // The report document lives in wasabi-core (`report_json`) so the
+        // serve daemon emits byte-identical output for the same sources.
+        print!("{}", report_json(&identified, &result));
     } else {
         println!(
             "{} retry locations; {} injected runs ({} without planning)",
@@ -754,6 +747,276 @@ fn phases_to_json(phases: &[(String, u64)]) -> Json {
     )
 }
 
+/// `wasabi serve`: run the campaign-as-a-service daemon until a client
+/// sends the `shutdown` op. Prints one startup banner line to stdout —
+/// `{"kind":"wasabi-serve","version":1,"addr":"..."}` — so scripts can
+/// discover the bound port when `--addr` ends in `:0`.
+fn serve(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
+    let parsed = (|| -> Result<ServeOptions, String> {
+        let addr = take_value_flag(&mut args, "--addr")?;
+        let unix = take_value_flag(&mut args, "--unix")?;
+        let mut scheduler = SchedulerConfig::default();
+        if let Some(value) = take_value_flag(&mut args, "--max-queued")? {
+            scheduler.max_queued = value
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("invalid --max-queued value `{value}`"))?;
+        }
+        if let Some(value) = take_value_flag(&mut args, "--max-inflight")? {
+            scheduler.max_inflight = value
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("invalid --max-inflight value `{value}`"))?;
+        }
+        if let Some(value) = take_value_flag(&mut args, "--queue-timeout-ms")? {
+            let ms = value
+                .parse::<u64>()
+                .map_err(|_| format!("invalid --queue-timeout-ms value `{value}`"))?;
+            scheduler.queue_timeout_us = Some(ms.saturating_mul(1000));
+        }
+        let mut options = ServeOptions {
+            scheduler,
+            campaign_jobs: flags.jobs,
+            ..ServeOptions::default()
+        };
+        if let Some(value) = take_value_flag(&mut args, "--cache")? {
+            options.cache_capacity = value
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("invalid --cache value `{value}`"))?;
+        }
+        options.bind = match (unix, addr) {
+            (Some(_), Some(_)) => return Err("--addr and --unix are mutually exclusive".into()),
+            #[cfg(unix)]
+            (Some(path), None) => Bind::Unix(PathBuf::from(path)),
+            #[cfg(not(unix))]
+            (Some(_), None) => return Err("--unix is not supported on this platform".into()),
+            (None, addr) => Bind::Tcp(addr.unwrap_or_else(|| "127.0.0.1:0".to_string())),
+        };
+        if let Some(extra) = args.first() {
+            return Err(format!("unexpected argument `{extra}`"));
+        }
+        Ok(options)
+    })();
+    let options = match parsed {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let quiet = flags.quiet;
+    match wasabi::serve::daemon::spawn(options) {
+        Ok(handle) => {
+            use std::io::Write as _;
+            println!("{}", handle.banner());
+            // The banner is the machine-readable hand-off; scripts read
+            // it from a pipe before the daemon exits, so flush past the
+            // pipe's block buffering.
+            let _ = std::io::stdout().flush();
+            if !quiet {
+                eprintln!("[serve] listening on {} (send the shutdown op to stop)", handle.addr);
+            }
+            handle.join();
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("cannot bind: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `wasabi submit`: client for a running `wasabi serve` daemon. The
+/// default form submits sources, waits, and prints the report JSON —
+/// byte-identical to `wasabi test --quiet --json` on the same files —
+/// with `wasabi test` exit semantics (1 when bugs were found). Control
+/// forms (`--stats`, `--shutdown`, `--cancel`, `--status`) print the
+/// daemon's one-line response.
+fn submit(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
+    let subscribe = take_flag(&mut args, "--subscribe");
+    let stats_op = take_flag(&mut args, "--stats");
+    let shutdown_op = take_flag(&mut args, "--shutdown");
+    let parsed = (|| -> Result<(String, u8, Option<u64>, Option<u64>), String> {
+        let addr = take_value_flag(&mut args, "--addr")?
+            .ok_or("submit requires --addr (from the serve banner)")?;
+        let priority = match take_value_flag(&mut args, "--priority")? {
+            None => wasabi::serve::scheduler::DEFAULT_PRIORITY,
+            Some(value) => value
+                .parse::<u8>()
+                .ok()
+                .filter(|&p| p <= wasabi::serve::scheduler::MAX_PRIORITY)
+                .ok_or_else(|| format!("invalid --priority value `{value}` (0-9)"))?,
+        };
+        let cancel = match take_value_flag(&mut args, "--cancel")? {
+            None => None,
+            Some(value) => Some(
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid --cancel job id `{value}`"))?,
+            ),
+        };
+        let status = match take_value_flag(&mut args, "--status")? {
+            None => None,
+            Some(value) => Some(
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid --status job id `{value}`"))?,
+            ),
+        };
+        Ok((addr, priority, cancel, status))
+    })();
+    let (addr, priority, cancel, status) = match parsed {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut conn = match Connection::connect(&addr) {
+        Ok(conn) => conn,
+        Err(err) => {
+            eprintln!("cannot connect to {addr}: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Control ops: one request, print the response line, done.
+    let control = if stats_op {
+        Some(Request::Stats)
+    } else if shutdown_op {
+        Some(Request::Shutdown)
+    } else if let Some(id) = cancel {
+        Some(Request::Cancel { id })
+    } else if let Some(id) = status {
+        Some(Request::Status { id })
+    } else {
+        None
+    };
+    if let Some(request) = control {
+        return match conn.request(&request) {
+            Ok(response) => {
+                println!("{}", response.to_string());
+                if response.get("ok").and_then(Json::as_bool) == Some(true) {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(2)
+                }
+            }
+            Err(err) => {
+                eprintln!("daemon request failed: {err}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    if args.is_empty() {
+        eprintln!("no input files\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut files = Vec::with_capacity(args.len());
+    for path in &args {
+        match std::fs::read_to_string(path) {
+            Ok(source) => files.push((path.clone(), source)),
+            Err(err) => {
+                eprintln!("cannot read {path}: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let request = Request::Submit {
+        name: "cli".to_string(),
+        priority,
+        files,
+        jobs: flags.jobs_explicit.then_some(flags.jobs),
+    };
+    let submitted = match conn.request(&request) {
+        Ok(response) => response,
+        Err(err) => {
+            eprintln!("daemon request failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if submitted.get("ok").and_then(Json::as_bool) != Some(true) {
+        if let Some(reason) = submitted.get("rejected").and_then(Json::as_str) {
+            eprintln!("submission rejected: {reason}");
+        } else {
+            let message = submitted.get("error").and_then(Json::as_str).unwrap_or("?");
+            eprintln!("submission failed: {message}");
+        }
+        return ExitCode::from(2);
+    }
+    let Some(id) = submitted.get("id").and_then(Json::as_u64) else {
+        eprintln!("daemon response carried no job id");
+        return ExitCode::from(2);
+    };
+    if !flags.quiet {
+        eprintln!("[submit] job {id} queued on {addr}");
+    }
+
+    if subscribe {
+        // Stream span/progress events to stderr until the terminal
+        // event, then fall through to collect the report.
+        match conn.request(&Request::Subscribe { id }) {
+            Ok(ack) if ack.get("ok").and_then(Json::as_bool) == Some(true) => loop {
+                match conn.read_line() {
+                    Ok(Some(line)) => {
+                        eprintln!("[event] {line}");
+                        let finished = Json::parse(&line)
+                            .ok()
+                            .and_then(|e| e.get("event").and_then(Json::as_str).map(str::to_string))
+                            .is_some_and(|kind| kind == "finished");
+                        if finished {
+                            break;
+                        }
+                    }
+                    Ok(None) | Err(_) => break,
+                }
+            },
+            Ok(ack) => {
+                eprintln!("subscribe failed: {ack:?}");
+                return ExitCode::from(2);
+            }
+            Err(err) => {
+                eprintln!("subscribe failed: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match conn.request(&Request::Wait { id }) {
+        Ok(response) if response.get("ok").and_then(Json::as_bool) == Some(true) => {
+            if let Some(report) = response.get("report").and_then(Json::as_str) {
+                // The report string already ends with a newline
+                // (`Json::pretty` output), matching `wasabi test --json`.
+                print!("{report}");
+            }
+            if !flags.quiet {
+                let cached = response.get("cached").and_then(Json::as_bool) == Some(true);
+                eprintln!("[submit] job {id} done{}", if cached { " (cache hit)" } else { "" });
+            }
+            let bugs = response.get("bugs").and_then(Json::as_u64).unwrap_or(0);
+            if bugs == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Ok(response) => {
+            let message = response.get("error").and_then(Json::as_str).unwrap_or("?");
+            eprintln!("job {id} failed: {message}");
+            ExitCode::from(2)
+        }
+        Err(err) => {
+            eprintln!("daemon request failed: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn corpus(args: &[String]) -> ExitCode {
     let mut args: Vec<String> = args.to_vec();
     let amp = take_flag(&mut args, "--amp");
@@ -779,12 +1042,12 @@ fn corpus(args: &[String]) -> ExitCode {
         if let Some(parent) = full.parent() {
             if let Err(err) = std::fs::create_dir_all(parent) {
                 eprintln!("cannot create {}: {err}", parent.display());
-                return ExitCode::FAILURE;
+                return ExitCode::from(2);
             }
         }
         if let Err(err) = std::fs::write(&full, source) {
             eprintln!("cannot write {}: {err}", full.display());
-            return ExitCode::FAILURE;
+            return ExitCode::from(2);
         }
     }
     println!(
