@@ -96,6 +96,20 @@ pub fn run_app_job(
 /// across `--jobs` values, across an uninterrupted run vs. a `--resume`
 /// of it, and across batch vs. daemon execution.
 pub fn report_json(identified: &Identified, result: &DynamicResult) -> String {
+    report_json_with(identified, result, 0)
+}
+
+/// [`report_json`] with an explicit `dead_lettered` count — runs a shard
+/// supervisor quarantined at the *process* level (they repeatedly killed
+/// their shard child and produced no record). Single-process campaigns
+/// can never dead-letter, so `report_json` pins the field to 0; the field
+/// is always present so sharded and single-process reports stay
+/// byte-identical whenever nothing was lost.
+pub fn report_json_with(
+    identified: &Identified,
+    result: &DynamicResult,
+    dead_lettered: usize,
+) -> String {
     let value = Json::obj([
         ("schema_version", Json::from(journal::SCHEMA_VERSION)),
         ("locations", Json::from(identified.locations.len())),
@@ -108,6 +122,7 @@ pub fn report_json(identified: &Identified, result: &DynamicResult) -> String {
         ("timed_out", Json::from(result.campaign.timed_out)),
         ("crashed", Json::from(result.campaign.crashed)),
         ("quarantined", Json::from(result.campaign.quarantined)),
+        ("dead_lettered", Json::from(dead_lettered)),
         (
             "pinned_configs",
             Json::arr(result.restoration.pinned.iter().map(|k| Json::from(k.as_str()))),

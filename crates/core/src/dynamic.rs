@@ -55,6 +55,17 @@ pub struct DynamicOptions {
     /// [`CampaignOptions::capture_timing`]). On by default; callers that
     /// do not record traces turn it off to keep the hot loop clock-free.
     pub capture_timing: bool,
+    /// Bounded-memory streaming (see [`CampaignOptions::stream`]):
+    /// finished records spill to the journal and drop from RAM, and the
+    /// report phase re-reads the journal instead of a record vector.
+    /// Requires `journal` to actually bound memory; reports stay
+    /// byte-identical (the re-read is keyed and merged in key order).
+    pub stream: bool,
+    /// Execute only the runs whose *sorted-key index* falls in
+    /// `[start, end)` of the full plan — a shard child's slice. The plan
+    /// itself is derived identically in every process (same sources, same
+    /// expansion, same sort), so `--shard-range` alone pins the slice.
+    pub shard_range: Option<(usize, usize)>,
 }
 
 impl Default for DynamicOptions {
@@ -70,6 +81,8 @@ impl Default for DynamicOptions {
             resume_records: Vec::new(),
             chaos: None,
             capture_timing: true,
+            stream: false,
+            shard_range: None,
         }
     }
 }
@@ -133,17 +146,34 @@ pub fn run_dynamic(
     run_dynamic_with_observer(project, locations, options, &mut NullObserver)
 }
 
-/// Runs the full dynamic workflow, streaming campaign progress into
-/// `observer` (e.g. [`wasabi_engine::StderrProgress`]).
-pub fn run_dynamic_with_observer(
+/// The front half of the pipeline — restore, profile, plan — shared by a
+/// normal campaign, a shard parent (which partitions the sorted runs and
+/// never executes them itself), and `wasabi merge` (which re-derives the
+/// expected key sequence from the same sources).
+pub struct PreparedCampaign {
+    /// Config keys pinned back to defaults.
+    pub restoration: ConfigRestoration,
+    /// Run options with the pinned configs applied.
+    pub run_options: RunOptions,
+    /// The coverage profile.
+    pub profile: CoverageProfile,
+    /// The `{test, location}` plan.
+    pub test_plan: TestPlan,
+    /// The expanded runs, **sorted by key** — index `i` here is the run
+    /// index shard ranges speak about.
+    pub runs: Vec<wasabi_planner::plan::InjectionRun>,
+    /// What a naive (unplanned) campaign would cost.
+    pub runs_naive: usize,
+}
+
+/// Restores configs, profiles coverage, and expands the key-sorted plan,
+/// bracketing each step with phase events.
+pub fn prepare_campaign(
     project: &Project,
     locations: &[RetryLocation],
     options: &DynamicOptions,
     observer: &mut dyn EngineObserver,
-) -> DynamicResult {
-    // Each pipeline step is bracketed by phase events so a metrics
-    // observer (`--trace-out`, `wasabi bench`) can attribute wall time to
-    // phases; the phase sum tiles the whole pipeline.
+) -> PreparedCampaign {
     let phase = |name: &'static str, observer: &mut dyn EngineObserver| {
         observer.on_event(&EngineEvent::PhaseStarted { name });
         name
@@ -167,13 +197,64 @@ pub fn run_dynamic_with_observer(
     let profile = profile_coverage_jobs(project, locations, &run_options, options.jobs);
     close(name, observer);
 
-    // 3. Plan one {test, location} pair per coverable location.
+    // 3. Plan one {test, location} pair per coverable location, and pin
+    //    the key order here — shard ranges and the merge walk this exact
+    //    sequence (the engine re-sorts identically anyway).
     let name = phase("plan", observer);
     let all_sites: BTreeSet<_> = locations.iter().map(|l| l.site).collect();
     let test_plan = plan(&profile, &all_sites);
-    let runs = expand_plan(&test_plan, locations, &options.ks);
+    let mut runs = expand_plan(&test_plan, locations, &options.ks);
+    runs.sort_by(|a, b| a.key().cmp(&b.key()));
     let runs_naive = naive_run_count(&profile, locations, &options.ks);
     close(name, observer);
+
+    PreparedCampaign {
+        restoration,
+        run_options,
+        profile,
+        test_plan,
+        runs,
+        runs_naive,
+    }
+}
+
+/// Runs the full dynamic workflow, streaming campaign progress into
+/// `observer` (e.g. [`wasabi_engine::StderrProgress`]).
+pub fn run_dynamic_with_observer(
+    project: &Project,
+    locations: &[RetryLocation],
+    options: &DynamicOptions,
+    observer: &mut dyn EngineObserver,
+) -> DynamicResult {
+    // Each pipeline step is bracketed by phase events so a metrics
+    // observer (`--trace-out`, `wasabi bench`) can attribute wall time to
+    // phases; the phase sum tiles the whole pipeline.
+    let phase = |name: &'static str, observer: &mut dyn EngineObserver| {
+        observer.on_event(&EngineEvent::PhaseStarted { name });
+        name
+    };
+    let close = |name: &'static str, observer: &mut dyn EngineObserver| {
+        observer.on_event(&EngineEvent::PhaseFinished { name });
+    };
+
+    let prepared = prepare_campaign(project, locations, options, observer);
+    let PreparedCampaign {
+        restoration,
+        run_options,
+        profile,
+        test_plan,
+        mut runs,
+        runs_naive,
+    } = prepared;
+
+    // A shard child executes only its slice of the sorted plan; everyone
+    // derives the identical full plan first, so `[start, end)` means the
+    // same runs in every process.
+    if let Some((start, end)) = options.shard_range {
+        let end = end.min(runs.len());
+        let start = start.min(end);
+        runs = runs[start..end].to_vec();
+    }
 
     // 4. Hand the campaign to the engine: workers, isolation, budget, and
     //    the deterministic key-ordered merge all live there.
@@ -187,6 +268,7 @@ pub fn run_dynamic_with_observer(
         resume: options.resume_records.clone(),
         chaos: options.chaos.clone(),
         capture_timing: options.capture_timing,
+        stream: options.stream,
         ..CampaignOptions::default()
     };
     let name = phase("run", observer);
@@ -206,15 +288,59 @@ pub fn run_dynamic_with_observer(
         timed_out: campaign.stats.timed_out,
         virtual_ms: campaign.stats.virtual_ms,
     };
+    // Collect oracle reports. A streaming campaign spilled its records to
+    // the journal, so the report phase re-reads it one record at a time —
+    // keyed and flattened in key order, which is exactly the order the
+    // in-memory path sees, so reports (and therefore dedup and the JSON
+    // document) stay byte-identical.
     let mut reports = Vec::new();
-    for record in &campaign.records {
-        if matches!(
-            record.outcome,
-            RunOutcome::TimedOut | RunOutcome::Crashed { .. }
-        ) {
-            continue;
+    if options.stream {
+        let mut by_key: std::collections::BTreeMap<_, Vec<OracleReport>> =
+            std::collections::BTreeMap::new();
+        let mut insert = |record: &RunRecord| {
+            if matches!(
+                record.outcome,
+                RunOutcome::TimedOut | RunOutcome::Crashed { .. }
+            ) {
+                return;
+            }
+            by_key
+                .entry(record.key.clone())
+                .or_insert_with(|| record.reports.clone());
+        };
+        // First-wins across the same sources the engine merged: resumed
+        // records, spill-failure leftovers, then the journal itself.
+        for record in &options.resume_records {
+            insert(record);
         }
-        reports.extend(record.reports.iter().cloned());
+        for record in &campaign.records {
+            insert(record);
+        }
+        if let Some(path) = &options.journal {
+            let stream_journal = wasabi_engine::journal::JournalReader::open(path)
+                .and_then(|mut reader| {
+                    while let Some(record) = reader.next_record()? {
+                        insert(&record);
+                    }
+                    Ok(())
+                });
+            if let Err(err) = stream_journal {
+                // Degrade, don't die: the campaign completed; worst case
+                // the report undercounts bugs from unreadable records.
+                eprintln!("[core] streaming report phase: {err}");
+            }
+        }
+        reports = by_key.into_values().flatten().collect();
+    } else {
+        for record in &campaign.records {
+            if matches!(
+                record.outcome,
+                RunOutcome::TimedOut | RunOutcome::Crashed { .. }
+            ) {
+                continue;
+            }
+            reports.extend(record.reports.iter().cloned());
+        }
     }
 
     let bugs = dedup_reports(reports.clone());

@@ -44,6 +44,7 @@ pub mod dynamic;
 pub mod identify;
 pub mod lint;
 pub mod score;
+pub mod sharded;
 
 pub use api::{compile_app, report_json, run_app_job, source_digest, AppJob};
 pub use dynamic::{run_dynamic, DynamicOptions, DynamicResult};

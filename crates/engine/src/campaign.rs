@@ -174,6 +174,12 @@ pub struct ChaosConfig {
     /// its current run) on its first pop — exercises the supervisor's
     /// requeue-and-degrade path.
     pub kill_worker: Option<usize>,
+    /// If set, the whole *process* exits (code 86) once this many records
+    /// have been appended to the journal — the crash point the shard
+    /// supervisor's chaos CI stage uses to kill a child mid-flight at a
+    /// deterministic, journal-aligned spot. Count-based, not time-based,
+    /// so recovery is byte-reproducible.
+    pub exit_after_appends: Option<u64>,
 }
 
 impl ChaosConfig {
@@ -184,6 +190,7 @@ impl ChaosConfig {
             max_delay_ms: 0,
             seed,
             kill_worker: None,
+            exit_after_appends: None,
         }
     }
 
@@ -242,6 +249,16 @@ pub struct CampaignOptions {
     /// Never affects [`CampaignResult::records`] — timings live only in
     /// the metrics/observer layer.
     pub capture_timing: bool,
+    /// Bounded-memory streaming: finished records are appended to the
+    /// journal and **dropped from RAM** instead of accumulating in
+    /// [`CampaignResult::records`] (which comes back empty); the caller's
+    /// report phase re-reads the journal. Requires `journal`; if the
+    /// journal cannot be opened (or dies to an I/O error mid-campaign),
+    /// records are kept in memory after all — losing the memory bound, not
+    /// the data. Stats are accumulated incrementally either way, and
+    /// [`CampaignStats::peak_resident_records`] reports the high-water
+    /// mark this option exists to bound.
+    pub stream: bool,
 }
 
 impl Default for CampaignOptions {
@@ -256,6 +273,7 @@ impl Default for CampaignOptions {
             journal: None,
             resume: Vec::new(),
             capture_timing: true,
+            stream: false,
         }
     }
 }
@@ -361,6 +379,12 @@ pub struct CampaignStats {
     pub resumed: usize,
     /// Campaign wall time in milliseconds (scheduling-dependent).
     pub wall_ms: u64,
+    /// High-water mark of run records resident in the coordinator's
+    /// memory. With [`CampaignOptions::stream`] this stays O(1) — each
+    /// record is spilled to the journal and dropped as it lands — while a
+    /// non-streaming campaign ends holding every record. Observational,
+    /// like `wall_ms`: nothing in `records` derives from it.
+    pub peak_resident_records: usize,
 }
 
 /// A finished campaign: records in [`RunKey`] order plus statistics.
@@ -479,10 +503,20 @@ pub fn run_campaign(
 
     let mut slots: Vec<Option<RunRecord>> = Vec::new();
     slots.resize_with(runs.len(), || None);
+    // Completion is tracked separately from the slot payload: a streaming
+    // campaign spills each record to the journal and drops it, leaving the
+    // slot empty but done.
+    let mut done: Vec<bool> = vec![false; runs.len()];
+    let mut det_stats = CampaignStats::default();
+    let mut resident = 0usize;
+    let mut peak_resident = 0usize;
 
     // Resume: pre-fill slots from recovered records (first record wins on
     // duplicate journal keys; records are deterministic, so duplicates
-    // are identical anyway). Keys outside the plan are ignored.
+    // are identical anyway). Keys outside the plan are ignored. In
+    // streaming mode the record's stats are absorbed and the record
+    // dropped — the journal it was recovered from still holds it for the
+    // caller's report phase.
     let mut resumed = 0usize;
     if !options.resume.is_empty() {
         let mut by_key: BTreeMap<&RunKey, &RunRecord> = BTreeMap::new();
@@ -491,12 +525,18 @@ pub fn run_campaign(
         }
         for (slot, &run_index) in order.iter().enumerate() {
             if let Some(record) = by_key.get(&runs[run_index].key()) {
-                slots[slot] = Some((*record).clone());
+                absorb_record_stats(&mut det_stats, record);
+                done[slot] = true;
                 resumed += 1;
+                if !options.stream {
+                    slots[slot] = Some((*record).clone());
+                    resident += 1;
+                    peak_resident = peak_resident.max(resident);
+                }
             }
         }
     }
-    let pending: Vec<usize> = (0..slots.len()).filter(|&s| slots[s].is_none()).collect();
+    let pending: Vec<usize> = (0..slots.len()).filter(|&s| !done[s]).collect();
 
     let jobs = options.jobs.max(1).min(pending.len().max(1));
     observer.on_event(&EngineEvent::Started {
@@ -516,6 +556,7 @@ pub fn run_campaign(
             .ok()
     });
 
+    let chaos_exit_after = options.chaos.as_ref().and_then(|c| c.exit_after_appends);
     let mut worker_runs = vec![0usize; jobs];
     let mut workers_lost = 0usize;
     let mut supervisor_runs = 0usize;
@@ -589,14 +630,22 @@ pub fn run_campaign(
                             &timing,
                             observer,
                             &mut journal,
-                            &mut slots,
+                            &mut CompletionSink {
+                                slots: &mut slots,
+                                done: &mut done,
+                                det_stats: &mut det_stats,
+                                resident: &mut resident,
+                                peak_resident: &mut peak_resident,
+                                stream: options.stream,
+                                chaos_exit: chaos_exit_after,
+                            },
                         );
                     }
                     Message::WorkerDied { worker } => {
                         workers_lost += 1;
                         let lost = in_flight[worker].take();
                         if let Some((slot, _)) = lost {
-                            if slots[slot].is_none() {
+                            if !done[slot] {
                                 // Hand the orphaned run to the survivors;
                                 // if they have already drained and exited,
                                 // the inline fallback below picks it up.
@@ -618,7 +667,7 @@ pub fn run_campaign(
     // survivors' exit) is executed inline, so the campaign always
     // completes with a record for every planned key.
     for slot in 0..slots.len() {
-        if slots[slot].is_some() {
+        if done[slot] {
             continue;
         }
         let run = &runs[order[slot]];
@@ -649,7 +698,23 @@ pub fn run_campaign(
         timing.queue_wait_us = queue_wait_us;
         supervisor_runs += 1;
         worker_timings[jobs].record(&timing);
-        complete_slot(slot, jobs, record, &timing, observer, &mut journal, &mut slots);
+        complete_slot(
+            slot,
+            jobs,
+            record,
+            &timing,
+            observer,
+            &mut journal,
+            &mut CompletionSink {
+                slots: &mut slots,
+                done: &mut done,
+                det_stats: &mut det_stats,
+                resident: &mut resident,
+                peak_resident: &mut peak_resident,
+                stream: options.stream,
+                chaos_exit: chaos_exit_after,
+            },
+        );
     }
 
     if let Some(journal) = journal.as_mut() {
@@ -658,41 +723,26 @@ pub fn run_campaign(
         }
     }
 
-    let records: Vec<RunRecord> = slots
-        .into_iter()
-        .map(|slot| slot.expect("every planned run produces a record"))
-        .collect();
-
-    let mut stats = CampaignStats {
-        runs_total: records.len(),
-        jobs,
-        worker_runs,
-        supervisor_runs,
-        workers_lost,
-        resumed,
-        wall_ms: saturating_ms(started_at.elapsed()),
-        ..CampaignStats::default()
+    // Non-streaming campaigns hold every record; streaming ones only keep
+    // what could not be spilled (journal missing or dead), normally none.
+    let records: Vec<RunRecord> = if options.stream {
+        slots.into_iter().flatten().collect()
+    } else {
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every planned run produces a record"))
+            .collect()
     };
-    for record in &records {
-        match &record.outcome {
-            RunOutcome::TimedOut => stats.timed_out += 1,
-            RunOutcome::Crashed { .. } => stats.crashed += 1,
-            RunOutcome::Completed(outcome) => {
-                stats.completed += 1;
-                if !outcome.is_pass() {
-                    stats.failed += 1;
-                }
-            }
-        }
-        stats.retried += usize::from(record.attempts.saturating_sub(1));
-        stats.quarantined += usize::from(record.quarantined);
-        stats.rethrow_filtered += usize::from(record.rethrow_filtered);
-        stats.not_a_trigger += usize::from(record.not_a_trigger);
-        stats.reports += record.reports.len();
-        stats.injections += u64::from(record.injections);
-        stats.virtual_ms += record.virtual_ms;
-        stats.steps += record.steps;
-    }
+
+    let mut stats = det_stats;
+    stats.runs_total = runs.len();
+    stats.jobs = jobs;
+    stats.worker_runs = worker_runs;
+    stats.supervisor_runs = supervisor_runs;
+    stats.workers_lost = workers_lost;
+    stats.resumed = resumed;
+    stats.wall_ms = saturating_ms(started_at.elapsed());
+    stats.peak_resident_records = peak_resident;
     let mut metrics = CampaignMetrics::from_records(&records, &options.retry);
     metrics.absorb_worker_timings(&worker_timings);
     observer.on_event(&EngineEvent::Finished {
@@ -776,7 +826,43 @@ fn worker_loop(
     WorkerExit::Drained
 }
 
-/// Finalizes one record: observer events, journal append, slot write.
+/// Folds one record into the deterministic half of the campaign stats.
+/// Called as records land (execution order) — every field is a commutative
+/// sum or count, so the result is identical to a key-order fold.
+fn absorb_record_stats(stats: &mut CampaignStats, record: &RunRecord) {
+    match &record.outcome {
+        RunOutcome::TimedOut => stats.timed_out += 1,
+        RunOutcome::Crashed { .. } => stats.crashed += 1,
+        RunOutcome::Completed(outcome) => {
+            stats.completed += 1;
+            if !outcome.is_pass() {
+                stats.failed += 1;
+            }
+        }
+    }
+    stats.retried += usize::from(record.attempts.saturating_sub(1));
+    stats.quarantined += usize::from(record.quarantined);
+    stats.rethrow_filtered += usize::from(record.rethrow_filtered);
+    stats.not_a_trigger += usize::from(record.not_a_trigger);
+    stats.reports += record.reports.len();
+    stats.injections += u64::from(record.injections);
+    stats.virtual_ms += record.virtual_ms;
+    stats.steps += record.steps;
+}
+
+/// Where a finished record lands: the slot vector (non-streaming), or the
+/// journal alone (streaming spill), plus the completion/stats trackers.
+struct CompletionSink<'a> {
+    slots: &'a mut [Option<RunRecord>],
+    done: &'a mut [bool],
+    det_stats: &'a mut CampaignStats,
+    resident: &'a mut usize,
+    peak_resident: &'a mut usize,
+    stream: bool,
+    chaos_exit: Option<u64>,
+}
+
+/// Finalizes one record: observer events, journal append, spill-or-store.
 fn complete_slot(
     slot: usize,
     worker: usize,
@@ -784,8 +870,12 @@ fn complete_slot(
     timing: &RunTiming,
     observer: &mut dyn EngineObserver,
     journal: &mut Option<Journal>,
-    slots: &mut [Option<RunRecord>],
+    sink: &mut CompletionSink<'_>,
 ) {
+    // The record in hand is resident until spilled or the campaign ends —
+    // this counter is the memory bound the streaming test pins.
+    *sink.resident += 1;
+    *sink.peak_resident = (*sink.peak_resident).max(*sink.resident);
     observer.on_event(&EngineEvent::RunFinished {
         index: slot,
         key: &record.key,
@@ -813,12 +903,33 @@ fn complete_slot(
             outcome: &record.outcome,
         });
     }
+    let mut spilled = false;
     if let Some(journal) = journal.as_mut() {
         if let Some(completed) = journal.append(&record) {
             observer.on_event(&EngineEvent::CheckpointWritten { completed });
         }
+        // Chaos crash point: die *after* the append, so the journal holds
+        // exactly `chaos_exit` records — the supervisor must observe
+        // progress and plain-restart, never bisect.
+        if let Some(limit) = sink.chaos_exit {
+            if journal.appended() as u64 >= limit {
+                eprintln!("[engine] chaos: exiting after {limit} journal append(s)");
+                std::process::exit(86);
+            }
+        }
+        // Streaming spill: the journal write went through (the journal is
+        // still active), so the record is durable and RAM can drop it. A
+        // dead journal falls back to the slot — bounded memory degrades,
+        // data does not.
+        spilled = sink.stream && journal.active();
     }
-    slots[slot] = Some(record);
+    absorb_record_stats(sink.det_stats, &record);
+    sink.done[slot] = true;
+    if spilled {
+        *sink.resident -= 1;
+    } else {
+        sink.slots[slot] = Some(record);
+    }
 }
 
 /// Executes one run under the retry policy. Each attempt runs in a fresh,
@@ -1281,6 +1392,7 @@ class Solid {\n\
                     max_delay_ms: 0,
                     seed: 0,
                     kill_worker: Some(0),
+                    exit_after_appends: None,
                 }),
                 ..CampaignOptions::default()
             };

@@ -140,6 +140,19 @@ impl Journal {
         (!self.disabled).then_some(self.appended)
     }
 
+    /// Records appended by this process so far (not counting recovered
+    /// lines). Drives the chaos `exit_after_appends` crash point and the
+    /// streaming engine's spill decision.
+    pub fn appended(&self) -> usize {
+        self.appended
+    }
+
+    /// False once an I/O error has permanently disabled writes — the
+    /// streaming engine falls back to keeping records in memory.
+    pub fn active(&self) -> bool {
+        !self.disabled
+    }
+
     fn write_line(&mut self, value: &Json) {
         if self.disabled {
             return;
@@ -172,53 +185,172 @@ pub struct JournalLoad {
     pub dropped_tail: bool,
 }
 
-/// Reads a journal back for `--resume`. Tolerates exactly one half-written
-/// line at the end of the file (the line a killed process was writing);
-/// corruption anywhere else is an error, as is a missing or
-/// wrong-schema header.
+/// Reads a journal back for `--resume`. Tolerates a torn tail — a
+/// half-written line at the end of the file, *or* a half-written record
+/// line whose only followers are valid epoch markers (a crash racing the
+/// epoch fsync can flush the marker while the record line it counts was
+/// still buffered) — but rejects corruption anywhere that would silently
+/// drop data, as well as a missing or wrong-schema header.
 pub fn load(path: &Path) -> Result<JournalLoad, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|err| format!("read journal {}: {err}", path.display()))?;
+    let mut reader = JournalReader::open(path)?;
     let mut result = JournalLoad::default();
-    let lines: Vec<&str> = text.split_inclusive('\n').collect();
-    for (index, raw) in lines.iter().enumerate() {
-        let is_last = index + 1 == lines.len();
-        let line = raw.trim_end_matches('\n');
-        if line.is_empty() {
-            continue;
-        }
-        let parsed = Json::parse(line).and_then(|value| classify(&value, index));
-        match parsed {
-            Ok(Line::Header) if index == 0 => {}
-            Ok(Line::Header) => {
-                return Err(format!("journal {}: duplicate header at line {}", path.display(), index + 1))
-            }
-            Ok(_) if index == 0 => {
-                return Err(format!("journal {}: missing header line", path.display()))
-            }
-            Ok(Line::Epoch) => {}
-            Ok(Line::Record(record)) => result.records.push(*record),
-            Err(err) => {
-                // A torn final line (no trailing newline, or cut mid-JSON)
-                // is the expected signature of a killed process: drop it.
-                // The header is never torn-tail material — a journal whose
-                // first line is unreadable or wrong-schema is unusable.
-                if is_last && index > 0 {
-                    result.dropped_tail = true;
-                    break;
-                }
-                return Err(format!(
-                    "journal {}: corrupt line {}: {err}",
-                    path.display(),
-                    index + 1
-                ));
-            }
-        }
+    while let Some(record) = reader.next_record()? {
+        result.records.push(record);
     }
-    if text.is_empty() {
-        return Err(format!("journal {}: empty file", path.display()));
-    }
+    result.dropped_tail = reader.dropped_tail;
     Ok(result)
+}
+
+/// A streaming journal reader: yields records one line at a time without
+/// materializing the file, so `wasabi merge` holds at most one record per
+/// shard and the streaming report phase holds at most one record total.
+/// Applies the same header validation and torn-tail repair as [`load`]
+/// (which is implemented on top of it).
+#[derive(Debug)]
+pub struct JournalReader {
+    reader: std::io::BufReader<File>,
+    path: PathBuf,
+    /// 1-based number of the last line read (for error messages).
+    line: usize,
+    /// A torn tail was dropped (half-written final line, or a half-written
+    /// record line followed only by epoch markers).
+    pub dropped_tail: bool,
+    finished: bool,
+    /// Bytes consumed so far (tracked for [`JournalReader::record_offset`]).
+    offset: u64,
+    /// Byte offset where the most recently read line starts.
+    line_offset: u64,
+    /// Byte offset where the last record returned by `next_record` starts.
+    record_offset: u64,
+}
+
+impl JournalReader {
+    /// Opens `path` and validates its header line.
+    pub fn open(path: &Path) -> Result<JournalReader, String> {
+        let file = File::open(path)
+            .map_err(|err| format!("read journal {}: {err}", path.display()))?;
+        let mut reader = JournalReader {
+            reader: std::io::BufReader::new(file),
+            path: path.to_path_buf(),
+            line: 0,
+            dropped_tail: false,
+            finished: false,
+            offset: 0,
+            line_offset: 0,
+            record_offset: 0,
+        };
+        let Some((line, _complete)) = reader.read_raw_line()? else {
+            return Err(format!("journal {}: empty file", path.display()));
+        };
+        // The header is never torn-tail material — a journal whose first
+        // line is unreadable or wrong-schema is unusable.
+        match Json::parse(&line).and_then(|value| classify(&value, 0)) {
+            Ok(Line::Header) => Ok(reader),
+            Ok(_) => Err(format!("journal {}: missing header line", path.display())),
+            Err(err) => Err(format!("journal {}: corrupt line 1: {err}", path.display())),
+        }
+    }
+
+    /// Reads the next non-empty line; returns `(text, had_newline)`, or
+    /// `None` at end of file.
+    fn read_raw_line(&mut self) -> Result<Option<(String, bool)>, String> {
+        use std::io::BufRead;
+        loop {
+            let mut buf = String::new();
+            let n = self
+                .reader
+                .read_line(&mut buf)
+                .map_err(|err| format!("read journal {}: {err}", self.path.display()))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            self.line += 1;
+            self.line_offset = self.offset;
+            self.offset += n as u64;
+            let complete = buf.ends_with('\n');
+            let text = buf.trim_end_matches('\n').to_string();
+            if text.is_empty() {
+                continue;
+            }
+            return Ok(Some((text, complete)));
+        }
+    }
+
+    /// Returns the next record, skipping epoch markers. `Ok(None)` means a
+    /// clean end of journal (possibly after dropping a torn tail — check
+    /// [`JournalReader::dropped_tail`]).
+    pub fn next_record(&mut self) -> Result<Option<RunRecord>, String> {
+        if self.finished {
+            return Ok(None);
+        }
+        loop {
+            let Some((text, complete)) = self.read_raw_line()? else {
+                self.finished = true;
+                return Ok(None);
+            };
+            let index = self.line - 1;
+            match Json::parse(&text).and_then(|value| classify(&value, index)) {
+                Ok(Line::Header) => {
+                    return Err(format!(
+                        "journal {}: duplicate header at line {}",
+                        self.path.display(),
+                        self.line
+                    ))
+                }
+                Ok(Line::Epoch) => continue,
+                Ok(Line::Record(record)) => {
+                    self.record_offset = self.line_offset;
+                    return Ok(Some(*record));
+                }
+                Err(err) => {
+                    // A torn line (no trailing newline, or cut mid-JSON) is
+                    // the expected signature of a killed process. Usually it
+                    // is the final line, but a kill racing the epoch fsync
+                    // can leave a torn record line *followed by* the epoch
+                    // marker that was flushed separately — the tail is
+                    // droppable as long as nothing after the tear carries
+                    // data (valid epoch markers only, the last of which may
+                    // itself be torn).
+                    let corrupt_line = self.line;
+                    if !complete || self.tail_is_only_epoch_markers()? {
+                        self.dropped_tail = true;
+                        self.finished = true;
+                        return Ok(None);
+                    }
+                    return Err(format!(
+                        "journal {}: corrupt line {corrupt_line}: {err}",
+                        self.path.display()
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Byte offset where the line of the last record returned by
+    /// [`JournalReader::next_record`] starts — the handle `wasabi merge`
+    /// uses to random-access records by key without keeping them resident
+    /// (shard journals append in *completion* order, not key order).
+    pub fn record_offset(&self) -> u64 {
+        self.record_offset
+    }
+
+    /// After a corrupt (complete) line: is everything that follows a valid
+    /// epoch marker, except possibly a torn final line? Consumes the rest
+    /// of the file.
+    fn tail_is_only_epoch_markers(&mut self) -> Result<bool, String> {
+        while let Some((text, complete)) = self.read_raw_line()? {
+            let parsed = Json::parse(&text).and_then(|value| classify(&value, self.line - 1));
+            match parsed {
+                Ok(Line::Epoch) => continue,
+                // A torn final line is droppable whatever it was becoming.
+                Err(_) if !complete => return Ok(true),
+                // A record (or header) after the tear means the corruption
+                // sits *between* data lines — dropping it would open a gap.
+                _ => return Ok(false),
+            }
+        }
+        Ok(true)
+    }
 }
 
 enum Line {
@@ -634,6 +766,167 @@ pub fn load_for_resume(path: &Path) -> Result<Vec<RunRecord>, String> {
     Ok(loaded.records)
 }
 
+// ---- Dead-letter queue -----------------------------------------------------
+//
+// Runs that repeatedly crash their shard *process* are bisected out of the
+// restart set by the supervisor and quarantined here — a schema-versioned
+// JSON-lines file (`dlq.jsonl`) next to the shard journals. A dead-lettered
+// run produces no RunRecord; the merged report counts it in `dead_lettered`.
+
+/// Schema version of the dead-letter journal.
+pub const DLQ_SCHEMA_VERSION: i64 = 1;
+
+/// One process-level quarantined run: it repeatedly killed the shard child
+/// that executed it, and the supervisor bisected it out of the restart set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadLetter {
+    /// The poison run.
+    pub key: RunKey,
+    /// Shard whose child process it kept killing.
+    pub shard: usize,
+    /// Rendering of the last crashed child exit ("exit code 134",
+    /// "signal 9", ...).
+    pub exit: String,
+    /// Restarts the supervisor had spent on this shard when the run was
+    /// isolated.
+    pub restarts: u32,
+    /// Supervisor decision: "bisected" (isolated as the poison run) or
+    /// "restart cap exhausted" (dead-lettered wholesale with its segment).
+    pub reason: String,
+}
+
+/// Serializes one dead letter (stable key order, one line).
+pub fn dead_letter_to_json(letter: &DeadLetter) -> Json {
+    Json::obj([
+        ("key", key_to_json(&letter.key)),
+        ("shard", Json::from(letter.shard as u64)),
+        ("exit", Json::from(letter.exit.as_str())),
+        ("restarts", Json::from(letter.restarts)),
+        ("reason", Json::from(letter.reason.as_str())),
+    ])
+}
+
+/// Parses a dead letter back; exact inverse of [`dead_letter_to_json`].
+pub fn dead_letter_from_json(value: &Json) -> Result<DeadLetter, String> {
+    Ok(DeadLetter {
+        key: key_from_json(value.get("key").ok_or("dead letter: missing key")?)?,
+        shard: u64_field(value.get("shard").ok_or("dead letter: missing shard")?, "dead letter shard")?
+            as usize,
+        exit: value
+            .get("exit")
+            .and_then(Json::as_str)
+            .ok_or("dead letter: missing exit")?
+            .to_string(),
+        restarts: u32_field(
+            value.get("restarts").ok_or("dead letter: missing restarts")?,
+            "dead letter restarts",
+        )?,
+        reason: value
+            .get("reason")
+            .and_then(Json::as_str)
+            .ok_or("dead letter: missing reason")?
+            .to_string(),
+    })
+}
+
+fn dlq_header() -> Json {
+    Json::obj([
+        ("kind", Json::from("wasabi-dlq")),
+        ("schema_version", Json::from(DLQ_SCHEMA_VERSION)),
+    ])
+}
+
+/// Appends dead letters to `path`, creating the file (with its header) on
+/// first use, and fsyncs — a quarantine decision must survive a subsequent
+/// supervisor crash. Appending nothing is a no-op (no empty file appears).
+pub fn append_dead_letters(path: &Path, letters: &[DeadLetter]) -> Result<(), String> {
+    use std::io::Write;
+    if letters.is_empty() {
+        return Ok(());
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|err| format!("open dlq {}: {err}", path.display()))?;
+    let len = file
+        .metadata()
+        .map_err(|err| format!("stat dlq {}: {err}", path.display()))?
+        .len();
+    let mut text = String::new();
+    if len == 0 {
+        text.push_str(&dlq_header().to_string());
+        text.push('\n');
+    }
+    for letter in letters {
+        text.push_str(&dead_letter_to_json(letter).to_string());
+        text.push('\n');
+    }
+    file.write_all(text.as_bytes())
+        .map_err(|err| format!("write dlq {}: {err}", path.display()))?;
+    file.sync_all()
+        .map_err(|err| format!("sync dlq {}: {err}", path.display()))?;
+    Ok(())
+}
+
+/// Loads the dead-letter journal. A missing file means no runs were
+/// quarantined (the common case) and yields an empty list. Tolerates a
+/// torn final line — the supervisor fsyncs after every batch, but the
+/// batch itself can be cut by a crash; anything else corrupt is an error
+/// (a silently dropped dead letter would resurrect a poison run as a
+/// merge-phase gap).
+pub fn load_dead_letters(path: &Path) -> Result<Vec<DeadLetter>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(err) => return Err(format!("read dlq {}: {err}", path.display())),
+    };
+    if text.is_empty() {
+        return Err(format!("dlq {}: empty file", path.display()));
+    }
+    let mut letters = Vec::new();
+    let lines: Vec<&str> = text.split_inclusive('\n').collect();
+    for (index, raw) in lines.iter().enumerate() {
+        let is_last = index + 1 == lines.len();
+        let line = raw.trim_end_matches('\n');
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = Json::parse(line).and_then(|value| {
+            if index == 0 {
+                let kind = value.get("kind").and_then(Json::as_str);
+                if kind != Some("wasabi-dlq") {
+                    return Err("missing dlq header".to_string());
+                }
+                let version = value.get("schema_version").and_then(Json::as_i64);
+                if version != Some(DLQ_SCHEMA_VERSION) {
+                    return Err(format!(
+                        "dlq schema_version {version:?} (this build reads {DLQ_SCHEMA_VERSION})"
+                    ));
+                }
+                Ok(None)
+            } else {
+                dead_letter_from_json(&value).map(Some)
+            }
+        });
+        match parsed {
+            Ok(Some(letter)) => letters.push(letter),
+            Ok(None) => {}
+            Err(err) => {
+                if is_last && index > 0 && !raw.ends_with('\n') {
+                    eprintln!(
+                        "[engine] dlq {}: dropped a half-written final line",
+                        path.display()
+                    );
+                    break;
+                }
+                return Err(format!("dlq {}: corrupt line {}: {err}", path.display(), index + 1));
+            }
+        }
+    }
+    Ok(letters)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -771,10 +1064,15 @@ class Solid {\n\
     #[test]
     fn load_rejects_mid_file_corruption_and_bad_headers() {
         let path = temp_path("corrupt.jsonl");
-        // Corrupt line sandwiched between valid ones: hard error.
+        // Corrupt line sandwiched between data lines: hard error. (Followed
+        // by only epoch markers it would be a droppable tail — see
+        // load_tolerates_a_torn_line_followed_by_epoch_markers.)
         std::fs::write(
             &path,
-            "{\"kind\":\"wasabi-journal\",\"schema_version\":2}\n{garbage\n{\"epoch\":1,\"completed\":0}\n",
+            format!(
+                "{{\"kind\":\"wasabi-journal\",\"schema_version\":2}}\n{{garbage\n{}\n",
+                record_line(7)
+            ),
         )
         .expect("write");
         let err = load(&path).expect_err("mid-file corruption must fail");
@@ -787,6 +1085,152 @@ class Solid {\n\
         std::fs::write(&path, "{\"kind\":\"wasabi-journal\",\"schema_version\":99}\n").expect("write");
         let err = load(&path).expect_err("wrong schema must fail");
         assert!(err.contains("schema_version"), "got: {err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A minimal valid record line for hand-built journals.
+    fn record_line(k: u64) -> String {
+        format!(
+            "{{\"key\":{{\"test\":[\"C\",\"t\"],\"site\":[0,4],\"exc\":\"E\",\
+             \"k\":{k}}},\"outcome\":{{\"kind\":\"passed\"}},\"reports\":[],\
+             \"rethrow_filtered\":false,\"not_a_trigger\":false,\"virtual_ms\":0,\
+             \"steps\":0,\"injections\":0,\"attempts\":1,\"quarantined\":false}}"
+        )
+    }
+
+    const HEADER_LINE: &str = "{\"kind\":\"wasabi-journal\",\"schema_version\":2}";
+
+    /// Regression: the torn-tail repair used to tolerate corruption only on
+    /// the literal final line. A process killed while the epoch fsync was in
+    /// flight can leave a *torn record line followed by its epoch marker*
+    /// (the marker was flushed from a separate buffer write) — that tail is
+    /// droppable: nothing after the tear carries data.
+    #[test]
+    fn load_tolerates_a_torn_line_followed_by_epoch_markers() {
+        let path = temp_path("torn-then-epoch.jsonl");
+
+        // Torn record line, then a valid epoch marker: droppable tail.
+        std::fs::write(
+            &path,
+            format!(
+                "{HEADER_LINE}\n{}\n{{\"key\":{{\"test\":[\"C\n{{\"epoch\":1,\"completed\":2}}\n",
+                record_line(1)
+            ),
+        )
+        .expect("write");
+        let loaded = load(&path).expect("torn line before epoch marker is a droppable tail");
+        assert!(loaded.dropped_tail);
+        assert_eq!(loaded.records.len(), 1, "the intact record before the tear survives");
+
+        // Torn record line, epoch marker, then *another* torn final line
+        // (the next session's kill): still droppable.
+        std::fs::write(
+            &path,
+            format!(
+                "{HEADER_LINE}\n{}\n{{gar\n{{\"epoch\":1,\"completed\":2}}\n{{\"epoch\":2,\"comp",
+                record_line(1)
+            ),
+        )
+        .expect("write");
+        let loaded = load(&path).expect("epoch markers then a torn final line still droppable");
+        assert!(loaded.dropped_tail);
+        assert_eq!(loaded.records.len(), 1);
+
+        // But a valid *record* after the tear means dropping would open a
+        // silent gap mid-journal: that stays a hard corruption error.
+        std::fs::write(
+            &path,
+            format!("{HEADER_LINE}\n{{gar\n{}\n", record_line(1)),
+        )
+        .expect("write");
+        let err = load(&path).expect_err("a record after the tear must stay a hard error");
+        assert!(err.contains("corrupt line 2"), "got: {err}");
+
+        // Same if the record hides behind an epoch marker.
+        std::fs::write(
+            &path,
+            format!(
+                "{HEADER_LINE}\n{{gar\n{{\"epoch\":1,\"completed\":1}}\n{}\n",
+                record_line(1)
+            ),
+        )
+        .expect("write");
+        let err = load(&path).expect_err("epoch then record after the tear must stay a hard error");
+        assert!(err.contains("corrupt line 2"), "got: {err}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The streaming reader is the same machine `load` runs on; spot-check
+    /// it yields records one at a time with identical repair behavior.
+    #[test]
+    fn journal_reader_streams_records_and_repairs_tails() {
+        let path = temp_path("reader.jsonl");
+        std::fs::write(
+            &path,
+            format!(
+                "{HEADER_LINE}\n{}\n{{\"epoch\":1,\"completed\":1}}\n{}\n{{\"key\":{{tor",
+                record_line(1),
+                record_line(2)
+            ),
+        )
+        .expect("write");
+        let mut reader = JournalReader::open(&path).expect("open");
+        let first = reader.next_record().expect("read").expect("first record");
+        assert_eq!(first.key.k, 1);
+        assert!(!reader.dropped_tail, "tail not reached yet");
+        let second = reader.next_record().expect("read").expect("second record");
+        assert_eq!(second.key.k, 2);
+        assert!(reader.next_record().expect("read").is_none());
+        assert!(reader.dropped_tail, "torn final line dropped");
+        assert!(reader.next_record().expect("read").is_none(), "stays finished");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dead_letters_round_trip_and_tolerate_torn_tails() {
+        let path = temp_path("dlq.jsonl");
+        let _ = std::fs::remove_file(&path);
+
+        // Missing file: no quarantined runs, not an error.
+        assert_eq!(load_dead_letters(&path).expect("missing dlq"), Vec::new());
+
+        let letter = |k: u32, reason: &str| DeadLetter {
+            key: RunKey {
+                test: MethodId::new("C", "t"),
+                site: CallSite { file: FileId(0), call: CallId(4) },
+                exception: "E".to_string(),
+                k,
+            },
+            shard: 2,
+            exit: "exit code 86".to_string(),
+            restarts: 5,
+            reason: reason.to_string(),
+        };
+        append_dead_letters(&path, &[letter(1, "bisected")]).expect("append");
+        append_dead_letters(&path, &[letter(100, "restart cap exhausted")]).expect("append more");
+        let loaded = load_dead_letters(&path).expect("load");
+        assert_eq!(loaded, vec![letter(1, "bisected"), letter(100, "restart cap exhausted")]);
+
+        // Torn final line (supervisor killed mid-batch): dropped, earlier
+        // letters survive.
+        let text = std::fs::read_to_string(&path).expect("read");
+        std::fs::write(&path, &text[..text.len() - 10]).expect("tear");
+        let loaded = load_dead_letters(&path).expect("load torn");
+        assert_eq!(loaded, vec![letter(1, "bisected")]);
+
+        // Mid-file corruption: hard error.
+        std::fs::write(
+            &path,
+            "{\"kind\":\"wasabi-dlq\",\"schema_version\":1}\n{gar\n{\"key\":{}}\n",
+        )
+        .expect("write");
+        let err = load_dead_letters(&path).expect_err("mid-file corruption");
+        assert!(err.contains("corrupt line 2"), "got: {err}");
+
+        // Wrong header kind: hard error.
+        std::fs::write(&path, "{\"kind\":\"wasabi-journal\",\"schema_version\":2}\n").expect("write");
+        let err = load_dead_letters(&path).expect_err("wrong kind");
+        assert!(err.contains("missing dlq header"), "got: {err}");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -36,6 +36,7 @@ pub mod journal;
 pub mod metrics;
 pub mod observer;
 pub mod queue;
+pub mod shard;
 pub mod spans;
 
 pub use campaign::{

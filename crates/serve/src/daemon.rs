@@ -78,6 +78,9 @@ struct JobPayload {
     name: String,
     files: Vec<(String, String)>,
     jobs: Option<usize>,
+    /// `Some(n)` runs the campaign as a sharded multi-process campaign
+    /// with `n` child processes (re-execing this daemon's own binary).
+    shards: Option<usize>,
 }
 
 /// A finished job's product.
@@ -95,6 +98,9 @@ struct State {
     results: BTreeMap<u64, Result<JobDone, String>>,
     subscribers: BTreeMap<u64, Vec<mpsc::Sender<String>>>,
     shutdown: bool,
+    /// Graceful drain: refuse new admissions (retryable `"draining"`
+    /// rejection), finish what was admitted, then flip `shutdown`.
+    draining: bool,
 }
 
 struct Shared {
@@ -271,6 +277,7 @@ pub fn spawn(options: ServeOptions) -> io::Result<DaemonHandle> {
             results: BTreeMap::new(),
             subscribers: BTreeMap::new(),
             shutdown: false,
+            draining: false,
         }),
         work: Condvar::new(),
         done: Condvar::new(),
@@ -356,6 +363,22 @@ fn runner_loop(shared: &Shared) {
 }
 
 fn execute_job(shared: &Shared, id: u64, payload: JobPayload) {
+    if let Some(shards) = payload.shards {
+        let result = execute_sharded_job(shared, id, shards, &payload);
+        let mut state = shared.state.lock().expect("serve state lock");
+        let was_cancelled = state.scheduler.state(id) == Some(JobState::Cancelled);
+        state.scheduler.finish(id, result.is_ok());
+        if was_cancelled {
+            finish_subscribers(&mut state, id, "cancelled");
+        } else {
+            let terminal = if result.is_ok() { "done" } else { "failed" };
+            state.results.insert(id, result);
+            finish_subscribers(&mut state, id, terminal);
+        }
+        shared.done.notify_all();
+        shared.work.notify_all();
+        return;
+    }
     let digest = source_digest(&payload.name, &payload.files);
     let cached_job = shared
         .state
@@ -426,6 +449,63 @@ fn execute_job(shared: &Shared, id: u64, payload: JobPayload) {
     shared.work.notify_all();
 }
 
+/// Runs a submission as a crash-tolerant multi-process sharded campaign:
+/// sources go to a per-job scratch directory (the child processes — this
+/// daemon's own binary, re-execed — read them from disk), the supervisor
+/// and merge run there, and the merged report comes back byte-identical
+/// to the in-process pipeline whenever nothing was dead-lettered.
+fn execute_sharded_job(
+    shared: &Shared,
+    id: u64,
+    shards: usize,
+    payload: &JobPayload,
+) -> Result<JobDone, String> {
+    for (path, _) in &payload.files {
+        // Submitted paths are digest keys in the in-process pipeline, but
+        // here they touch the filesystem: keep them inside the scratch dir.
+        if std::path::Path::new(path).is_absolute() || path.split('/').any(|seg| seg == "..") {
+            return Err(format!("sharded submission paths must be relative: {path:?}"));
+        }
+    }
+    let digest = source_digest(&payload.name, &payload.files);
+    let scratch = std::env::temp_dir().join(format!("wasabi-serve-shard-{digest:016x}-{id}"));
+    std::fs::create_dir_all(&scratch)
+        .map_err(|err| format!("create scratch dir {}: {err}", scratch.display()))?;
+    let write = (|| -> Result<(), String> {
+        for (path, contents) in &payload.files {
+            let full = scratch.join(path);
+            if let Some(parent) = full.parent() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|err| format!("create {}: {err}", parent.display()))?;
+            }
+            std::fs::write(&full, contents)
+                .map_err(|err| format!("write {}: {err}", full.display()))?;
+        }
+        Ok(())
+    })();
+    let result = write.and_then(|()| {
+        let exe = std::env::current_exe()
+            .map_err(|err| format!("cannot locate the wasabi binary for re-exec: {err}"))?;
+        let options = wasabi_core::sharded::ShardedOptions {
+            shards,
+            dir: scratch.join("shards"),
+            exe,
+            cwd: Some(scratch.clone()),
+            jobs: payload.jobs.unwrap_or(shared.campaign_jobs),
+            quiet: true,
+            ..wasabi_core::sharded::ShardedOptions::default()
+        };
+        let files: Vec<String> = payload.files.iter().map(|(path, _)| path.clone()).collect();
+        wasabi_core::sharded::run_sharded(&files, &options).map(|outcome| JobDone {
+            report: outcome.report,
+            bugs: outcome.bugs,
+            cached: false,
+        })
+    });
+    let _ = std::fs::remove_dir_all(&scratch);
+    result
+}
+
 /// Reads one frame (a line up to `max_frame` bytes). Returns
 /// `Ok(None)` on EOF, `Err(oversized)` when the cap is hit.
 fn read_frame<R: BufRead>(reader: &mut R, max_frame: usize) -> io::Result<Option<Result<String, ()>>> {
@@ -456,7 +536,7 @@ fn write_line<W: Write>(writer: &mut W, line: &str) -> io::Result<()> {
     writer.flush()
 }
 
-fn run_session<S: Read + Write>(stream: S, shared: &Shared, addr: &str, max_frame: usize) {
+fn run_session<S: Read + Write>(stream: S, shared: &Arc<Shared>, addr: &str, max_frame: usize) {
     let mut reader = BufReader::new(stream);
     loop {
         let frame = match read_frame(&mut reader, max_frame) {
@@ -498,7 +578,7 @@ fn run_session<S: Read + Write>(stream: S, shared: &Shared, addr: &str, max_fram
 fn handle_request<S: Read + Write>(
     request: Request,
     reader: &mut BufReader<S>,
-    shared: &Shared,
+    shared: &Arc<Shared>,
     addr: &str,
 ) -> bool {
     match request {
@@ -507,18 +587,30 @@ fn handle_request<S: Read + Write>(
             priority,
             files,
             jobs,
+            shards,
         } => {
             let response = {
                 let mut state = shared.state.lock().expect("serve state lock");
                 if state.shutdown {
                     error_response("daemon is shutting down")
+                } else if state.draining {
+                    // A rejection, not an error: like a full queue, this
+                    // is backpressure the client may retry elsewhere (or
+                    // later, against a restarted daemon).
+                    rejected_response("draining")
                 } else {
                     shared.tick_locked(&mut state);
                     let now = shared.clock.now_us();
-                    match state
-                        .scheduler
-                        .submit(now, priority, JobPayload { name, files, jobs })
-                    {
+                    match state.scheduler.submit(
+                        now,
+                        priority,
+                        JobPayload {
+                            name,
+                            files,
+                            jobs,
+                            shards,
+                        },
+                    ) {
                         Admission::Queued { id, position } => {
                             shared.work.notify_all();
                             ok_response([
@@ -643,17 +735,73 @@ fn handle_request<S: Read + Write>(
             };
             write_line(reader.get_mut(), &response).is_ok()
         }
-        Request::Shutdown => {
-            {
-                let mut state = shared.state.lock().expect("serve state lock");
-                state.shutdown = true;
-                shared.work.notify_all();
-                shared.done.notify_all();
+        Request::Shutdown { drain, deadline_ms } => {
+            if drain {
+                {
+                    let mut state = shared.state.lock().expect("serve state lock");
+                    state.draining = true;
+                    shared.work.notify_all();
+                    shared.done.notify_all();
+                }
+                // A detached monitor flips `shutdown` once the scheduler
+                // is empty (or the deadline passes); runners and waiters
+                // never have to know drain exists.
+                let monitor = Arc::clone(shared);
+                let monitor_addr = addr.to_string();
+                let deadline_us = deadline_ms
+                    .map(|ms| shared.clock.now_us().saturating_add(ms.saturating_mul(1000)));
+                thread::spawn(move || drain_monitor(&monitor, &monitor_addr, deadline_us));
+                let response =
+                    ok_response([("stopping", Json::from(true)), ("draining", Json::from(true))]);
+                let _ = write_line(reader.get_mut(), &response);
+            } else {
+                {
+                    let mut state = shared.state.lock().expect("serve state lock");
+                    state.shutdown = true;
+                    shared.work.notify_all();
+                    shared.done.notify_all();
+                }
+                let _ =
+                    write_line(reader.get_mut(), &ok_response([("stopping", Json::from(true))]));
+                // Unblock the accept loop so it observes the flag.
+                poke_listener(addr);
             }
-            let _ = write_line(reader.get_mut(), &ok_response([("stopping", Json::from(true))]));
-            // Unblock the accept loop so it observes the flag.
-            poke_listener(addr);
             false
+        }
+    }
+}
+
+/// Waits out a graceful drain: once every admitted job is terminal (or
+/// the deadline passes, abandoning whatever is still queued), flips the
+/// shutdown flag and pokes the accept loop so the daemon exits cleanly.
+fn drain_monitor(shared: &Shared, addr: &str, deadline_us: Option<u64>) {
+    loop {
+        let finished = {
+            let mut state = shared.state.lock().expect("serve state lock");
+            if state.shutdown {
+                true
+            } else {
+                shared.tick_locked(&mut state);
+                let idle =
+                    state.scheduler.queued_len() == 0 && state.scheduler.running_len() == 0;
+                let expired = deadline_us.is_some_and(|d| shared.clock.now_us() >= d);
+                if idle || expired {
+                    state.shutdown = true;
+                    true
+                } else {
+                    let _ = shared
+                        .done
+                        .wait_timeout(state, Duration::from_millis(25))
+                        .expect("serve state lock");
+                    false
+                }
+            }
+        };
+        if finished {
+            shared.work.notify_all();
+            shared.done.notify_all();
+            poke_listener(addr);
+            return;
         }
     }
 }

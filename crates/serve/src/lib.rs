@@ -16,7 +16,8 @@
 //! - [`cache`]: the compiled-app LRU;
 //! - [`protocol`]: wire frames (requests, responses, events);
 //! - [`daemon`]: threads and sockets around all of the above;
-//! - [`client`]: the blocking client the CLI and tests use.
+//! - [`client`]: the blocking client the CLI and tests use;
+//! - [`retry`]: the client-side bounded/jittered submit retry policy.
 //!
 //! The determinism contract carries over from the engine: a submitted
 //! job's report is byte-identical to `wasabi test --json` on the same
@@ -26,6 +27,7 @@ pub mod cache;
 pub mod client;
 pub mod daemon;
 pub mod protocol;
+pub mod retry;
 pub mod scheduler;
 pub mod wheel;
 
@@ -33,5 +35,6 @@ pub use cache::IndexCache;
 pub use client::Connection;
 pub use daemon::{spawn, Bind, DaemonHandle, ServeOptions};
 pub use protocol::{parse_request, render_request, Request, PROTOCOL_KIND, PROTOCOL_VERSION};
+pub use retry::{retry_submit, Attempt, RetryConfig};
 pub use scheduler::{Admission, CancelOutcome, JobState, Scheduler, SchedulerConfig};
 pub use wheel::TimerWheel;

@@ -39,6 +39,9 @@ pub enum Request {
         files: Vec<(String, String)>,
         /// Campaign worker count override.
         jobs: Option<usize>,
+        /// Run the campaign as a crash-tolerant multi-process sharded
+        /// campaign with this many child processes (None = in-process).
+        shards: Option<usize>,
     },
     /// Query a job's state (and queue position while queued).
     Status {
@@ -62,8 +65,15 @@ pub enum Request {
     },
     /// Daemon counters: scheduler admissions, cache hits, and friends.
     Stats,
-    /// Stop the daemon after replying.
-    Shutdown,
+    /// Stop the daemon after replying. With `drain`, new submissions are
+    /// refused (`"rejected":"draining"` — retryable) while admitted jobs
+    /// finish, up to `deadline_ms`; without it, the stop is immediate.
+    Shutdown {
+        /// Refuse new work, finish what was admitted, then exit.
+        drain: bool,
+        /// Drain deadline in milliseconds (None = no deadline).
+        deadline_ms: Option<u64>,
+    },
 }
 
 fn str_field(value: &Json, key: &str) -> Result<String, String> {
@@ -141,11 +151,21 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                         .ok_or("field \"jobs\" must be a positive integer")?,
                 ),
             };
+            let shards = match value.get("shards") {
+                None => None,
+                Some(s) => Some(
+                    s.as_u64()
+                        .and_then(|s| usize::try_from(s).ok())
+                        .filter(|&s| s >= 1)
+                        .ok_or("field \"shards\" must be a positive integer")?,
+                ),
+            };
             Ok(Request::Submit {
                 name,
                 priority,
                 files,
                 jobs,
+                shards,
             })
         }
         "status" => Ok(Request::Status {
@@ -161,7 +181,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             id: u64_field(&value, "id")?,
         }),
         "stats" => Ok(Request::Stats),
-        "shutdown" => Ok(Request::Shutdown),
+        // Old clients send a bare shutdown op: absent fields mean an
+        // immediate stop, exactly the v1 behavior.
+        "shutdown" => Ok(Request::Shutdown {
+            drain: value.get("drain").and_then(Json::as_bool).unwrap_or(false),
+            deadline_ms: value.get("deadline_ms").and_then(Json::as_u64),
+        }),
         other => Err(format!("unknown op {other:?}")),
     }
 }
@@ -180,6 +205,7 @@ pub fn render_request(request: &Request) -> String {
             priority,
             files,
             jobs,
+            shards,
         } => {
             fields.push(("op".to_string(), Json::from("submit")));
             fields.push(("name".to_string(), Json::from(name.as_str())));
@@ -192,6 +218,9 @@ pub fn render_request(request: &Request) -> String {
             ));
             if let Some(jobs) = jobs {
                 fields.push(("jobs".to_string(), Json::from(*jobs)));
+            }
+            if let Some(shards) = shards {
+                fields.push(("shards".to_string(), Json::from(*shards)));
             }
         }
         Request::Status { id } => {
@@ -211,7 +240,15 @@ pub fn render_request(request: &Request) -> String {
             fields.push(("id".to_string(), Json::from(*id as i64)));
         }
         Request::Stats => fields.push(("op".to_string(), Json::from("stats"))),
-        Request::Shutdown => fields.push(("op".to_string(), Json::from("shutdown"))),
+        Request::Shutdown { drain, deadline_ms } => {
+            fields.push(("op".to_string(), Json::from("shutdown")));
+            if *drain {
+                fields.push(("drain".to_string(), Json::from(true)));
+            }
+            if let Some(ms) = deadline_ms {
+                fields.push(("deadline_ms".to_string(), Json::from(*ms)));
+            }
+        }
     }
     Json::obj(fields).to_string()
 }
@@ -245,6 +282,7 @@ mod tests {
             priority: 2,
             files: vec![("a.jav".to_string(), "class A {}\nline \"two\"".to_string())],
             jobs: Some(4),
+            shards: Some(3),
         };
         assert_eq!(parse_request(&render_request(&request)), Ok(request));
     }
@@ -257,10 +295,29 @@ mod tests {
             Request::Subscribe { id: 7 },
             Request::Wait { id: 7 },
             Request::Stats,
-            Request::Shutdown,
+            Request::Shutdown {
+                drain: false,
+                deadline_ms: None,
+            },
+            Request::Shutdown {
+                drain: true,
+                deadline_ms: Some(1500),
+            },
         ] {
             assert_eq!(parse_request(&render_request(&request)), Ok(request));
         }
+    }
+
+    #[test]
+    fn bare_shutdown_frames_from_old_clients_stop_immediately() {
+        let line = "{\"kind\":\"wasabi-serve\",\"v\":1,\"op\":\"shutdown\"}";
+        assert_eq!(
+            parse_request(line),
+            Ok(Request::Shutdown {
+                drain: false,
+                deadline_ms: None,
+            })
+        );
     }
 
     #[test]

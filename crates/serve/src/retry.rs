@@ -1,0 +1,182 @@
+//! Client-side submit retry: bounded attempts, exponential backoff,
+//! deterministic jitter.
+//!
+//! The daemon refuses work for two very different reasons, and the paper's
+//! central WHEN question — *should* this error be retried? — applies to
+//! our own client too:
+//!
+//! - **Rejections** (`"ok":false` with a `"rejected"` field) are
+//!   backpressure: a full queue, or a draining daemon. The condition is
+//!   transient by construction, so retrying with backoff is correct.
+//! - **Errors** (`"ok":false` with an `"error"` field) are protocol or
+//!   input failures: malformed frames, oversized frames, bad fields.
+//!   Retrying cannot help and only re-sends the same doomed bytes.
+//!
+//! Connect failures sit with rejections (the daemon may be restarting).
+//! The backoff schedule is exponential with a cap and *equal jitter* —
+//! delay drawn from `[cap/2, cap)` of the capped exponential — from a
+//! seeded [`Rng`], so tests can pin the exact schedule.
+
+use std::time::Duration;
+use wasabi_util::rng::fnv1a64;
+use wasabi_util::Rng;
+
+/// Bounded-retry configuration for `wasabi submit`.
+#[derive(Debug, Clone)]
+pub struct RetryConfig {
+    /// Total attempts, including the first (1 = no retry).
+    pub attempts: u32,
+    /// First retry's base delay.
+    pub base: Duration,
+    /// Exponential growth factor per retry.
+    pub multiplier: f64,
+    /// Ceiling on the un-jittered delay.
+    pub cap: Duration,
+    /// Jitter seed; attempts draw deterministically from it.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            attempts: 1,
+            base: Duration::from_millis(50),
+            multiplier: 2.0,
+            cap: Duration::from_secs(2),
+            jitter_seed: 0x5355_424D_4954, // "SUBMIT"
+        }
+    }
+}
+
+/// One attempt's verdict, as classified by the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Attempt<T> {
+    /// The operation succeeded.
+    Ok(T),
+    /// A transient refusal (connect failure, `"rejected"` response):
+    /// worth retrying after a backoff.
+    Retryable(String),
+    /// A permanent failure (`"error"` response): retrying re-sends the
+    /// same doomed request, so stop immediately.
+    Fatal(String),
+}
+
+/// The delay before retry number `retry` (1-based): capped exponential
+/// with equal jitter, deterministic in `(config.jitter_seed, retry)`.
+pub fn backoff_delay(config: &RetryConfig, retry: u32) -> Duration {
+    let exponent = retry.saturating_sub(1);
+    let raw = config.base.as_secs_f64() * config.multiplier.powi(exponent as i32);
+    let capped = raw.min(config.cap.as_secs_f64());
+    let seed = fnv1a64([
+        &config.jitter_seed.to_le_bytes()[..],
+        &retry.to_le_bytes()[..],
+    ]);
+    let mut rng = Rng::new(seed);
+    Duration::from_secs_f64(capped * 0.5 * (1.0 + rng.unit()))
+}
+
+/// Drives `operation` up to `config.attempts` times, sleeping the
+/// jittered backoff between retryable failures via `sleep` (injectable so
+/// tests never wall-block). Returns the success value, or the last
+/// failure message once attempts are exhausted or a fatal verdict lands.
+pub fn retry_submit<T>(
+    config: &RetryConfig,
+    mut operation: impl FnMut(u32) -> Attempt<T>,
+    mut sleep: impl FnMut(Duration),
+) -> Result<T, String> {
+    let attempts = config.attempts.max(1);
+    let mut last = String::new();
+    for attempt in 0..attempts {
+        match operation(attempt) {
+            Attempt::Ok(value) => return Ok(value),
+            Attempt::Fatal(message) => return Err(message),
+            Attempt::Retryable(message) => {
+                last = message;
+                if attempt + 1 < attempts {
+                    sleep(backoff_delay(config, attempt + 1));
+                }
+            }
+        }
+    }
+    Err(format!("giving up after {attempts} attempt(s): {last}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(attempts: u32) -> RetryConfig {
+        RetryConfig {
+            attempts,
+            ..RetryConfig::default()
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_capped_and_jittered() {
+        let config = config(8);
+        let first: Vec<Duration> = (1..=8).map(|r| backoff_delay(&config, r)).collect();
+        let again: Vec<Duration> = (1..=8).map(|r| backoff_delay(&config, r)).collect();
+        assert_eq!(first, again, "same seed, same schedule");
+        for (retry, delay) in first.iter().enumerate() {
+            let retry = retry as u32 + 1;
+            let capped = (0.05 * 2.0_f64.powi(retry as i32 - 1)).min(2.0);
+            let secs = delay.as_secs_f64();
+            assert!(
+                secs >= capped * 0.5 && secs < capped,
+                "retry {retry}: {secs}s outside equal-jitter window of {capped}s"
+            );
+        }
+        // Deep retries pin to the cap's jitter window, not the raw curve.
+        assert!(backoff_delay(&config, 30) < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn retryable_failures_are_retried_with_bounded_attempts() {
+        let mut slept = Vec::new();
+        let mut calls = 0;
+        let result: Result<u32, String> = retry_submit(
+            &config(3),
+            |_| {
+                calls += 1;
+                Attempt::Retryable("queue full".to_string())
+            },
+            |delay| slept.push(delay),
+        );
+        assert_eq!(calls, 3, "attempts bound the loop");
+        assert_eq!(slept.len(), 2, "no sleep after the final failure");
+        let message = result.expect_err("exhausted");
+        assert!(message.contains("3 attempt(s)") && message.contains("queue full"));
+    }
+
+    #[test]
+    fn success_and_fatal_verdicts_stop_immediately() {
+        let mut calls = 0;
+        let ok = retry_submit(
+            &config(5),
+            |attempt| {
+                calls += 1;
+                if attempt < 2 {
+                    Attempt::Retryable("draining".to_string())
+                } else {
+                    Attempt::Ok(attempt)
+                }
+            },
+            |_| {},
+        );
+        assert_eq!(ok, Ok(2));
+        assert_eq!(calls, 3, "stops on the first success");
+
+        calls = 0;
+        let fatal: Result<u32, String> = retry_submit(
+            &config(5),
+            |_| {
+                calls += 1;
+                Attempt::Fatal("unknown op".to_string())
+            },
+            |_| panic!("fatal verdicts never sleep"),
+        );
+        assert_eq!(fatal, Err("unknown op".to_string()));
+        assert_eq!(calls, 1, "fatal verdicts never retry");
+    }
+}

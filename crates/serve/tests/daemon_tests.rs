@@ -53,6 +53,7 @@ fn submit(conn: &mut Connection, path: &str, source: &str) -> u64 {
             priority: 5,
             files: vec![(path.to_string(), source.to_string())],
             jobs: None,
+            shards: None,
         })
         .expect("submit response");
     assert_eq!(response.get("ok").and_then(Json::as_bool), Some(true), "{response:?}");
@@ -76,7 +77,10 @@ fn wait_report(conn: &mut Connection, id: u64) -> (String, bool) {
 
 fn shutdown(handle: DaemonHandle) {
     let mut conn = Connection::connect(&handle.addr).expect("connect for shutdown");
-    let _ = conn.request(&Request::Shutdown);
+    let _ = conn.request(&Request::Shutdown {
+        drain: false,
+        deadline_ms: None,
+    });
     handle.join();
 }
 
@@ -259,6 +263,7 @@ fn admission_control_rejects_with_reason_when_queue_is_full() {
                 priority: 5,
                 files: vec![("x.jav".to_string(), APP_X.to_string())],
                 jobs: None,
+                shards: None,
             })
             .expect("submit response");
         if response.get("ok").and_then(Json::as_bool) == Some(false) {
@@ -333,9 +338,63 @@ fn submit_raw(conn: &mut Connection, path: &str, source: &str) -> u64 {
             priority: 5,
             files: vec![(path.to_string(), source.to_string())],
             jobs: None,
+            shards: None,
         })
         .expect("submit response");
     response.get("id").and_then(Json::as_u64).expect("job id")
+}
+
+#[test]
+fn graceful_drain_refuses_new_work_and_finishes_admitted_jobs() {
+    // A single runner keeps the second job queued when the drain lands,
+    // so the drain demonstrably finishes *queued* work, not just running.
+    let handle = start(ServeOptions {
+        scheduler: SchedulerConfig {
+            max_queued: 8,
+            max_inflight: 1,
+            queue_timeout_us: None,
+        },
+        ..ServeOptions::default()
+    });
+    let mut conn = Connection::connect(&handle.addr).expect("connect");
+    let first = submit(&mut conn, "x.jav", APP_X);
+    let second = submit(&mut conn, "y.jav", APP_Y);
+
+    let mut drainer = Connection::connect(&handle.addr).expect("connect for drain");
+    let ack = drainer
+        .request(&Request::Shutdown {
+            drain: true,
+            deadline_ms: Some(60_000),
+        })
+        .expect("drain ack");
+    assert_eq!(ack.get("ok").and_then(Json::as_bool), Some(true), "{ack:?}");
+    assert_eq!(ack.get("draining").and_then(Json::as_bool), Some(true), "{ack:?}");
+
+    // New admissions are refused with a retryable rejection, not an error.
+    let mut late = Connection::connect(&handle.addr).expect("connect while draining");
+    let refused = late
+        .request(&Request::Submit {
+            name: "cli".to_string(),
+            priority: 5,
+            files: vec![("x.jav".to_string(), APP_X.to_string())],
+            jobs: None,
+            shards: None,
+        })
+        .expect("submit while draining");
+    assert_eq!(refused.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        refused.get("rejected").and_then(Json::as_str),
+        Some("draining"),
+        "{refused:?}"
+    );
+
+    // Both admitted jobs still complete with real reports.
+    let (first_report, _) = wait_report(&mut conn, first);
+    let (second_report, _) = wait_report(&mut conn, second);
+    assert!(first_report.contains("\"bugs\""));
+    assert!(second_report.contains("\"bugs\""));
+    // And the daemon exits on its own once the queue is dry.
+    handle.join();
 }
 
 #[cfg(unix)]

@@ -40,6 +40,12 @@
 //!   diagnostic not in the checked-in baseline
 //!   (`scripts/lint_baseline.txt`, rewritten with `lint --record`).
 //!   Wired into `ci`.
+//! - `chaos-shard-smoke` — the crash-tolerance gate: run the seed app as
+//!   a 4-shard multi-process campaign with one shard chaos-killed
+//!   mid-flight; the supervisor must recover it and the merged report
+//!   must equal the uninterrupted single-process report byte-for-byte
+//!   (digest-pinned), `wasabi merge` over the shard directory must
+//!   reproduce it offline, and a same-seed rerun must be byte-identical.
 
 use std::env;
 use std::fs;
@@ -48,7 +54,7 @@ use std::process::{exit, Command};
 
 fn main() {
     let task = env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: cargo xtask <tier1|ci|smoke|bench|digest|lint|serve-smoke>");
+        eprintln!("usage: cargo xtask <tier1|ci|smoke|bench|digest|lint|serve-smoke|chaos-shard-smoke>");
         exit(2);
     });
     let flags: Vec<String> = env::args().skip(2).collect();
@@ -97,9 +103,13 @@ fn main() {
             run_stage("build --release --bin wasabi", &["build", "--release", "--bin", "wasabi"]);
             serve_smoke();
         }
+        "chaos-shard-smoke" => {
+            run_stage("build --release --bin wasabi", &["build", "--release", "--bin", "wasabi"]);
+            chaos_shard_smoke();
+        }
         other => {
             eprintln!(
-                "unknown task `{other}`; expected tier1, ci, smoke, bench, digest, lint, or serve-smoke"
+                "unknown task `{other}`; expected tier1, ci, smoke, bench, digest, lint, serve-smoke, or chaos-shard-smoke"
             );
             exit(2);
         }
@@ -537,6 +547,107 @@ fn digest(record: bool) {
         fail("digest: seed-corpus report digest changed — execution output is no longer byte-identical");
     }
     eprintln!("    seed-corpus report digest unchanged ({} apps)", DIGEST_APPS.len());
+}
+
+/// The crash-tolerance gate: the seed app as a 4-shard multi-process
+/// campaign with shard 1 chaos-killed mid-flight must merge to the exact
+/// bytes of the uninterrupted single-process report (whose digest is
+/// pinned in `scripts/seed_report_digest.txt`), `wasabi merge` must
+/// reproduce those bytes offline from the shard directory, and a rerun
+/// with the same chaos seed must be byte-identical.
+fn chaos_shard_smoke() {
+    eprintln!("==> chaos shard smoke: 4-shard campaign, one shard killed, vs pinned digest");
+    let wasabi = release_wasabi()
+        .canonicalize()
+        .unwrap_or_else(|e| fail(&format!("canonicalize wasabi path: {e}")));
+    let work = env::temp_dir().join(format!("wasabi-chaos-shard-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&work);
+    fs::create_dir_all(&work).unwrap_or_else(|e| fail(&format!("create {}: {e}", work.display())));
+
+    let app_dir = work.join("HD");
+    let status = Command::new(&wasabi)
+        .args(["corpus", "HD"])
+        .arg(&app_dir)
+        .status()
+        .unwrap_or_else(|e| fail(&format!("spawn wasabi corpus: {e}")));
+    if !status.success() {
+        fail("wasabi corpus HD failed");
+    }
+    let mut files = Vec::new();
+    collect_jav(&app_dir, &mut files);
+    files.sort();
+    // Relative paths, same working directory for every invocation: the
+    // simulated LLM keys on the paths, and the digest is pinned on them.
+    let rel: Vec<PathBuf> = files
+        .iter()
+        .map(|f| f.strip_prefix(&work).expect("file under work dir").to_path_buf())
+        .collect();
+
+    let single = run_wasabi_test_in(&wasabi, &work, &["--quiet", "--json", "--jobs", "2"], &rel);
+    if single.is_empty() {
+        fail("chaos shard smoke: empty single-process report");
+    }
+    let recorded = fs::read_to_string(DIGEST_PATH)
+        .unwrap_or_else(|_| fail(&format!("{DIGEST_PATH} missing")));
+    let pinned = recorded
+        .lines()
+        .find_map(|line| line.strip_prefix("HD "))
+        .unwrap_or_else(|| fail(&format!("no HD line in {DIGEST_PATH}")));
+    let computed = format!("{:016x}", fnv1a64(single.as_bytes()));
+    if computed != pinned {
+        fail(&format!(
+            "chaos shard smoke: single-process digest {computed} != pinned {pinned}"
+        ));
+    }
+
+    let shard_flags = |dir: &str| {
+        vec![
+            "--quiet".to_string(),
+            "--json".to_string(),
+            "--jobs".to_string(),
+            "2".to_string(),
+            "--shards".to_string(),
+            "4".to_string(),
+            "--shard-dir".to_string(),
+            dir.to_string(),
+            "--chaos-kill-shard".to_string(),
+            "1".to_string(),
+        ]
+    };
+    let first_flags = shard_flags("shards-0");
+    let first_refs: Vec<&str> = first_flags.iter().map(String::as_str).collect();
+    let sharded = run_wasabi_test_in(&wasabi, &work, &first_refs, &rel);
+    if sharded != single {
+        fail("chaos shard smoke: recovered sharded report differs from single-process bytes");
+    }
+    eprintln!("    shard 1 killed and recovered; merged report matches pinned digest");
+
+    // The shard directory is durable: an offline merge reproduces the bytes.
+    let merge = Command::new(&wasabi)
+        .current_dir(&work)
+        .args(["merge", "--json", "shards-0"])
+        .output()
+        .unwrap_or_else(|e| fail(&format!("spawn wasabi merge: {e}")));
+    let code = merge.status.code().unwrap_or(-1);
+    if code != 0 && code != 1 {
+        eprintln!("{}", String::from_utf8_lossy(&merge.stderr));
+        fail(&format!("wasabi merge exited with code {code}"));
+    }
+    if String::from_utf8_lossy(&merge.stdout) != single {
+        fail("chaos shard smoke: offline `wasabi merge` report differs");
+    }
+    eprintln!("    offline merge of the shard directory reproduces the report");
+
+    let rerun_flags = shard_flags("shards-1");
+    let rerun_refs: Vec<&str> = rerun_flags.iter().map(String::as_str).collect();
+    let rerun = run_wasabi_test_in(&wasabi, &work, &rerun_refs, &rel);
+    if rerun != sharded {
+        fail("chaos shard smoke: same-seed rerun is not byte-identical");
+    }
+    eprintln!("    same-chaos-seed rerun byte-identical");
+
+    let _ = fs::remove_dir_all(&work);
+    eprintln!("chaos shard smoke: OK");
 }
 
 /// The campaign-as-a-service gate: a real daemon on a loopback port must

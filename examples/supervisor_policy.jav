@@ -1,0 +1,53 @@
+// The shard supervisor's restart policy, transliterated to Javelin: the
+// same bounded-attempt, exponentially backed-off, capped, equal-jittered
+// retry the Rust engine applies to crashed shard children (see
+// `crates/engine/src/shard.rs::SupervisorPolicy`). The supervisor's own
+// retries must pass the WHEN/HOW rules the linter enforces on analyzed
+// code — `wasabi lint` over this file must report nothing, and
+// `tests/lint.rs` pins that.
+exception ShardCrashException;
+
+class ShardChild {
+    method spawn() throws ShardCrashException { return "clean"; }
+}
+
+class ShardSupervisor {
+    field child;
+    field maxRestarts = 16;
+    field baseDelayMs = 25;
+    field multiplier = 2;
+    field capMs = 1000;
+
+    method init() { this.child = new ShardChild(); }
+
+    // Equal jitter over [delay/2, delay): the engine draws from a seeded
+    // SplitMix64 stream keyed on (shard, restart); here a deterministic
+    // fold of the restart number stands in for the unit draw.
+    method jitter(delayMs, restart) {
+        return delayMs / 2 + ((delayMs / 2) * (restart % 7)) / 7;
+    }
+
+    // The loop variable is named `retry` so the analyzer's keyword filter
+    // (naming-convention evidence, §3.1.1) classifies this as a retry
+    // structure — the point is that it is *seen* and still lints clean.
+    method supervise() throws ShardCrashException {
+        var delayMs = this.baseDelayMs;
+        for (var retry = 0; retry < this.maxRestarts; retry = retry + 1) {
+            try { return this.child.spawn(); }
+            catch (ShardCrashException e) {
+                log("shard crashed; retrying, restart " + str(retry + 1));
+                sleep(this.jitter(min(delayMs, this.capMs), retry + 1));
+                delayMs = min(delayMs * this.multiplier, this.capMs);
+            }
+        }
+        throw new ShardCrashException("restart cap exhausted");
+    }
+}
+
+class ShardSupervisorTests {
+    test t000() {
+        var supervisor = new ShardSupervisor();
+        supervisor.init();
+        assert(supervisor.supervise() == "clean", "healthy child needs no restarts");
+    }
+}

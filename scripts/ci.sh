@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI entry point. Six stages:
+# CI entry point. Seven stages:
 #
 #   1. tier-1: the gate every change must pass — release build + full test
 #      suite with default features, exactly what `cargo tier1` runs.
@@ -27,6 +27,11 @@
 #      reports whose digest equals the batch value pinned in
 #      scripts/seed_report_digest.txt, and the second submission must
 #      be a compiled-app cache hit.
+#   7. chaos shard smoke: the seed app as a 4-shard multi-process
+#      campaign with one shard chaos-killed mid-flight must recover and
+#      merge to the exact single-process report bytes (digest-pinned),
+#      `wasabi merge` must reproduce them offline from the shard
+#      directory, and a same-chaos-seed rerun must be byte-identical.
 #
 # Everything resolves offline: the workspace has no registry dependencies.
 set -euo pipefail
@@ -51,5 +56,8 @@ cargo xtask lint
 
 echo "== stage 6: serve smoke (daemon vs batch digest, cache hit) =="
 cargo xtask serve-smoke
+
+echo "== stage 7: chaos shard smoke (killed shard recovers, digest-pinned merge) =="
+cargo xtask chaos-shard-smoke
 
 echo "== ci: all stages passed =="

@@ -10,6 +10,9 @@
 //! wasabi test    [--json] [--jobs N] [--max-attempts N] [--journal PATH]
 //!                [--resume PATH] [--quiet] [--chaos-panic RATE]
 //!                [--trace-out PATH] <file.jav>...
+//! wasabi test    --shards N [--shard-dir DIR] [--chaos-kill-shard I] ...
+//!                                                  # multi-process sharded campaign
+//! wasabi merge   [--json] <shard-dir>              # merge shard journals into a report
 //! wasabi stats   <trace.jsonl>... [--journal PATH] # per-phase/per-run trace tables
 //! wasabi corpus  <APP> <out-dir> [--amp]           # write a synthetic app to disk
 //! wasabi bench   [--jobs N] [--iters N] [--apps HD,MA,...] [--scale tiny|small|paper]
@@ -42,6 +45,7 @@ use wasabi::lang::project::Project;
 use wasabi::llm::simulated::SimulatedLlm;
 use wasabi::serve::daemon::{Bind, ServeOptions};
 use wasabi::serve::protocol::Request;
+use wasabi::serve::retry::{Attempt as SubmitAttempt, RetryConfig};
 use wasabi::serve::scheduler::SchedulerConfig;
 use wasabi::serve::Connection;
 use wasabi::util::Json;
@@ -54,13 +58,18 @@ const USAGE: &str = "usage:
   wasabi test    [--json] [--jobs N] [--max-attempts N] [--journal PATH]
                  [--resume PATH] [--quiet] [--chaos-panic RATE]
                  [--trace-out PATH] <file.jav>...
+  wasabi test    --shards N [--shard-dir DIR] [--chaos-kill-shard I]
+                 [--chaos-exit-after N] <file.jav>...
+  wasabi merge   [--json] <shard-dir>
   wasabi stats   <trace.jsonl>... [--journal PATH]
   wasabi corpus  <APP> <out-dir> [--amp]   (APP = HA HD MA YA HB HI CA EL)
   wasabi bench   [--jobs N] [--iters N] [--apps HD,MA,...] [--scale tiny|small|paper]
   wasabi serve   [--addr HOST:PORT] [--unix PATH] [--max-queued N] [--max-inflight N]
                  [--cache N] [--jobs N]
-  wasabi submit  --addr ADDR [--priority N] [--jobs N] [--subscribe] <file.jav>...
-  wasabi submit  --addr ADDR (--stats | --shutdown | --cancel ID | --status ID)";
+  wasabi submit  --addr ADDR [--priority N] [--jobs N] [--shards N] [--subscribe]
+                 [--retry-attempts N] [--retry-base-ms MS] <file.jav>...
+  wasabi submit  --addr ADDR (--stats | --shutdown [--drain [--drain-deadline-ms MS]]
+                 | --cancel ID | --status ID)";
 
 /// Campaign-related flags shared by `wasabi test` (and tolerated, unused,
 /// by the other commands so flag order never matters).
@@ -77,6 +86,21 @@ struct CampaignFlags {
     quiet: bool,
     chaos_panic: Option<f64>,
     trace_out: Option<PathBuf>,
+    /// Parent side of a sharded campaign: child-process count.
+    shards: Option<usize>,
+    /// Shard directory (journals, manifest, DLQ); default `wasabi-shards`.
+    shard_dir: Option<PathBuf>,
+    /// Child side: execute only plan slots `[a, b)` of the key-sorted run
+    /// list (implies `--stream`; prints no report — the parent merges).
+    shard_range: Option<(usize, usize)>,
+    /// Bounded-memory streaming: spill records to the journal, keep only
+    /// in-flight runs resident.
+    stream: bool,
+    /// Chaos: exit(86) after N journal appends (crash injection for the
+    /// supervisor's restart path).
+    chaos_exit_after: Option<u64>,
+    /// Chaos, parent side: kill this shard's first child mid-flight.
+    chaos_kill_shard: Option<usize>,
 }
 
 fn main() -> ExitCode {
@@ -100,7 +124,9 @@ fn main() -> ExitCode {
         "analyze" => with_project(&args, |project| analyze(project, json)),
         "sweep" => with_project(&args, |project| sweep(project, json)),
         "lint" => lint(&mut args, json, &flags),
+        "test" if flags.shards.is_some() => test_sharded(&args, json, &flags),
         "test" => with_project(&args, |project| test(project, json, &flags)),
+        "merge" => merge(&args, json),
         "stats" => stats(&args, &flags),
         "corpus" => corpus(&args),
         "bench" => bench(args, &flags),
@@ -172,6 +198,38 @@ fn take_campaign_flags(args: &mut Vec<String>) -> Result<CampaignFlags, String> 
     flags.journal = take_value_flag(args, "--journal")?.map(PathBuf::from);
     flags.resume = take_value_flag(args, "--resume")?.map(PathBuf::from);
     flags.trace_out = take_value_flag(args, "--trace-out")?.map(PathBuf::from);
+    if let Some(value) = take_value_flag(args, "--shards")? {
+        let shards = value
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("invalid --shards value `{value}`"))?;
+        flags.shards = Some(shards);
+    }
+    flags.shard_dir = take_value_flag(args, "--shard-dir")?.map(PathBuf::from);
+    if let Some(value) = take_value_flag(args, "--shard-range")? {
+        let range = value
+            .split_once(':')
+            .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+            .filter(|(a, b)| a <= b)
+            .ok_or_else(|| format!("invalid --shard-range value `{value}` (want A:B)"))?;
+        flags.shard_range = Some(range);
+    }
+    flags.stream = take_flag(args, "--stream");
+    if let Some(value) = take_value_flag(args, "--chaos-exit-after")? {
+        let appends = value
+            .parse::<u64>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("invalid --chaos-exit-after value `{value}`"))?;
+        flags.chaos_exit_after = Some(appends);
+    }
+    if let Some(value) = take_value_flag(args, "--chaos-kill-shard")? {
+        let shard = value
+            .parse::<usize>()
+            .map_err(|_| format!("invalid --chaos-kill-shard value `{value}`"))?;
+        flags.chaos_kill_shard = Some(shard);
+    }
     if let Some(value) = take_value_flag(args, "--chaos-panic")? {
         let rate = value
             .parse::<f64>()
@@ -474,6 +532,14 @@ fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
         },
         None => Vec::new(),
     };
+    // Fixed seed: the chaos smoke relies on identical draws across
+    // reruns and worker counts.
+    let mut chaos = flags.chaos_panic.map(|rate| ChaosConfig::panics(rate, 0xC4A05));
+    if let Some(appends) = flags.chaos_exit_after {
+        let mut config = chaos.unwrap_or_else(|| ChaosConfig::panics(0.0, 0xC4A05));
+        config.exit_after_appends = Some(appends);
+        chaos = Some(config);
+    }
     let options = DynamicOptions {
         jobs: flags.jobs,
         retry: match flags.max_attempts {
@@ -482,9 +548,11 @@ fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
         },
         journal: flags.journal.clone(),
         resume_records,
-        // Fixed seed: the chaos smoke relies on identical draws across
-        // reruns and worker counts.
-        chaos: flags.chaos_panic.map(|rate| ChaosConfig::panics(rate, 0xC4A05)),
+        chaos,
+        // Shard children stream by construction: their journal is the
+        // hand-off to the parent, so records need not stay resident.
+        stream: flags.stream || flags.shard_range.is_some(),
+        shard_range: flags.shard_range,
         // Per-run host timing feeds only the trace recorder; without
         // `--trace-out`, skip the clock reads (the report JSON never
         // carries timing, so output bytes cannot change).
@@ -523,7 +591,11 @@ fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
             );
         }
     }
-    if json {
+    if flags.shard_range.is_some() {
+        // A shard child's product is its journal, not a report: the
+        // parent merges journals into the single report. Only the exit
+        // code (0/1 = clean) speaks here.
+    } else if json {
         // The report document lives in wasabi-core (`report_json`) so the
         // serve daemon emits byte-identical output for the same sources.
         print!("{}", report_json(&identified, &result));
@@ -541,6 +613,86 @@ fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
         println!("{} distinct retry bug(s)", result.bugs.len());
     }
     if result.bugs.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `wasabi test --shards N`: the crash-tolerant multi-process campaign.
+/// The parent plans, partitions the key-sorted run list, supervises one
+/// child process per shard (restart with backoff, bisect poison runs into
+/// the DLQ), and merges the shard journals into a report byte-identical
+/// to a single-process run.
+fn test_sharded(files: &[String], json: bool, flags: &CampaignFlags) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("no input files\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let exe = match std::env::current_exe() {
+        Ok(exe) => exe,
+        Err(err) => {
+            eprintln!("cannot locate the wasabi binary for re-exec: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    let options = wasabi::core::sharded::ShardedOptions {
+        shards: flags.shards.unwrap_or(2),
+        dir: flags
+            .shard_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("wasabi-shards")),
+        exe,
+        cwd: None,
+        jobs: flags.jobs,
+        max_attempts: flags.max_attempts,
+        policy: Default::default(),
+        chaos_kill_shard: flags.chaos_kill_shard,
+        chaos_exit_after: flags.chaos_exit_after.unwrap_or(3),
+        quiet: flags.quiet,
+    };
+    match wasabi::core::sharded::run_sharded(files, &options) {
+        Ok(outcome) => print_sharded_outcome(&outcome, json, flags.quiet),
+        Err(err) => {
+            eprintln!("{err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// `wasabi merge <shard-dir>`: standalone key-order merge of a sharded
+/// campaign's journals into the same report the campaign printed.
+fn merge(args: &[String], json: bool) -> ExitCode {
+    let [dir] = args else {
+        eprintln!("merge takes exactly one shard directory\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    match wasabi::core::sharded::merge_dir(std::path::Path::new(dir), None) {
+        Ok(outcome) => print_sharded_outcome(&outcome, json, false),
+        Err(err) => {
+            eprintln!("{err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_sharded_outcome(
+    outcome: &wasabi::core::sharded::ShardedOutcome,
+    json: bool,
+    quiet: bool,
+) -> ExitCode {
+    if json {
+        print!("{}", outcome.report);
+    } else {
+        println!(
+            "{} run(s) merged; {} dead-lettered; {} distinct retry bug(s)",
+            outcome.merged_runs, outcome.dead_lettered, outcome.bugs
+        );
+    }
+    if !quiet && outcome.restarts > 0 {
+        eprintln!("[shard] {} child restart(s) across the campaign", outcome.restarts);
+    }
+    if outcome.bugs == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -840,7 +992,8 @@ fn submit(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
     let subscribe = take_flag(&mut args, "--subscribe");
     let stats_op = take_flag(&mut args, "--stats");
     let shutdown_op = take_flag(&mut args, "--shutdown");
-    let parsed = (|| -> Result<(String, u8, Option<u64>, Option<u64>), String> {
+    let drain = take_flag(&mut args, "--drain");
+    let parsed = (|| -> Result<(String, u8, Option<u64>, Option<u64>, RetryConfig, Option<u64>), String> {
         let addr = take_value_flag(&mut args, "--addr")?
             .ok_or("submit requires --addr (from the serve banner)")?;
         let priority = match take_value_flag(&mut args, "--priority")? {
@@ -867,28 +1020,48 @@ fn submit(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
                     .map_err(|_| format!("invalid --status job id `{value}`"))?,
             ),
         };
-        Ok((addr, priority, cancel, status))
+        let mut retry = RetryConfig::default();
+        if let Some(value) = take_value_flag(&mut args, "--retry-attempts")? {
+            retry.attempts = value
+                .parse::<u32>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("invalid --retry-attempts value `{value}`"))?;
+        }
+        if let Some(value) = take_value_flag(&mut args, "--retry-base-ms")? {
+            let ms = value
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("invalid --retry-base-ms value `{value}`"))?;
+            retry.base = std::time::Duration::from_millis(ms);
+        }
+        let drain_deadline = match take_value_flag(&mut args, "--drain-deadline-ms")? {
+            None => None,
+            Some(value) => Some(
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid --drain-deadline-ms value `{value}`"))?,
+            ),
+        };
+        Ok((addr, priority, cancel, status, retry, drain_deadline))
     })();
-    let (addr, priority, cancel, status) = match parsed {
+    let (addr, priority, cancel, status, retry, drain_deadline) = match parsed {
         Ok(parsed) => parsed,
         Err(message) => {
             eprintln!("{message}\n{USAGE}");
             return ExitCode::from(2);
         }
     };
-    let mut conn = match Connection::connect(&addr) {
-        Ok(conn) => conn,
-        Err(err) => {
-            eprintln!("cannot connect to {addr}: {err}");
-            return ExitCode::from(2);
-        }
-    };
 
-    // Control ops: one request, print the response line, done.
+    // Control ops: one connection, one request, print the response line.
     let control = if stats_op {
         Some(Request::Stats)
     } else if shutdown_op {
-        Some(Request::Shutdown)
+        Some(Request::Shutdown {
+            drain,
+            deadline_ms: drain_deadline,
+        })
     } else if let Some(id) = cancel {
         Some(Request::Cancel { id })
     } else if let Some(id) = status {
@@ -897,6 +1070,13 @@ fn submit(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
         None
     };
     if let Some(request) = control {
+        let mut conn = match Connection::connect(&addr) {
+            Ok(conn) => conn,
+            Err(err) => {
+                eprintln!("cannot connect to {addr}: {err}");
+                return ExitCode::from(2);
+            }
+        };
         return match conn.request(&request) {
             Ok(response) => {
                 println!("{}", response.to_string());
@@ -932,26 +1112,51 @@ fn submit(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
         priority,
         files,
         jobs: flags.jobs_explicit.then_some(flags.jobs),
+        shards: flags.shards,
     };
-    let submitted = match conn.request(&request) {
-        Ok(response) => response,
-        Err(err) => {
-            eprintln!("daemon request failed: {err}");
+    // Each attempt reconnects: connect failures and admission rejections
+    // (full queue, draining daemon) are the transient refusals worth a
+    // backoff; protocol errors are fatal and fail immediately.
+    let quiet = flags.quiet;
+    let attempted = wasabi::serve::retry_submit(
+        &retry,
+        |attempt| {
+            if attempt > 0 && !quiet {
+                eprintln!("[submit] retrying (attempt {})", attempt + 1);
+            }
+            let mut conn = match Connection::connect(&addr) {
+                Ok(conn) => conn,
+                Err(err) => {
+                    return SubmitAttempt::Retryable(format!("cannot connect to {addr}: {err}"))
+                }
+            };
+            let submitted = match conn.request(&request) {
+                Ok(response) => response,
+                Err(err) => {
+                    return SubmitAttempt::Retryable(format!("daemon request failed: {err}"))
+                }
+            };
+            if submitted.get("ok").and_then(Json::as_bool) != Some(true) {
+                return if let Some(reason) = submitted.get("rejected").and_then(Json::as_str) {
+                    SubmitAttempt::Retryable(format!("submission rejected: {reason}"))
+                } else {
+                    let message = submitted.get("error").and_then(Json::as_str).unwrap_or("?");
+                    SubmitAttempt::Fatal(format!("submission failed: {message}"))
+                };
+            }
+            match submitted.get("id").and_then(Json::as_u64) {
+                Some(id) => SubmitAttempt::Ok((conn, id)),
+                None => SubmitAttempt::Fatal("daemon response carried no job id".to_string()),
+            }
+        },
+        std::thread::sleep,
+    );
+    let (mut conn, id) = match attempted {
+        Ok(accepted) => accepted,
+        Err(message) => {
+            eprintln!("{message}");
             return ExitCode::from(2);
         }
-    };
-    if submitted.get("ok").and_then(Json::as_bool) != Some(true) {
-        if let Some(reason) = submitted.get("rejected").and_then(Json::as_str) {
-            eprintln!("submission rejected: {reason}");
-        } else {
-            let message = submitted.get("error").and_then(Json::as_str).unwrap_or("?");
-            eprintln!("submission failed: {message}");
-        }
-        return ExitCode::from(2);
-    }
-    let Some(id) = submitted.get("id").and_then(Json::as_u64) else {
-        eprintln!("daemon response carried no job id");
-        return ExitCode::from(2);
     };
     if !flags.quiet {
         eprintln!("[submit] job {id} queued on {addr}");

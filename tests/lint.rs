@@ -169,3 +169,39 @@ fn cfg_exceptional_invariants_hold_corpus_wide() {
     assert!(methods_seen > 100, "sweep covered the whole app");
     assert!(catch_entries > 50, "sweep saw real exceptional edges");
 }
+
+/// The shard supervisor's own restart policy, transliterated to Javelin
+/// (`examples/supervisor_policy.jav`), must be *recognized* as a retry
+/// structure by the analyzer and still produce zero WHEN/HOW diagnostics:
+/// the engine's crash-tolerance layer passes the rules it enforces.
+#[test]
+fn supervisor_policy_transliteration_is_recognized_and_lint_clean() {
+    use wasabi::analysis::loops::{all_retry_locations, LoopQueryOptions};
+    use wasabi::analysis::resolve::ProjectIndex;
+
+    let source = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/supervisor_policy.jav"
+    ))
+    .expect("read supervisor policy example");
+    let project = Project::compile("supervisor_policy", vec![("supervisor_policy.jav", &source)])
+        .expect("example compiles");
+
+    let index = ProjectIndex::build(&project);
+    let locations: Vec<_> = all_retry_locations(&index, &LoopQueryOptions::default())
+        .into_iter()
+        .flat_map(|(_, locations)| locations)
+        .collect();
+    assert!(
+        !locations.is_empty(),
+        "the supervisor policy must be seen as a retry structure — a lint \
+         that never looks at it proves nothing"
+    );
+
+    let result = lint_project(&project, &LintOptions::default());
+    assert!(
+        result.diagnostics.is_empty(),
+        "supervisor policy must pass its own WHEN/HOW rules, got:\n{}",
+        render_text(&result.diagnostics)
+    );
+}
