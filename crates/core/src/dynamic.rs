@@ -6,22 +6,26 @@
 //! any other `jobs` value produces byte-identical reports thanks to the
 //! engine's key-ordered merge.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::time::Duration;
 use wasabi_analysis::loops::RetryLocation;
 use wasabi_engine::campaign::{
-    run_campaign, CampaignOptions, CampaignStats, ChaosConfig, RetryPolicy, RunOutcome, RunRecord,
+    run_campaign, CampaignOptions, CampaignResult, CampaignStats, ChaosConfig, RetryPolicy,
+    RunOutcome, RunRecord,
 };
 use wasabi_engine::metrics::CampaignMetrics;
-use wasabi_engine::observer::{EngineEvent, EngineObserver, NullObserver};
+use wasabi_engine::observer::{outcome_kind, EngineEvent, EngineObserver, NullObserver};
 use wasabi_lang::project::Project;
 use wasabi_oracles::dedup::{dedup_reports, DistinctBug};
 use wasabi_oracles::judge::{OracleConfig, OracleReport};
+use wasabi_planner::adaptive::{self, ProbeSignal};
 use wasabi_planner::configfix::{restore_retry_configs, ConfigRestoration};
 use wasabi_planner::coverage::{profile_coverage_jobs, CoverageProfile};
-use wasabi_planner::plan::{expand_plan, naive_run_count, plan, TestPlan};
+use wasabi_planner::plan::{expand_plan, naive_run_count, plan, InjectionRun, RunKey, TestPlan};
+use wasabi_planner::profile_cache::{self, ProfileCacheOptions};
 use wasabi_vm::runner::RunOptions;
+use wasabi_vm::trace::TestOutcome;
 
 /// Options for the dynamic workflow.
 #[derive(Debug, Clone)]
@@ -66,6 +70,20 @@ pub struct DynamicOptions {
     /// itself is derived identically in every process (same sources, same
     /// expansion, same sort), so `--shard-range` alone pins the slice.
     pub shard_range: Option<(usize, usize)>,
+    /// Coverage-guided adaptive execution (`--adaptive`): keep the fixed
+    /// grid's `{test, site, exception}` pairing but run it in two waves —
+    /// a max-K probe per group, then the remaining K values only where
+    /// the probe was inconclusive and not already explained by an
+    /// equivalence class seen earlier in key order (see
+    /// [`wasabi_planner::adaptive`]). Mutually exclusive with
+    /// `shard_range` (shard slices index the *fixed* grid; the CLI
+    /// refuses the combination and this module ignores `adaptive` when a
+    /// shard range is set).
+    pub adaptive: bool,
+    /// Persist the coverage profile keyed by source digest
+    /// (`--profile-cache`); repeat campaigns over unchanged sources skip
+    /// the profiling pass. See [`wasabi_planner::profile_cache`].
+    pub profile_cache: Option<ProfileCacheOptions>,
 }
 
 impl Default for DynamicOptions {
@@ -83,7 +101,38 @@ impl Default for DynamicOptions {
             capture_timing: true,
             stream: false,
             shard_range: None,
+            adaptive: false,
+            profile_cache: None,
         }
+    }
+}
+
+/// How the adaptive planner spent (and saved) its run budget; `None` in
+/// [`DynamicResult::adaptive`] when the campaign ran the fixed grid.
+/// Never report-bearing: the JSON report's `runs_planned` is the executed
+/// count, and everything else here goes to stderr/bench output only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdaptiveSummary {
+    /// Wave-1 runs (one max-K probe per `{test, site, exception}` group).
+    pub probe_runs: usize,
+    /// Wave-2 candidates before selection (the fixed grid minus probes).
+    pub widen_candidates: usize,
+    /// Wave-2 runs actually executed.
+    pub widen_executed: usize,
+    /// Candidates skipped because their probe was conclusive.
+    pub skipped_conclusive: usize,
+    /// Candidates skipped as duplicates of an already-probed
+    /// `(structure, fingerprint)` equivalence class.
+    pub skipped_dedup: usize,
+    /// Distinct inconclusive equivalence classes observed.
+    pub classes: usize,
+}
+
+impl AdaptiveSummary {
+    /// Total runs the adaptive campaign executed (the report's
+    /// `runs_planned` when adaptive is on).
+    pub fn executed(&self) -> usize {
+        self.probe_runs + self.widen_executed
     }
 }
 
@@ -135,6 +184,9 @@ pub struct DynamicResult {
     /// The engine's per-run distributions (deterministic histograms plus
     /// host timings; see [`CampaignMetrics`]).
     pub campaign_metrics: CampaignMetrics,
+    /// Adaptive-planner accounting, when [`DynamicOptions::adaptive`] was
+    /// in effect.
+    pub adaptive: Option<AdaptiveSummary>,
 }
 
 /// Runs the full dynamic workflow without progress reporting.
@@ -193,8 +245,29 @@ pub fn prepare_campaign(
     //    are independent, so the profile parallelizes across the same
     //    worker count as the campaign (byte-identical merge; see
     //    `profile_coverage_jobs`).
+    //    When a profile cache is configured, a fresh (non-bypassed,
+    //    non-stale) entry for this digest + location fingerprint skips
+    //    the pass entirely; a miss re-profiles and writes back.
     let name = phase("profile", observer);
-    let profile = profile_coverage_jobs(project, locations, &run_options, options.jobs);
+    let profile = match &options.profile_cache {
+        Some(cache) => {
+            let fp = profile_cache::locations_fingerprint(locations);
+            match profile_cache::load(cache, fp) {
+                Some(profile) => profile,
+                None => {
+                    let profile =
+                        profile_coverage_jobs(project, locations, &run_options, options.jobs);
+                    if let Err(err) = profile_cache::store(cache, fp, &profile) {
+                        // Degrade, don't die: the profile is correct, only
+                        // the next campaign's warm start is lost.
+                        eprintln!("[core] profile cache write failed: {err}");
+                    }
+                    profile
+                }
+            }
+        }
+        None => profile_coverage_jobs(project, locations, &run_options, options.jobs),
+    };
     close(name, observer);
 
     // 3. Plan one {test, location} pair per coverable location, and pin
@@ -272,7 +345,23 @@ pub fn run_dynamic_with_observer(
         ..CampaignOptions::default()
     };
     let name = phase("run", observer);
-    let campaign = run_campaign(project, &runs, &campaign_options, observer);
+    let (campaign, adaptive_summary) = if options.adaptive && options.shard_range.is_none() {
+        let (campaign, summary) = run_adaptive_campaign(
+            project,
+            &runs,
+            locations,
+            &options.ks,
+            &campaign_options,
+            &options.resume_records,
+            observer,
+        );
+        (campaign, Some(summary))
+    } else {
+        (
+            run_campaign(project, &runs, &campaign_options, observer),
+            None,
+        )
+    };
     close(name, observer);
 
     let name = phase("report", observer);
@@ -348,7 +437,10 @@ pub fn run_dynamic_with_observer(
     DynamicResult {
         restoration,
         profile,
-        runs_planned: runs.len(),
+        // Adaptive mode reports the runs it *executed* (probe + selected
+        // widen), which is what the fixed-vs-adaptive budget comparison
+        // measures; the fixed grid reports its (possibly sharded) length.
+        runs_planned: adaptive_summary.map_or(runs.len(), |s| s.executed()),
         runs_naive,
         plan: test_plan,
         reports,
@@ -357,7 +449,188 @@ pub fn run_dynamic_with_observer(
         tested_structures,
         campaign: campaign.stats,
         campaign_metrics: campaign.metrics,
+        adaptive: adaptive_summary,
     }
+}
+
+/// Converts a completed engine record into the planner's probe signal —
+/// the feedback that drives widen-wave selection.
+fn probe_signal(record: &RunRecord) -> ProbeSignal {
+    let crash_detail = match &record.outcome {
+        RunOutcome::Completed(TestOutcome::ExceptionEscaped { exc }) => exc.crash_key(),
+        RunOutcome::Completed(TestOutcome::AssertionFailed { message })
+        | RunOutcome::Completed(TestOutcome::VmFault { message }) => message.clone(),
+        RunOutcome::Crashed { message } => message.clone(),
+        _ => String::new(),
+    };
+    ProbeSignal {
+        outcome_kind: outcome_kind(&record.outcome).to_string(),
+        crash_detail,
+        rethrow_filtered: record.rethrow_filtered,
+        not_a_trigger: record.not_a_trigger,
+        quarantined: record.quarantined,
+        injections: record.injections,
+        reports: record
+            .reports
+            .iter()
+            .map(|r| (r.kind.to_string(), r.dedup_key.clone()))
+            .collect(),
+    }
+}
+
+/// Per-wave observer shim: collects `RunRecorded` feedback into the
+/// signal registry (re-merged by key — arrival order is
+/// scheduling-dependent) and swallows each wave's `Finished` event so the
+/// caller can emit a single merged one.
+struct AdaptiveWaveObserver<'a> {
+    inner: &'a mut dyn EngineObserver,
+    signals: &'a mut BTreeMap<RunKey, ProbeSignal>,
+}
+
+impl EngineObserver for AdaptiveWaveObserver<'_> {
+    fn on_event(&mut self, event: &EngineEvent<'_>) {
+        match event {
+            EngineEvent::RunRecorded { record, .. } => {
+                self.signals
+                    .insert(record.key.clone(), probe_signal(record));
+                self.inner.on_event(event);
+            }
+            EngineEvent::Finished { .. } => {}
+            _ => self.inner.on_event(event),
+        }
+    }
+}
+
+/// Elementwise merge of two waves' campaign statistics into one
+/// campaign's worth: counters add, worker utilization adds slot-wise,
+/// peaks take the max.
+fn merge_stats(first: CampaignStats, second: &CampaignStats) -> CampaignStats {
+    let mut stats = first;
+    stats.runs_total += second.runs_total;
+    stats.completed += second.completed;
+    stats.timed_out += second.timed_out;
+    stats.failed += second.failed;
+    stats.crashed += second.crashed;
+    stats.retried += second.retried;
+    stats.quarantined += second.quarantined;
+    stats.rethrow_filtered += second.rethrow_filtered;
+    stats.not_a_trigger += second.not_a_trigger;
+    stats.reports += second.reports;
+    stats.injections += second.injections;
+    stats.virtual_ms += second.virtual_ms;
+    stats.steps += second.steps;
+    stats.jobs = stats.jobs.max(second.jobs);
+    if stats.worker_runs.len() < second.worker_runs.len() {
+        stats.worker_runs.resize(second.worker_runs.len(), 0);
+    }
+    for (slot, runs) in second.worker_runs.iter().enumerate() {
+        stats.worker_runs[slot] += runs;
+    }
+    stats.supervisor_runs += second.supervisor_runs;
+    stats.workers_lost += second.workers_lost;
+    stats.resumed += second.resumed;
+    stats.wall_ms += second.wall_ms;
+    stats.peak_resident_records = stats.peak_resident_records.max(second.peak_resident_records);
+    stats
+}
+
+/// Executes the adaptive two-wave campaign (see
+/// [`wasabi_planner::adaptive`] for the selection semantics) and merges
+/// the waves into one campaign result: records re-sorted by key, stats
+/// added elementwise, metrics histogram-merged, and exactly one
+/// `Finished` event emitted with the merged aggregates.
+///
+/// Resume records are split by K: probe-wave records (`k == probe_k`)
+/// prefill wave 1 *and* feed the signal registry directly — prefilled
+/// records never re-execute, so no `RunRecorded` event ever fires for
+/// them — while the rest prefill wave 2 (keys outside the selected widen
+/// set are ignored by the engine, exactly like any other stale resume
+/// key). Since resumed records are byte-identical to the executed runs
+/// they replace, the widen selection — and therefore the report — is
+/// byte-identical across a resume split.
+fn run_adaptive_campaign(
+    project: &Project,
+    runs: &[InjectionRun],
+    locations: &[RetryLocation],
+    ks: &[u32],
+    base: &CampaignOptions,
+    resume: &[RunRecord],
+    observer: &mut dyn EngineObserver,
+) -> (CampaignResult, AdaptiveSummary) {
+    let kmax = adaptive::probe_k(ks);
+    let plan = adaptive::split_waves(runs.to_vec(), kmax);
+    let sites = adaptive::site_priorities(locations);
+    let structures = adaptive::site_structures(locations);
+
+    let mut signals: BTreeMap<RunKey, ProbeSignal> = BTreeMap::new();
+    let mut probe_resume = Vec::new();
+    let mut widen_resume = Vec::new();
+    for record in resume {
+        if record.key.k == kmax {
+            signals.insert(record.key.clone(), probe_signal(record));
+            probe_resume.push(record.clone());
+        } else {
+            widen_resume.push(record.clone());
+        }
+    }
+
+    // Wave 1: probe every group at max K, hot sites (most catch-paths)
+    // first. Both waves share the journal path (`Journal::open` appends),
+    // so checkpoint/resume and the streaming report phase see one
+    // campaign.
+    let mut probe_options = base.clone();
+    probe_options.resume = probe_resume;
+    probe_options.schedule_priority = Some(adaptive::run_priorities(&plan.probe, &sites));
+    let probe_runs = plan.probe.len();
+    let wave1 = {
+        let mut wave = AdaptiveWaveObserver {
+            inner: observer,
+            signals: &mut signals,
+        };
+        run_campaign(project, &plan.probe, &probe_options, &mut wave)
+    };
+
+    // Wave 2: the surviving widen candidates.
+    let widen_candidates = plan.widen.len();
+    let selection = adaptive::select_widen_runs(plan.widen, kmax, &signals, &structures);
+    let mut widen_options = base.clone();
+    widen_options.resume = widen_resume;
+    widen_options.schedule_priority = Some(adaptive::run_priorities(&selection.runs, &sites));
+    let wave2 = {
+        let mut wave = AdaptiveWaveObserver {
+            inner: observer,
+            signals: &mut signals,
+        };
+        run_campaign(project, &selection.runs, &widen_options, &mut wave)
+    };
+
+    let mut records = wave1.records;
+    records.extend(wave2.records);
+    records.sort_by(|a, b| a.key.cmp(&b.key));
+    let stats = merge_stats(wave1.stats, &wave2.stats);
+    let mut metrics = wave1.metrics;
+    metrics.merge_campaign(&wave2.metrics);
+    observer.on_event(&EngineEvent::Finished {
+        stats: &stats,
+        metrics: &metrics,
+    });
+
+    let summary = AdaptiveSummary {
+        probe_runs,
+        widen_candidates,
+        widen_executed: selection.runs.len(),
+        skipped_conclusive: selection.skipped_conclusive,
+        skipped_dedup: selection.skipped_dedup,
+        classes: selection.classes,
+    };
+    (
+        CampaignResult {
+            records,
+            stats,
+            metrics,
+        },
+        summary,
+    )
 }
 
 #[cfg(test)]
@@ -415,6 +688,43 @@ mod tests {
                 "only the flaky structure is buggy"
             );
         }
+    }
+
+    #[test]
+    fn adaptive_matches_fixed_grid_recall_with_fewer_runs() {
+        let p = project();
+        let mut llm = SimulatedLlm::with_seed(5);
+        let identified = identify(&p, &mut llm);
+        let fixed = run_dynamic(&p, &identified.locations, &DynamicOptions::default());
+        let adaptive = run_dynamic(
+            &p,
+            &identified.locations,
+            &DynamicOptions {
+                adaptive: true,
+                ..DynamicOptions::default()
+            },
+        );
+        let bug_keys = |r: &DynamicResult| -> BTreeSet<(BugKind, String)> {
+            r.bugs.iter().map(|b| (b.kind, b.key.clone())).collect()
+        };
+        assert_eq!(
+            bug_keys(&fixed),
+            bug_keys(&adaptive),
+            "adaptive must keep fixed-grid recall"
+        );
+        assert!(
+            adaptive.runs_planned < fixed.runs_planned,
+            "adaptive {} vs fixed {}",
+            adaptive.runs_planned,
+            fixed.runs_planned
+        );
+        let summary = adaptive.adaptive.expect("adaptive accounting");
+        assert_eq!(summary.executed(), adaptive.runs_planned);
+        assert_eq!(summary.probe_runs + summary.widen_candidates, fixed.runs_planned);
+        // Both seeded structures resolve at the probe: the buggy one
+        // passes (capped by K) with WHEN reports, the clean one gives up
+        // correctly (rethrow-filtered).
+        assert_eq!(summary.skipped_conclusive, summary.widen_candidates);
     }
 
     #[test]

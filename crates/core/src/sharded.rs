@@ -398,6 +398,7 @@ fn merge_records(
         tested_structures,
         campaign,
         campaign_metrics: CampaignMetrics::from_records(&[], &retry),
+        adaptive: None,
     };
     let report = report_json_with(&job.identified, &result, dead.len());
     Ok(ShardedOutcome {

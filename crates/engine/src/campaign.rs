@@ -249,6 +249,14 @@ pub struct CampaignOptions {
     /// Never affects [`CampaignResult::records`] — timings live only in
     /// the metrics/observer layer.
     pub capture_timing: bool,
+    /// Optional execution-order hint: runs whose key maps to a larger
+    /// value are dispatched to workers first (ties keep key order; keys
+    /// absent from the map rank lowest). Pure scheduling — records still
+    /// land in key-addressed slots and merge in key order, so the result
+    /// is byte-identical with or without a priority map. The adaptive
+    /// planner uses this to front-load injection sites with the most
+    /// uncovered catch-paths.
+    pub schedule_priority: Option<BTreeMap<RunKey, u64>>,
     /// Bounded-memory streaming: finished records are appended to the
     /// journal and **dropped from RAM** instead of accumulating in
     /// [`CampaignResult::records`] (which comes back empty); the caller's
@@ -273,6 +281,7 @@ impl Default for CampaignOptions {
             journal: None,
             resume: Vec::new(),
             capture_timing: true,
+            schedule_priority: None,
             stream: false,
         }
     }
@@ -536,7 +545,14 @@ pub fn run_campaign(
             }
         }
     }
-    let pending: Vec<usize> = (0..slots.len()).filter(|&s| !done[s]).collect();
+    let mut pending: Vec<usize> = (0..slots.len()).filter(|&s| !done[s]).collect();
+    // Priority is a dispatch-order hint only: slots are key-addressed, so
+    // reordering `pending` cannot change the merged records.
+    if let Some(priority) = options.schedule_priority.as_ref() {
+        pending.sort_by_cached_key(|&slot| {
+            std::cmp::Reverse(priority.get(&runs[order[slot]].key()).copied().unwrap_or(0))
+        });
+    }
 
     let jobs = options.jobs.max(1).min(pending.len().max(1));
     observer.on_event(&EngineEvent::Started {
@@ -903,6 +919,12 @@ fn complete_slot(
             outcome: &record.outcome,
         });
     }
+    // Full-record feedback for planners, emitted before any streaming
+    // spill so it fires even when the record never reaches RAM.
+    observer.on_event(&EngineEvent::RunRecorded {
+        index: slot,
+        record: &record,
+    });
     let mut spilled = false;
     if let Some(journal) = journal.as_mut() {
         if let Some(completed) = journal.append(&record) {

@@ -115,6 +115,24 @@ impl CampaignMetrics {
         metrics
     }
 
+    /// Merges another campaign's distributions into this one, histogram
+    /// by histogram. [`Histogram::merge`] is commutative and
+    /// order-independent, so merging two waves of an adaptive campaign
+    /// yields the same metrics as one combined campaign would have — for
+    /// the deterministic half exactly, and for the timing half with the
+    /// same sample counts.
+    pub fn merge_campaign(&mut self, other: &CampaignMetrics) {
+        self.steps.merge(&other.steps);
+        self.injections.merge(&other.injections);
+        self.attempts.merge(&other.attempts);
+        self.virtual_ms.merge(&other.virtual_ms);
+        self.backoff_ms.merge(&other.backoff_ms);
+        self.queue_wait_us.merge(&other.queue_wait_us);
+        self.run_wall_us.merge(&other.run_wall_us);
+        self.interp_us.merge(&other.interp_us);
+        self.judge_us.merge(&other.judge_us);
+    }
+
     /// Merges per-worker timing histograms, in the order given (the
     /// campaign passes worker index order: workers `0..jobs`, then the
     /// supervisor's inline runs).

@@ -105,6 +105,20 @@ pub enum EngineEvent<'a> {
         /// The final (still-failing) outcome.
         outcome: &'a RunOutcome,
     },
+    /// A run's full [`RunRecord`](crate::campaign::RunRecord) was merged
+    /// into the campaign, after retries/quarantine resolved and before any
+    /// streaming spill. Unlike `RunFinished` (a progress signal), this
+    /// event carries the complete record — oracle reports, filter flags,
+    /// injection counts — so observers can feed results back into
+    /// planning (the adaptive planner's fingerprint registry). Arrival
+    /// order is scheduling-dependent; observers deriving campaign inputs
+    /// from these events must re-merge by key.
+    RunRecorded {
+        /// Index of the run in campaign (key) order.
+        index: usize,
+        /// The completed record.
+        record: &'a crate::campaign::RunRecord,
+    },
     /// A worker thread died (its run panicked through containment, or the
     /// thread itself was killed); survivors drain its shard.
     WorkerLost {
@@ -209,6 +223,7 @@ impl EngineObserver for StderrProgress {
                 eprintln!("[engine] campaign: {total_runs} runs on {jobs} worker(s){resume_note}");
             }
             EngineEvent::RunStarted { .. } => {}
+            EngineEvent::RunRecorded { .. } => {}
             EngineEvent::RunRetried { .. } => self.retried += 1,
             EngineEvent::RunCrashed { .. } => self.crashed += 1,
             EngineEvent::RunQuarantined { .. } => self.quarantined += 1,
@@ -274,8 +289,10 @@ pub struct JsonSummarySink {
 }
 
 /// A [`RunOutcome`]'s stable kind string — the vocabulary shared by the
-/// journal, the JSON summary, and trace run spans.
-pub(crate) fn outcome_kind(outcome: &RunOutcome) -> &'static str {
+/// journal, the JSON summary, trace run spans, and the adaptive planner's
+/// probe signals (`wasabi-core` builds `ProbeSignal`s from `RunRecorded`
+/// events with it).
+pub fn outcome_kind(outcome: &RunOutcome) -> &'static str {
     use wasabi_vm::trace::TestOutcome;
     match outcome {
         RunOutcome::TimedOut => "timed_out",

@@ -1,6 +1,6 @@
 //! Coverage recording for the planner's profiling pass.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use wasabi_lang::project::CallSite;
 use wasabi_vm::interceptor::{CallCtx, InterceptAction, Interceptor};
 
@@ -16,11 +16,16 @@ use wasabi_vm::interceptor::{CallCtx, InterceptAction, Interceptor};
 /// context's [`NameTable`](wasabi_lang::intern::NameTable), which degrades
 /// runtime-minted symbols it cannot see to `<sN?>` markers instead of
 /// panicking (a contained panic here used to masquerade as a run crash).
+///
+/// All internal collections are ordered (`BTreeMap`/`BTreeSet`), so
+/// iteration — and anything derived from it, like the adaptive planner's
+/// fingerprint feed — is deterministic without relying on downstream
+/// sorts.
 #[derive(Debug, Default)]
 pub struct CoverageRecorder {
-    targets: HashSet<CallSite>,
-    hits: HashMap<CallSite, u64>,
-    callers: HashMap<CallSite, BTreeSet<String>>,
+    targets: BTreeSet<CallSite>,
+    hits: BTreeMap<CallSite, u64>,
+    callers: BTreeMap<CallSite, BTreeSet<String>>,
 }
 
 impl CoverageRecorder {
@@ -28,16 +33,14 @@ impl CoverageRecorder {
     pub fn new(targets: impl IntoIterator<Item = CallSite>) -> Self {
         CoverageRecorder {
             targets: targets.into_iter().collect(),
-            hits: HashMap::new(),
-            callers: HashMap::new(),
+            hits: BTreeMap::new(),
+            callers: BTreeMap::new(),
         }
     }
 
-    /// Sites hit at least once, in deterministic order.
+    /// Sites hit at least once, in key order.
     pub fn covered(&self) -> Vec<CallSite> {
-        let mut sites: Vec<CallSite> = self.hits.keys().copied().collect();
-        sites.sort();
-        sites
+        self.hits.keys().copied().collect()
     }
 
     /// Hit count for a site.

@@ -7,6 +7,8 @@
 use std::collections::{BTreeMap, BTreeSet};
 use wasabi_analysis::loops::RetryLocation;
 use wasabi_inject::CoverageRecorder;
+use wasabi_lang::index::{ClassId, LExpr, LStmt};
+use wasabi_lang::intern::Symbol;
 use wasabi_lang::project::{CallSite, FileId, MethodId, Project};
 use wasabi_vm::runner::{run_test, RunOptions};
 
@@ -60,6 +62,20 @@ pub fn profile_coverage_jobs(
     let mut profile = CoverageProfile {
         tests_total: tests.len(),
         ..CoverageProfile::default()
+    };
+    // Static reachability prefilter: a test whose call graph provably
+    // cannot reach any instrumented site would record empty coverage —
+    // exactly what `per_test` drops below — so executing it buys nothing.
+    // Large generated suites are mostly such filler (app HI: ~35k tests
+    // for a handful of sites), which made the profile phase the dominant
+    // cost of every campaign.
+    let tests: Vec<(FileId, MethodId)> = match reachable_test_mask(project, &sites, &tests) {
+        Some(mask) => tests
+            .into_iter()
+            .zip(mask)
+            .filter_map(|(test, keep)| keep.then_some(test))
+            .collect(),
+        None => tests,
     };
     let jobs = jobs.max(1).min(tests.len().max(1));
     let per_test: Vec<(MethodId, Vec<CallSite>, u64)> = if jobs == 1 {
@@ -117,6 +133,252 @@ fn profile_chunk(
         .collect()
 }
 
+/// Which suite tests can possibly reach one of the instrumented sites,
+/// decided by a *maximally over-approximate* static walk; `None` disables
+/// the prefilter entirely (every test executes, the pre-existing
+/// behaviour).
+///
+/// Soundness is the whole game here — a skipped test that dynamically
+/// covered a site would change the plan and therefore the report bytes —
+/// so the walk is deliberately cruder than the lint layer's typed
+/// [`CallGraph`](wasabi_analysis::callgraph::CallGraph):
+///
+/// - a call `x.m(...)` may target **every** compiled method named `m`,
+///   regardless of what receiver typing could prove (dynamic dispatch
+///   always lands on a method of the called name, so the name-set is a
+///   superset of any resolution);
+/// - `new C(...)` edges to `C`'s (possibly inherited) `init` constructor;
+/// - global builtins never invoke user methods (they fault on unknown
+///   names), so `GlobalCall`s contribute no edges beyond their argument
+///   expressions;
+/// - field initialisers also run on instantiation but live outside method
+///   bodies, so if **any** class's initialiser expression contains a call
+///   or an instantiation the prefilter refuses (`None`) rather than model
+///   it. (Corpus and example programs initialise fields with literals.)
+fn reachable_test_mask(
+    project: &Project,
+    sites: &BTreeSet<CallSite>,
+    tests: &[(FileId, MethodId)],
+) -> Option<Vec<bool>> {
+    let index = &project.index;
+    for class in &index.classes {
+        for init in &class.inits {
+            if expr_contains_user_call(&init.expr) {
+                return None;
+            }
+        }
+    }
+
+    // Per-method facts from one body walk: called names, instantiated
+    // classes, and whether the body contains a target call site.
+    let n = index.methods.len();
+    let mut called_names: Vec<BTreeSet<Symbol>> = vec![BTreeSet::new(); n];
+    let mut instantiated: Vec<BTreeSet<ClassId>> = vec![BTreeSet::new(); n];
+    let mut hits_target = vec![false; n];
+    let mut methods_by_name: BTreeMap<Symbol, Vec<u32>> = BTreeMap::new();
+    for (m, method) in index.methods.iter().enumerate() {
+        methods_by_name
+            .entry(method.name)
+            .or_default()
+            .push(m as u32);
+        walk_stmts(&method.body, &mut |expr| match expr {
+            LExpr::Call { site, method, .. } => {
+                called_names[m].insert(*method);
+                if sites.contains(site) {
+                    hits_target[m] = true;
+                }
+            }
+            LExpr::NewObj { class, .. } => {
+                instantiated[m].insert(*class);
+            }
+            _ => {}
+        });
+    }
+
+    // Reverse-reachability BFS from the site-bearing methods over the
+    // reversed name/constructor edges.
+    let mut reverse: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for m in 0..n {
+        for name in &called_names[m] {
+            if let Some(targets) = methods_by_name.get(name) {
+                for &t in targets {
+                    reverse[t as usize].push(m as u32);
+                }
+            }
+        }
+        for &class in &instantiated[m] {
+            if let Some(ctor) = index.resolve_dispatch(class, index.wk.init) {
+                reverse[ctor as usize].push(m as u32);
+            }
+        }
+    }
+    let mut reach = hits_target;
+    let mut frontier: Vec<u32> = reach
+        .iter()
+        .enumerate()
+        .filter_map(|(m, &r)| r.then_some(m as u32))
+        .collect();
+    while let Some(m) = frontier.pop() {
+        for &caller in &reverse[m as usize] {
+            if !reach[caller as usize] {
+                reach[caller as usize] = true;
+                frontier.push(caller);
+            }
+        }
+    }
+
+    Some(
+        tests
+            .iter()
+            .map(|(_, test)| {
+                // A test that cannot be mapped back to a compiled method
+                // executes unconditionally: degrade to profiling, never to
+                // silently skipping.
+                let resolved = index
+                    .class_by_name(&test.class)
+                    .zip(index.interner.lookup(&test.name))
+                    .and_then(|(class, name)| index.resolve_dispatch(class, name));
+                match resolved {
+                    Some(m) => reach[m as usize],
+                    None => true,
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Whether an expression contains user-code invocation (a dispatchable
+/// call or an instantiation, whose constructor and field initialisers run
+/// user code). Builtin `GlobalCall`s and exception constructions are
+/// benign in themselves; their argument expressions still recurse.
+fn expr_contains_user_call(expr: &LExpr) -> bool {
+    let mut found = false;
+    walk_expr(expr, &mut |e| {
+        if matches!(e, LExpr::Call { .. } | LExpr::NewObj { .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Pre-order visit of every expression node in a body.
+fn walk_stmts<'a>(stmts: &'a [LStmt], visit: &mut dyn FnMut(&'a LExpr)) {
+    for stmt in stmts {
+        match stmt {
+            LStmt::Var { init, .. } => walk_expr(init, visit),
+            LStmt::AssignLocal { value, .. } => walk_expr(value, visit),
+            LStmt::AssignField { recv, value, .. } => {
+                walk_expr(recv, visit);
+                walk_expr(value, visit);
+            }
+            LStmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                walk_expr(cond, visit);
+                walk_stmts(then_blk, visit);
+                if let Some(e) = else_blk {
+                    walk_stmts(e, visit);
+                }
+            }
+            LStmt::While { cond, body } => {
+                walk_expr(cond, visit);
+                walk_stmts(body, visit);
+            }
+            LStmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                if let Some(i) = init {
+                    walk_stmts(std::slice::from_ref(i), visit);
+                }
+                if let Some(c) = cond {
+                    walk_expr(c, visit);
+                }
+                if let Some(u) = update {
+                    walk_stmts(std::slice::from_ref(u), visit);
+                }
+                walk_stmts(body, visit);
+            }
+            LStmt::Switch {
+                scrutinee,
+                cases,
+                default,
+            } => {
+                walk_expr(scrutinee, visit);
+                for (_, body) in cases {
+                    walk_stmts(body, visit);
+                }
+                if let Some(d) = default {
+                    walk_stmts(d, visit);
+                }
+            }
+            LStmt::Try {
+                body,
+                catches,
+                finally,
+            } => {
+                walk_stmts(body, visit);
+                for c in catches {
+                    walk_stmts(&c.body, visit);
+                }
+                if let Some(f) = finally {
+                    walk_stmts(f, visit);
+                }
+            }
+            LStmt::Throw { expr } | LStmt::Log { expr } | LStmt::Expr { expr } => {
+                walk_expr(expr, visit)
+            }
+            LStmt::Return { expr } => {
+                if let Some(e) = expr {
+                    walk_expr(e, visit);
+                }
+            }
+            LStmt::Sleep { ms } => walk_expr(ms, visit),
+            LStmt::Assert { cond, msg } => {
+                walk_expr(cond, visit);
+                if let Some(m) = msg {
+                    walk_expr(m, visit);
+                }
+            }
+            LStmt::Break | LStmt::Continue => {}
+        }
+    }
+}
+
+fn walk_expr<'a>(expr: &'a LExpr, visit: &mut dyn FnMut(&'a LExpr)) {
+    visit(expr);
+    match expr {
+        LExpr::Call { recv, args, .. } => {
+            if let Some(r) = recv {
+                walk_expr(r, visit);
+            }
+            for a in args {
+                walk_expr(a, visit);
+            }
+        }
+        LExpr::Field { recv, .. } => walk_expr(recv, visit),
+        LExpr::GlobalCall { args, .. }
+        | LExpr::NewExc { args, .. }
+        | LExpr::NewObj { args, .. }
+        | LExpr::NewUnknown { args, .. } => {
+            for a in args {
+                walk_expr(a, visit);
+            }
+        }
+        LExpr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, visit);
+            walk_expr(rhs, visit);
+        }
+        LExpr::Unary { expr, .. } => walk_expr(expr, visit),
+        LExpr::InstanceOf { expr, .. } => walk_expr(expr, visit),
+        LExpr::Literal(_) | LExpr::Local { .. } | LExpr::ImplicitField { .. } | LExpr::This => {}
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +430,99 @@ mod tests {
         // Both t1 and t2 cover the runA site.
         let shared = profile.site_to_tests.get(&t1[0]).unwrap();
         assert_eq!(shared.len(), 2);
+    }
+
+    fn locations_of(p: &Project) -> Vec<RetryLocation> {
+        let index = ProjectIndex::build(p);
+        all_retry_locations(&index, &LoopQueryOptions::default())
+            .into_iter()
+            .flat_map(|(_, locs)| locs)
+            .collect()
+    }
+
+    #[test]
+    fn prefilter_keeps_reaching_tests_and_skips_filler() {
+        let p = project();
+        let locations = locations_of(&p);
+        let sites: BTreeSet<CallSite> = locations.iter().map(|l| l.site).collect();
+        let tests = p.tests();
+        let mask = reachable_test_mask(&p, &sites, &tests).expect("prefilter enabled");
+        let verdicts: BTreeMap<&str, bool> = tests
+            .iter()
+            .zip(&mask)
+            .map(|((_, t), &keep)| (t.name.as_str(), keep))
+            .collect();
+        assert!(verdicts["t1"] && verdicts["t2"], "covering tests kept");
+        assert!(!verdicts["t3"], "filler test provably reaches no site");
+    }
+
+    #[test]
+    fn prefilter_traces_reachability_through_constructors() {
+        // The covering test only touches the retry loop via `new D()`:
+        // D's constructor calls the coordinator, so the test is reachable
+        // only through the NewObj -> init edge.
+        let src = "exception E;\n\
+             class C {\n\
+               method op() throws E { return 1; }\n\
+               method run() {\n\
+                 for (var retry = 0; retry < 3; retry = retry + 1) {\n\
+                   try { return this.op(); } catch (E e) { sleep(1); }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+             }\n\
+             class D {\n\
+               method init() { var c = new C(); c.run(); }\n\
+             }\n\
+             class T {\n\
+               test tCtor() { var d = new D(); assert(true); }\n\
+               test tFiller() { assert(true); }\n\
+             }";
+        let p = Project::compile("t", vec![("c.jav", src)]).expect("compile");
+        let locations = locations_of(&p);
+        assert_eq!(locations.len(), 1);
+        let sites: BTreeSet<CallSite> = locations.iter().map(|l| l.site).collect();
+        let tests = p.tests();
+        let mask = reachable_test_mask(&p, &sites, &tests).expect("prefilter enabled");
+        let verdicts: BTreeMap<&str, bool> = tests
+            .iter()
+            .zip(&mask)
+            .map(|((_, t), &keep)| (t.name.as_str(), keep))
+            .collect();
+        assert!(verdicts["tCtor"], "constructor edge keeps the test");
+        assert!(!verdicts["tFiller"]);
+        // And the executed profile agrees with the static verdict.
+        let profile = profile_coverage(&p, &locations, &RunOptions::default());
+        assert!(profile
+            .per_test
+            .contains_key(&MethodId::new("T", "tCtor")));
+    }
+
+    #[test]
+    fn prefilter_refuses_field_initialiser_calls() {
+        // `field w = new Worker()` runs Worker's constructor outside any
+        // method body; the prefilter must disable itself rather than
+        // model it.
+        let src = "exception E;\n\
+             class Worker { method go() { return 1; } }\n\
+             class C {\n\
+               field w = new Worker();\n\
+               method op() throws E { return 1; }\n\
+               method run() {\n\
+                 for (var retry = 0; retry < 3; retry = retry + 1) {\n\
+                   try { return this.op(); } catch (E e) { sleep(1); }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+               test t() { assert(this.run() == 1); }\n\
+             }";
+        let p = Project::compile("t", vec![("c.jav", src)]).expect("compile");
+        let locations = locations_of(&p);
+        let sites: BTreeSet<CallSite> = locations.iter().map(|l| l.site).collect();
+        assert!(
+            reachable_test_mask(&p, &sites, &p.tests()).is_none(),
+            "field-initialiser instantiation disables the prefilter"
+        );
     }
 
     #[test]

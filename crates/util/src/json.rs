@@ -333,12 +333,22 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 character (input is a &str, so the
-                // boundaries are valid by construction).
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("non-empty");
-                out.push(c);
-                *pos += c.len_utf8();
+                // Consume the whole contiguous run of plain characters at
+                // once. The boundaries are `"` and `\` — both ASCII, so
+                // slicing there lands on UTF-8 character boundaries
+                // (input is a &str, valid by construction). Revalidating
+                // just the run keeps this linear; per-character
+                // `from_utf8` of the remaining input made large documents
+                // (e.g. cached coverage profiles) quadratic to parse.
+                let start = *pos;
+                while let Some(&b) = bytes.get(*pos) {
+                    if b == b'"' || b == b'\\' {
+                        break;
+                    }
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+                out.push_str(run);
             }
         }
     }

@@ -46,6 +46,13 @@
 //!   must equal the uninterrupted single-process report byte-for-byte
 //!   (digest-pinned), `wasabi merge` over the shard directory must
 //!   reproduce it offline, and a same-seed rerun must be byte-identical.
+//! - `adaptive-gate` — the adaptive-planner gate: over all eight corpus
+//!   apps, `wasabi test --adaptive` must report the exact fixed-grid bug
+//!   set (100% recall, identical order and identity) while executing at
+//!   least 40% fewer runs in aggregate; then a paper-scale bench pair
+//!   (`--profile-cache` cold, then warm) must show the warm cache cutting
+//!   total wall time by at least 30%. Writes `BENCH_PR8.json` with the
+//!   per-app fixed-vs-adaptive run counts and the cold/warm walls.
 
 use std::env;
 use std::fs;
@@ -54,7 +61,7 @@ use std::process::{exit, Command};
 
 fn main() {
     let task = env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: cargo xtask <tier1|ci|smoke|bench|digest|lint|serve-smoke|chaos-shard-smoke>");
+        eprintln!("usage: cargo xtask <tier1|ci|smoke|bench|digest|lint|serve-smoke|chaos-shard-smoke|adaptive-gate>");
         exit(2);
     });
     let flags: Vec<String> = env::args().skip(2).collect();
@@ -107,9 +114,13 @@ fn main() {
             run_stage("build --release --bin wasabi", &["build", "--release", "--bin", "wasabi"]);
             chaos_shard_smoke();
         }
+        "adaptive-gate" => {
+            run_stage("build --release --bin wasabi", &["build", "--release", "--bin", "wasabi"]);
+            adaptive_gate();
+        }
         other => {
             eprintln!(
-                "unknown task `{other}`; expected tier1, ci, smoke, bench, digest, lint, serve-smoke, or chaos-shard-smoke"
+                "unknown task `{other}`; expected tier1, ci, smoke, bench, digest, lint, serve-smoke, chaos-shard-smoke, or adaptive-gate"
             );
             exit(2);
         }
@@ -258,8 +269,11 @@ const BASELINE_PATH: &str = "scripts/bench_baseline.json";
 const DIGEST_PATH: &str = "scripts/seed_report_digest.txt";
 const LINT_BASELINE_PATH: &str = "scripts/lint_baseline.txt";
 const BENCH_OUT: &str = "BENCH_PR6.json";
+const ADAPTIVE_BENCH_OUT: &str = "BENCH_PR8.json";
 /// Apps whose `wasabi test --json` reports are digest-pinned.
 const DIGEST_APPS: &[&str] = &["HD", "MA"];
+/// Apps the adaptive gate sweeps (the full evaluated corpus).
+const ADAPTIVE_APPS: &[&str] = &["HA", "HD", "MA", "YA", "HB", "HI", "CA", "EL"];
 /// Apps the lint gate sweeps (generated with the amplification seeds).
 const LINT_APPS: &[&str] = &["HD", "MA"];
 
@@ -764,6 +778,144 @@ fn serve_smoke() {
     }
     let _ = fs::remove_dir_all(&work);
     eprintln!("serve smoke: OK");
+}
+
+/// The adaptive-planner gate (two halves):
+///
+/// 1. **Recall at reduced budget** — for every corpus app, the
+///    `--adaptive` report's bug list must be *identical* to the fixed
+///    grid's (same bugs, same order, same details; only the grouped
+///    per-bug `reports` counts may shrink, since a deduped widen run
+///    would merely have re-witnessed a bug the probe already proved),
+///    and the aggregate executed-run count must drop by ≥ 40%.
+/// 2. **Profile-cache payoff** — a paper-scale `wasabi bench` with a
+///    fresh `--profile-cache` run twice: the warm (cache-hit) wall must
+///    be ≤ 70% of the cold wall.
+///
+/// Writes `BENCH_PR8.json` with the per-app run counts and both walls.
+fn adaptive_gate() {
+    eprintln!("==> adaptive gate: fixed-grid recall at a reduced run budget");
+    let wasabi = release_wasabi()
+        .canonicalize()
+        .unwrap_or_else(|e| fail(&format!("canonicalize wasabi path: {e}")));
+    let work = env::temp_dir().join(format!("wasabi-adaptive-gate-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&work);
+
+    // The bug list from `"bugs":` onward, minus the grouped-report
+    // counts (the only field fingerprint dedup may legitimately shrink).
+    let bug_list = |report: &str| -> String {
+        let start = report
+            .find("\"bugs\":")
+            .unwrap_or_else(|| fail("adaptive gate: report has no bugs array"));
+        report[start..]
+            .lines()
+            .filter(|line| !line.contains("\"reports\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    let mut app_docs = Vec::new();
+    let (mut fixed_total, mut adaptive_total) = (0u64, 0u64);
+    for app in ADAPTIVE_APPS {
+        let app_dir = work.join(app);
+        let status = Command::new(&wasabi)
+            .args(["corpus", app])
+            .arg(&app_dir)
+            .status()
+            .unwrap_or_else(|e| fail(&format!("spawn wasabi corpus: {e}")));
+        if !status.success() {
+            fail(&format!("wasabi corpus {app} failed"));
+        }
+        let mut files = Vec::new();
+        collect_jav(&app_dir, &mut files);
+        files.sort();
+        // Relative paths, as in `digest`: the simulated LLM keys on the
+        // paths the CLI sees, so both runs must see the same ones.
+        let rel: Vec<PathBuf> = files
+            .iter()
+            .map(|f| f.strip_prefix(&work).expect("file under work dir").to_path_buf())
+            .collect();
+        let fixed = run_wasabi_test_in(&wasabi, &work, &["--quiet", "--json", "--jobs", "2"], &rel);
+        let adaptive = run_wasabi_test_in(
+            &wasabi,
+            &work,
+            &["--quiet", "--json", "--jobs", "2", "--adaptive"],
+            &rel,
+        );
+        if bug_list(&fixed) != bug_list(&adaptive) {
+            eprintln!("fixed bugs:\n{}\nadaptive bugs:\n{}", bug_list(&fixed), bug_list(&adaptive));
+            fail(&format!("adaptive gate: {app} adaptive bug set differs from the fixed grid"));
+        }
+        let fixed_runs = extract_number(&fixed, "\"runs_planned\":") as u64;
+        let adaptive_runs = extract_number(&adaptive, "\"runs_planned\":") as u64;
+        if adaptive_runs > fixed_runs {
+            fail(&format!(
+                "adaptive gate: {app} executed more runs than the fixed grid \
+                 ({adaptive_runs} vs {fixed_runs})"
+            ));
+        }
+        let bugs = bug_list(&fixed).matches("\"kind\":").count();
+        let cut = 100.0 * (1.0 - adaptive_runs as f64 / fixed_runs.max(1) as f64);
+        eprintln!(
+            "    {app}: {bugs} bugs at {adaptive_runs}/{fixed_runs} runs ({cut:.1}% fewer)"
+        );
+        fixed_total += fixed_runs;
+        adaptive_total += adaptive_runs;
+        app_docs.push(format!(
+            "{{\"app\": \"{app}\", \"bugs\": {bugs}, \"fixed_runs\": {fixed_runs}, \
+             \"adaptive_runs\": {adaptive_runs}, \"reduction_pct\": {cut:.1}}}"
+        ));
+    }
+    let reduction = 1.0 - adaptive_total as f64 / fixed_total.max(1) as f64;
+    if reduction < 0.40 {
+        fail(&format!(
+            "adaptive gate: aggregate run reduction {:.1}% is below the 40% floor \
+             ({adaptive_total}/{fixed_total} runs)",
+            100.0 * reduction
+        ));
+    }
+    eprintln!(
+        "    aggregate: {adaptive_total}/{fixed_total} runs ({:.1}% fewer) at 100% recall",
+        100.0 * reduction
+    );
+
+    eprintln!("==> adaptive gate: profile-cache cold vs warm (paper scale)");
+    let cache = work.join("profile-cache");
+    let cache_arg = cache.to_string_lossy().into_owned();
+    let bench_args =
+        ["bench", "--jobs", "2", "--iters", "1", "--scale", "paper", "--profile-cache", &cache_arg];
+    let cold = run_wasabi(&wasabi, &bench_args);
+    let warm = run_wasabi(&wasabi, &bench_args);
+    let cold_wall = extract_number(extract_section(&cold, "totals"), "\"wall_ms\":");
+    let warm_wall = extract_number(extract_section(&warm, "totals"), "\"wall_ms\":");
+    if warm_wall > 0.70 * cold_wall {
+        fail(&format!(
+            "adaptive gate: warm profile cache cut the bench wall by less than 30% \
+             ({warm_wall:.0}ms warm vs {cold_wall:.0}ms cold)"
+        ));
+    }
+    eprintln!(
+        "    profile cache: {cold_wall:.0}ms cold -> {warm_wall:.0}ms warm \
+         ({:.1}% faster)",
+        100.0 * (1.0 - warm_wall / cold_wall)
+    );
+
+    let doc = format!(
+        "{{\n  \"harness\": \"cargo xtask adaptive-gate (wasabi test --jobs 2 fixed vs \
+         --adaptive over all 8 corpus apps; wasabi bench --scale paper --iters 1 with a \
+         cold then warm --profile-cache)\",\n  \"apps\": [\n    {}\n  ],\n  \"totals\": {{\n    \
+         \"fixed_runs\": {fixed_total},\n    \"adaptive_runs\": {adaptive_total},\n    \
+         \"reduction_pct\": {:.1},\n    \"recall\": 1.0\n  }},\n  \"profile_cache\": {{\n    \
+         \"cold_wall_ms\": {cold_wall:.1},\n    \"warm_wall_ms\": {warm_wall:.1},\n    \
+         \"warm_over_cold\": {:.3}\n  }}\n}}\n",
+        app_docs.join(",\n    "),
+        100.0 * reduction,
+        warm_wall / cold_wall
+    );
+    fs::write(ADAPTIVE_BENCH_OUT, doc)
+        .unwrap_or_else(|e| fail(&format!("write {ADAPTIVE_BENCH_OUT}: {e}")));
+    let _ = fs::remove_dir_all(&work);
+    eprintln!("adaptive gate: OK (wrote {ADAPTIVE_BENCH_OUT})");
 }
 
 fn release_wasabi() -> PathBuf {

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI entry point. Seven stages:
+# CI entry point. Eight stages:
 #
 #   1. tier-1: the gate every change must pass — release build + full test
 #      suite with default features, exactly what `cargo tier1` runs.
@@ -32,6 +32,11 @@
 #      merge to the exact single-process report bytes (digest-pinned),
 #      `wasabi merge` must reproduce them offline from the shard
 #      directory, and a same-chaos-seed rerun must be byte-identical.
+#   8. adaptive gate: `wasabi test --adaptive` over all eight corpus
+#      apps must report the exact fixed-grid bug set while executing at
+#      least 40% fewer runs in aggregate, and a paper-scale bench with a
+#      warm --profile-cache must cut the cold wall by at least 30%
+#      (writes BENCH_PR8.json).
 #
 # Everything resolves offline: the workspace has no registry dependencies.
 set -euo pipefail
@@ -59,5 +64,8 @@ cargo xtask serve-smoke
 
 echo "== stage 7: chaos shard smoke (killed shard recovers, digest-pinned merge) =="
 cargo xtask chaos-shard-smoke
+
+echo "== stage 8: adaptive gate (fixed-grid recall at reduced budget, cache payoff) =="
+cargo xtask adaptive-gate
 
 echo "== ci: all stages passed =="

@@ -35,7 +35,7 @@ use wasabi::analysis::resolve::ProjectIndex;
 use wasabi::core::dynamic::{run_dynamic_with_observer, DynamicOptions};
 use wasabi::core::identify::identify;
 use wasabi::core::lint::lint_with_overlap;
-use wasabi::core::report_json;
+use wasabi::core::{report_json, source_digest, ProfileCacheOptions};
 use wasabi::engine::campaign::{ChaosConfig, RetryPolicy};
 use wasabi::engine::{
     journal, load_trace, render_stats, validate_trace, write_trace, EngineEvent, EngineObserver,
@@ -57,15 +57,17 @@ const USAGE: &str = "usage:
                  <file.jav>...
   wasabi test    [--json] [--jobs N] [--max-attempts N] [--journal PATH]
                  [--resume PATH] [--quiet] [--chaos-panic RATE]
-                 [--trace-out PATH] <file.jav>...
+                 [--trace-out PATH] [--adaptive] [--profile-cache DIR]
+                 [--profile-cache-bypass] <file.jav>...
   wasabi test    --shards N [--shard-dir DIR] [--chaos-kill-shard I]
                  [--chaos-exit-after N] <file.jav>...
   wasabi merge   [--json] <shard-dir>
   wasabi stats   <trace.jsonl>... [--journal PATH]
   wasabi corpus  <APP> <out-dir> [--amp]   (APP = HA HD MA YA HB HI CA EL)
   wasabi bench   [--jobs N] [--iters N] [--apps HD,MA,...] [--scale tiny|small|paper]
+                 [--adaptive] [--profile-cache DIR] [--profile-cache-bypass]
   wasabi serve   [--addr HOST:PORT] [--unix PATH] [--max-queued N] [--max-inflight N]
-                 [--cache N] [--jobs N]
+                 [--cache N] [--jobs N] [--profile-cache DIR]
   wasabi submit  --addr ADDR [--priority N] [--jobs N] [--shards N] [--subscribe]
                  [--retry-attempts N] [--retry-base-ms MS] <file.jav>...
   wasabi submit  --addr ADDR (--stats | --shutdown [--drain [--drain-deadline-ms MS]]
@@ -101,6 +103,15 @@ struct CampaignFlags {
     chaos_exit_after: Option<u64>,
     /// Chaos, parent side: kill this shard's first child mid-flight.
     chaos_kill_shard: Option<usize>,
+    /// Coverage-guided adaptive planning (`wasabi test --adaptive`):
+    /// probe wave first, widen only where inconclusive. Off by default;
+    /// report digests are pinned only for the fixed grid.
+    adaptive: bool,
+    /// Directory for digest-keyed coverage-profile persistence
+    /// (`--profile-cache DIR`), shared by `test`, `bench`, and `serve`.
+    profile_cache: Option<PathBuf>,
+    /// Skip the cache read side (always re-profile, still write back).
+    profile_cache_bypass: bool,
 }
 
 fn main() -> ExitCode {
@@ -238,6 +249,18 @@ fn take_campaign_flags(args: &mut Vec<String>) -> Result<CampaignFlags, String> 
             return Err("--chaos-panic must be in [0, 1]".to_string());
         }
         flags.chaos_panic = Some(rate);
+    }
+    flags.adaptive = take_flag(args, "--adaptive");
+    flags.profile_cache = take_value_flag(args, "--profile-cache")?.map(PathBuf::from);
+    flags.profile_cache_bypass = take_flag(args, "--profile-cache-bypass");
+    if flags.profile_cache_bypass && flags.profile_cache.is_none() {
+        return Err("--profile-cache-bypass requires --profile-cache".to_string());
+    }
+    // Shard slices index the *fixed* key-sorted grid; an adaptive child
+    // would execute a different (probe-dependent) run set, so the
+    // combination is refused rather than silently ignored.
+    if flags.adaptive && (flags.shards.is_some() || flags.shard_range.is_some()) {
+        return Err("--adaptive cannot be combined with --shards/--shard-range".to_string());
     }
     flags.quiet = args.iter().any(|a| a == "--quiet");
     args.retain(|a| a != "--quiet");
@@ -509,6 +532,24 @@ fn lint(args: &mut Vec<String>, json: bool, flags: &CampaignFlags) -> ExitCode {
     })
 }
 
+/// Builds the profile-cache options for a compiled project, keyed by the
+/// same relative-path source digest the serve daemon's caches use (see
+/// DESIGN.md §15 for why paths, not just contents, participate).
+fn profile_cache_options(flags: &CampaignFlags, project: &Project) -> Option<ProfileCacheOptions> {
+    flags.profile_cache.as_ref().map(|dir| {
+        let sources: Vec<(String, String)> = project
+            .files
+            .iter()
+            .map(|file| (file.path.clone(), file.source.clone()))
+            .collect();
+        ProfileCacheOptions {
+            dir: dir.clone(),
+            digest: source_digest(&project.name, &sources),
+            bypass: flags.profile_cache_bypass,
+        }
+    })
+}
+
 fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
     // With `--trace-out`, a metrics recorder rides along via `Tee`; the
     // identify step runs before the dynamic pipeline, so bracket it here
@@ -557,6 +598,8 @@ fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
         // `--trace-out`, skip the clock reads (the report JSON never
         // carries timing, so output bytes cannot change).
         capture_timing: flags.trace_out.is_some(),
+        adaptive: flags.adaptive,
+        profile_cache: profile_cache_options(flags, project),
         ..DynamicOptions::default()
     };
     // Progress goes to stderr, so `--json` output on stdout stays clean.
@@ -577,6 +620,19 @@ fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
             run_dynamic_with_observer(project, &identified.locations, &options, progress.as_mut())
         }
     };
+    if let Some(summary) = &result.adaptive {
+        if !flags.quiet {
+            eprintln!(
+                "[adaptive] {} probe + {}/{} widen runs executed ({} conclusive, {} dedup across {} classes)",
+                summary.probe_runs,
+                summary.widen_executed,
+                summary.widen_candidates,
+                summary.skipped_conclusive,
+                summary.skipped_dedup,
+                summary.classes
+            );
+        }
+    }
     if let (Some(path), Some(recorder)) = (flags.trace_out.as_ref(), recorder.as_ref()) {
         if let Err(err) = write_trace(path, "cli", recorder.phases(), recorder.runs()) {
             eprintln!("{err}");
@@ -817,6 +873,8 @@ fn bench(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
         for _ in 0..iters {
             let options = DynamicOptions {
                 jobs: flags.jobs,
+                adaptive: flags.adaptive,
+                profile_cache: profile_cache_options(flags, &project),
                 ..DynamicOptions::default()
             };
             // A metrics recorder attributes the measured wall time to
@@ -931,6 +989,7 @@ fn serve(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
         let mut options = ServeOptions {
             scheduler,
             campaign_jobs: flags.jobs,
+            profile_cache: flags.profile_cache.clone(),
             ..ServeOptions::default()
         };
         if let Some(value) = take_value_flag(&mut args, "--cache")? {
