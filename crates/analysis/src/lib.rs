@@ -53,6 +53,7 @@ pub mod checkers;
 pub mod diag;
 pub mod ifratio;
 pub mod loops;
+pub mod patchsite;
 pub mod resolve;
 pub mod summaries;
 pub mod when;

@@ -111,6 +111,21 @@ impl StructureTruth {
     pub fn has_trap(&self, trap: Trap) -> bool {
         self.traps.contains(&trap)
     }
+
+    /// Whether a seeded WHEN bug here is *fixable* by `wasabi repair`.
+    ///
+    /// The repair loop only patches what lint can anchor, and the W001 /
+    /// W002 checkers anchor at exception-triggered retry loops that pass
+    /// the keyword filter — error-code loops, queues, state machines, and
+    /// keyword-invisible loops are out of reach by construction, so they
+    /// are excluded from the fix-rate denominator rather than counted as
+    /// failures.
+    pub fn when_fixable(&self, bug: SeededBug) -> bool {
+        matches!(bug, SeededBug::MissingCap | SeededBug::MissingDelay)
+            && self.has_bug(bug)
+            && self.kind == StructureKind::LoopException
+            && self.visibility.keyword_evidence
+    }
 }
 
 /// A non-retry file generated to exercise a specific detector weakness.
@@ -225,6 +240,18 @@ impl AppTruth {
     pub fn bug_count(&self, bug: SeededBug) -> usize {
         self.structures.iter().filter(|s| s.has_bug(bug)).count()
     }
+
+    /// Count of structures whose seeded WHEN bug the repair loop can
+    /// reach (see [`StructureTruth::when_fixable`]).
+    pub fn fixable_count(&self, bug: SeededBug) -> usize {
+        self.structures.iter().filter(|s| s.when_fixable(bug)).count()
+    }
+
+    /// Count of genuine amplification seeds — the fixable `A001`
+    /// population (decoys produce no finding and must stay untouched).
+    pub fn fixable_amp_count(&self) -> usize {
+        self.amp_seeds.iter().filter(|a| a.genuine).count()
+    }
 }
 
 #[cfg(test)]
@@ -266,5 +293,71 @@ mod tests {
         assert_eq!(truth.by_file("src/retry0.jav").len(), 1);
         assert_eq!(truth.bug_count(SeededBug::MissingCap), 1);
         assert_eq!(truth.bug_count(SeededBug::How), 0);
+    }
+
+    #[test]
+    fn fixability_tracks_lint_reachability() {
+        let visible = Visibility {
+            keyword_evidence: true,
+            large_file: false,
+        };
+        let base = StructureTruth {
+            id: "T-loop-000".into(),
+            kind: StructureKind::LoopException,
+            coordinator: MethodId::new("Retry0", "run"),
+            file_path: "src/retry0.jav".into(),
+            bugs: vec![SeededBug::MissingCap],
+            traps: vec![],
+            visibility: visible,
+            covered_by_tests: true,
+            exceptions: vec!["IOException".into()],
+        };
+        assert!(base.when_fixable(SeededBug::MissingCap));
+        assert!(!base.when_fixable(SeededBug::MissingDelay), "bug not seeded");
+        assert!(!base.when_fixable(SeededBug::How), "HOW bugs have no template");
+
+        let hidden = StructureTruth {
+            visibility: Visibility {
+                keyword_evidence: false,
+                large_file: false,
+            },
+            ..base.clone()
+        };
+        assert!(!hidden.when_fixable(SeededBug::MissingCap), "keyword-invisible");
+
+        let error_code = StructureTruth {
+            kind: StructureKind::LoopErrorCode,
+            ..base.clone()
+        };
+        assert!(!error_code.when_fixable(SeededBug::MissingCap), "no exception anchor");
+
+        let truth = AppTruth {
+            app: "T".into(),
+            structures: vec![base, hidden, error_code],
+            amp_seeds: vec![
+                AmpSeed {
+                    id: "T-amp-nest".into(),
+                    kind: AmpKind::NestedLoops,
+                    coordinator: MethodId::new("AmpNestT", "run"),
+                    file_path: "src/amp_nest.jav".into(),
+                    inner: "AmpNestT.run".into(),
+                    expected_product: "12".into(),
+                    genuine: true,
+                },
+                AmpSeed {
+                    id: "T-amp-decoy".into(),
+                    kind: AmpKind::DecoySleepHelper,
+                    coordinator: MethodId::new("AmpDecoyT", "run"),
+                    file_path: "src/amp_decoy.jav".into(),
+                    inner: "AmpDecoyT.pause".into(),
+                    expected_product: "-".into(),
+                    genuine: false,
+                },
+            ],
+            ..AppTruth::default()
+        };
+        assert_eq!(truth.fixable_count(SeededBug::MissingCap), 1);
+        assert_eq!(truth.fixable_count(SeededBug::MissingDelay), 0);
+        assert_eq!(truth.fixable_amp_count(), 1);
     }
 }

@@ -142,14 +142,16 @@ impl RetryPolicy {
     /// jitter (uniform in `[d/2, d)`) drawn deterministically from the
     /// run key.
     pub fn backoff(&self, key: &RunKey, failed_attempt: u8) -> Duration {
-        if self.base_delay.is_zero() {
-            return Duration::ZERO;
-        }
-        let exponent = i32::from(failed_attempt.saturating_sub(1));
-        let raw = self.base_delay.as_secs_f64() * self.multiplier.powi(exponent);
-        let capped = raw.min(self.cap.as_secs_f64()).max(0.0);
-        let mut rng = Rng::new(key_hash(key, self.jitter_seed ^ u64::from(failed_attempt)));
-        Duration::from_secs_f64(capped * 0.5 * (1.0 + rng.unit()))
+        // Only the jitter-seed derivation is ours (keyed on the run so the
+        // schedule is scheduling-independent); the delay math is the
+        // workspace-shared formula.
+        wasabi_util::equal_jitter_backoff(
+            self.base_delay,
+            self.multiplier,
+            self.cap,
+            u32::from(failed_attempt),
+            key_hash(key, self.jitter_seed ^ u64::from(failed_attempt)),
+        )
     }
 }
 

@@ -811,7 +811,8 @@ pub fn dead_letter_from_json(value: &Json) -> Result<DeadLetter, String> {
     Ok(DeadLetter {
         key: key_from_json(value.get("key").ok_or("dead letter: missing key")?)?,
         shard: u64_field(value.get("shard").ok_or("dead letter: missing shard")?, "dead letter shard")?
-            as usize,
+            .try_into()
+            .map_err(|_| "dead letter shard out of range".to_string())?,
         exit: value
             .get("exit")
             .and_then(Json::as_str)
@@ -1226,6 +1227,31 @@ class Solid {\n\
         .expect("write");
         let err = load_dead_letters(&path).expect_err("mid-file corruption");
         assert!(err.contains("corrupt line 2"), "got: {err}");
+
+        // Oversized / malformed shard values must parse-error, never
+        // truncate into a bogus shard index (the old `u64 as usize` cast
+        // silently wrapped on 32-bit targets).
+        let line = dead_letter_to_json(&letter(1, "bisected")).to_string();
+        assert!(line.contains("\"shard\":2"), "fixture drifted: {line}");
+        for bad in ["-7", "18446744073709551616", "\"2\"", "2.5"] {
+            let doc = line.replace("\"shard\":2", &format!("\"shard\":{bad}"));
+            let rejected = Json::parse(&doc).and_then(|parsed| dead_letter_from_json(&parsed));
+            assert!(rejected.is_err(), "shard {bad} must be rejected");
+        }
+
+        // Seeded round-trip sweep across the shard range the JSON integer
+        // model represents (i64-backed), including its boundary values.
+        let mut rng = wasabi_util::Rng::new(0x0D1A);
+        let mut shards: Vec<usize> = (0..32).map(|_| (rng.next_u64() >> 1) as usize).collect();
+        shards.extend([0, 1, i64::MAX as usize]);
+        for (i, shard) in shards.into_iter().enumerate() {
+            let mut sample = letter(i as u32, "bisected");
+            sample.shard = shard;
+            let round =
+                dead_letter_from_json(&Json::parse(&dead_letter_to_json(&sample).to_string()).expect("parse"))
+                    .expect("round trip");
+            assert_eq!(round, sample, "shard {shard} must survive unchanged");
+        }
 
         // Wrong header kind: hard error.
         std::fs::write(&path, "{\"kind\":\"wasabi-journal\",\"schema_version\":2}\n").expect("write");

@@ -39,7 +39,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 use wasabi_planner::plan::RunKey;
 use wasabi_util::rng::fnv1a64;
-use wasabi_util::{Json, Rng};
+use wasabi_util::Json;
 
 /// Splits `total` runs into `shards` contiguous index ranges `[start, end)`
 /// covering `0..total`. Ranges differ in size by at most one; an empty
@@ -93,19 +93,15 @@ impl SupervisorPolicy {
     /// a stream keyed on `(jitter_seed, shard, restart)` — deterministic
     /// for a given policy, never synchronized across shards.
     pub fn backoff(&self, shard: usize, restart: u32) -> Duration {
-        if self.base_delay.is_zero() {
-            return Duration::ZERO;
-        }
-        let exponent = restart.saturating_sub(1).min(i32::MAX as u32) as i32;
-        let raw = self.base_delay.as_secs_f64() * self.multiplier.powi(exponent);
-        let capped = raw.min(self.cap.as_secs_f64()).max(0.0);
+        // Only the jitter-seed derivation is ours (keyed on the shard so
+        // sibling shards never sync up); the delay math is the
+        // workspace-shared formula.
         let seed = fnv1a64([
             &(shard as u64).to_le_bytes()[..],
             &self.jitter_seed.to_le_bytes()[..],
             &u64::from(restart).to_le_bytes()[..],
         ]);
-        let mut rng = Rng::new(seed);
-        Duration::from_secs_f64(capped * 0.5 * (1.0 + rng.unit()))
+        wasabi_util::equal_jitter_backoff(self.base_delay, self.multiplier, self.cap, restart, seed)
     }
 }
 

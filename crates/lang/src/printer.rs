@@ -30,6 +30,15 @@ pub fn print_expr(expr: &Expr) -> String {
     p.out
 }
 
+/// Pretty-prints a single statement at indent zero (trailing newline
+/// included, one line per statement). Patch synthesis renders repair
+/// snippets through this so spliced text is canonical printer output.
+pub fn print_stmt(stmt: &Stmt) -> String {
+    let mut p = Printer::new();
+    p.stmt(stmt);
+    p.out
+}
+
 struct Printer {
     out: String,
     indent: usize,
@@ -459,6 +468,20 @@ mod tests {
         roundtrip(
             "class C { method m(e) { if (e instanceof A || e.getCause() instanceof B) { return true; } return false; } }",
         );
+    }
+
+    #[test]
+    fn print_stmt_renders_single_statements() {
+        let items = parse_file(
+            "class C { method m(e) { if (x >= 3) { throw e; } sleep(50 + 50 * r); } }",
+        )
+        .unwrap();
+        let Item::Class(class) = &items[0] else {
+            panic!("expected class");
+        };
+        let stmts = &class.methods[0].body.stmts;
+        assert_eq!(print_stmt(&stmts[0]), "if (x >= 3) {\n    throw e;\n}\n");
+        assert_eq!(print_stmt(&stmts[1]), "sleep(50 + 50 * r);\n");
     }
 
     #[test]

@@ -169,6 +169,21 @@ pub fn naive_run_count(
     count
 }
 
+/// Filters expanded runs down to those that inject into one of the named
+/// coordinator methods (`Class.method` strings), preserving order.
+///
+/// The repair loop's validation step uses this targeted re-plan: after
+/// patching a method it re-executes only the runs whose retry location
+/// lives in a patched coordinator, instead of the whole campaign. Keys
+/// are unchanged — a targeted run's [`RunKey`] still identifies the same
+/// run in the full campaign, so baseline outcomes stay comparable.
+pub fn targeted_runs(runs: &[InjectionRun], coordinators: &BTreeSet<String>) -> Vec<InjectionRun> {
+    runs.iter()
+        .filter(|run| coordinators.contains(&run.spec.location.coordinator.to_string()))
+        .cloned()
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +286,30 @@ mod tests {
         assert_eq!(with, 4);
         assert_eq!(without, 200);
         assert!(without / with >= 27, "reduction {}x", without / with);
+    }
+
+    #[test]
+    fn targeted_runs_filter_by_coordinator_and_keep_order() {
+        let mut runs = Vec::new();
+        for (call, class) in [(1, "Flaky"), (2, "Solid"), (3, "Flaky")] {
+            let loc = RetryLocation {
+                coordinator: MethodId::new(class, "run"),
+                ..location(call, "E")
+            };
+            runs.push(InjectionRun {
+                test: test_id("t1"),
+                spec: InjectionSpec::new(loc, 100),
+            });
+        }
+        let targets: BTreeSet<String> = ["Flaky.run".to_string()].into();
+        let targeted = targeted_runs(&runs, &targets);
+        assert_eq!(targeted.len(), 2);
+        assert_eq!(
+            targeted.iter().map(|r| r.key().site).collect::<Vec<_>>(),
+            vec![site(1), site(3)],
+            "order preserved, Solid.run dropped"
+        );
+        assert!(targeted_runs(&runs, &BTreeSet::new()).is_empty());
     }
 
     #[test]

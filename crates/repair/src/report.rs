@@ -1,0 +1,287 @@
+//! Deterministic `repair_report.json` rendering and ground-truth
+//! scoring.
+//!
+//! The report is a pure function of a [`RepairOutcome`]: no timings, no
+//! worker counts, no host state — so `--jobs 1` and `--jobs 4` produce
+//! byte-identical documents, same as every other report in the
+//! workspace. Rates are emitted as integer percentages (floor), never
+//! floats, so formatting can never drift.
+
+use crate::driver::{RepairOutcome, TargetResult};
+use wasabi_corpus::truth::{AppTruth, SeededBug};
+use wasabi_util::Json;
+
+/// Diagnostic codes in report order.
+const CODES: [&str; 3] = ["W001", "W002", "A001"];
+
+fn target_json(target: &TargetResult) -> Json {
+    Json::obj([
+        ("code", Json::Str(target.code.clone())),
+        ("coordinator", Json::Str(target.coordinator.clone())),
+        ("file", Json::Str(target.file.clone())),
+        (
+            "chain",
+            Json::arr(target.chain.iter().map(|hop| Json::Str(hop.clone()))),
+        ),
+        (
+            "dynamically_confirmed",
+            Json::Bool(target.dynamically_confirmed),
+        ),
+        ("fixed", Json::Bool(target.fixed)),
+        ("attempts", Json::Int(target.attempts as i64)),
+        (
+            "templates",
+            Json::arr(target.tried.iter().map(|attempt| {
+                Json::obj([
+                    ("template", Json::Str(attempt.template.to_string())),
+                    ("accepted", Json::Bool(attempt.accepted)),
+                    ("reason", Json::Str(attempt.reason.clone())),
+                ])
+            })),
+        ),
+        ("reason", Json::Str(target.reason.clone())),
+    ])
+}
+
+/// Renders the full repair report document.
+pub fn render_report(outcome: &RepairOutcome, truth: Option<&AppTruth>) -> Json {
+    let by_code = CODES.iter().map(|code| {
+        let of_code: Vec<&TargetResult> = outcome
+            .targets
+            .iter()
+            .filter(|t| t.code == *code)
+            .collect();
+        Json::obj([
+            ("code", Json::Str(code.to_string())),
+            ("targets", Json::Int(of_code.len() as i64)),
+            (
+                "fixed",
+                Json::Int(of_code.iter().filter(|t| t.fixed).count() as i64),
+            ),
+        ])
+    });
+
+    // Attempts histogram over *fixed* targets: how many validated
+    // candidates each fix needed (0 = side-effect fix).
+    let max_attempts = outcome
+        .targets
+        .iter()
+        .filter(|t| t.fixed)
+        .map(|t| t.attempts)
+        .max()
+        .unwrap_or(0);
+    let histogram = (0..=max_attempts).map(|n| {
+        let count = outcome
+            .targets
+            .iter()
+            .filter(|t| t.fixed && t.attempts == n)
+            .count();
+        Json::obj([
+            ("attempts", Json::Int(n as i64)),
+            ("fixed", Json::Int(count as i64)),
+        ])
+    });
+
+    let mut fields = vec![
+        ("tool".to_string(), Json::Str("wasabi repair".to_string())),
+        ("app".to_string(), Json::Str(outcome.app.clone())),
+        (
+            "max_fix_attempts".to_string(),
+            Json::Int(outcome.max_fix_attempts as i64),
+        ),
+        (
+            "summary".to_string(),
+            Json::obj([
+                ("targets", Json::Int(outcome.targets.len() as i64)),
+                (
+                    "fixed",
+                    Json::Int(outcome.targets.iter().filter(|t| t.fixed).count() as i64),
+                ),
+                ("by_code", Json::arr(by_code)),
+                ("attempts_histogram", Json::arr(histogram)),
+            ]),
+        ),
+        (
+            "campaign".to_string(),
+            Json::obj([
+                ("baseline_runs", Json::Int(outcome.baseline_runs as i64)),
+                ("validation_runs", Json::Int(outcome.validation_runs as i64)),
+            ]),
+        ),
+        (
+            "targets".to_string(),
+            Json::arr(outcome.targets.iter().map(target_json)),
+        ),
+    ];
+    if let Some(truth) = truth {
+        fields.push(("truth".to_string(), score_against_truth(outcome, truth)));
+    }
+    Json::Obj(fields)
+}
+
+fn fixed_for(outcome: &RepairOutcome, code: &str, coordinator: &str) -> bool {
+    outcome
+        .targets
+        .iter()
+        .any(|t| t.code == code && t.coordinator == coordinator && t.fixed)
+}
+
+/// Scores a repair outcome against the corpus ground truth: per class,
+/// how many seeded bugs were fixable (reachable by lint at all — see
+/// [`wasabi_corpus::truth::StructureTruth::when_fixable`]) and how many
+/// of those the repair loop actually fixed.
+pub fn score_against_truth(outcome: &RepairOutcome, truth: &AppTruth) -> Json {
+    let mut classes = Vec::new();
+    let mut total_fixable = 0usize;
+    let mut total_fixed = 0usize;
+    for (code, bug) in [
+        ("W001", SeededBug::MissingCap),
+        ("W002", SeededBug::MissingDelay),
+    ] {
+        let seeded = truth.bug_count(bug);
+        let fixable: Vec<_> = truth
+            .structures
+            .iter()
+            .filter(|s| s.when_fixable(bug))
+            .collect();
+        let fixed = fixable
+            .iter()
+            .filter(|s| fixed_for(outcome, code, &s.coordinator.to_string()))
+            .count();
+        total_fixable += fixable.len();
+        total_fixed += fixed;
+        classes.push(Json::obj([
+            ("code", Json::Str(code.to_string())),
+            ("seeded", Json::Int(seeded as i64)),
+            ("fixable", Json::Int(fixable.len() as i64)),
+            ("fixed", Json::Int(fixed as i64)),
+        ]));
+    }
+    let genuine: Vec<_> = truth.amp_seeds.iter().filter(|a| a.genuine).collect();
+    let amp_fixed = genuine
+        .iter()
+        .filter(|a| fixed_for(outcome, "A001", &a.coordinator.to_string()))
+        .count();
+    total_fixable += genuine.len();
+    total_fixed += amp_fixed;
+    classes.push(Json::obj([
+        ("code", Json::Str("A001".to_string())),
+        ("seeded", Json::Int(truth.amp_seeds.len() as i64)),
+        ("fixable", Json::Int(genuine.len() as i64)),
+        ("fixed", Json::Int(amp_fixed as i64)),
+    ]));
+
+    let rate = if total_fixable == 0 {
+        100
+    } else {
+        (total_fixed * 100) / total_fixable
+    };
+    Json::obj([
+        ("classes", Json::arr(classes)),
+        ("fixable", Json::Int(total_fixable as i64)),
+        ("fixed", Json::Int(total_fixed as i64)),
+        ("fix_rate_percent", Json::Int(rate as i64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::TemplateAttempt;
+    use wasabi_corpus::truth::{StructureKind, StructureTruth, Visibility};
+    use wasabi_lang::project::MethodId;
+
+    fn outcome() -> RepairOutcome {
+        RepairOutcome {
+            app: "T".to_string(),
+            targets: vec![
+                TargetResult {
+                    code: "W001".to_string(),
+                    coordinator: "Retry0.run".to_string(),
+                    chain: vec![],
+                    file: "src/retry0.jav".to_string(),
+                    dynamically_confirmed: true,
+                    fixed: true,
+                    attempts: 1,
+                    tried: vec![TemplateAttempt {
+                        template: "cap-rethrow",
+                        accepted: true,
+                        reason: String::new(),
+                    }],
+                    reason: String::new(),
+                },
+                TargetResult {
+                    code: "W002".to_string(),
+                    coordinator: "Retry1.run".to_string(),
+                    chain: vec![],
+                    file: "src/retry1.jav".to_string(),
+                    dynamically_confirmed: false,
+                    fixed: false,
+                    attempts: 2,
+                    tried: vec![],
+                    reason: "all templates rejected".to_string(),
+                },
+            ],
+            sources: vec![],
+            baseline_runs: 10,
+            validation_runs: 4,
+            max_fix_attempts: 3,
+        }
+    }
+
+    #[test]
+    fn report_counts_and_histogram() {
+        let report = render_report(&outcome(), None);
+        let summary = report.get("summary").expect("summary");
+        assert_eq!(summary.get("targets").and_then(Json::as_i64), Some(2));
+        assert_eq!(summary.get("fixed").and_then(Json::as_i64), Some(1));
+        let histogram = summary
+            .get("attempts_histogram")
+            .and_then(Json::as_arr)
+            .expect("histogram");
+        // Buckets 0 and 1; the unfixed target's attempts do not count.
+        assert_eq!(histogram.len(), 2);
+        assert_eq!(histogram[1].get("fixed").and_then(Json::as_i64), Some(1));
+        assert!(report.get("truth").is_none());
+        // Determinism smoke: rendering twice is byte-identical.
+        assert_eq!(
+            render_report(&outcome(), None).pretty(),
+            report.pretty()
+        );
+    }
+
+    #[test]
+    fn truth_scoring_counts_only_fixable() {
+        let structure = |class: &str, bug, keyword| StructureTruth {
+            id: format!("T-{class}"),
+            kind: StructureKind::LoopException,
+            coordinator: MethodId::new(class, "run"),
+            file_path: format!("src/{class}.jav"),
+            bugs: vec![bug],
+            traps: vec![],
+            visibility: Visibility {
+                keyword_evidence: keyword,
+                large_file: false,
+            },
+            covered_by_tests: true,
+            exceptions: vec!["IOException".to_string()],
+        };
+        let truth = AppTruth {
+            app: "T".to_string(),
+            structures: vec![
+                structure("Retry0", SeededBug::MissingCap, true),
+                structure("Retry1", SeededBug::MissingDelay, true),
+                // Keyword-invisible: excluded from the denominator.
+                structure("Retry2", SeededBug::MissingCap, false),
+            ],
+            ..AppTruth::default()
+        };
+        let score = score_against_truth(&outcome(), &truth);
+        assert_eq!(score.get("fixable").and_then(Json::as_i64), Some(2));
+        assert_eq!(score.get("fixed").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            score.get("fix_rate_percent").and_then(Json::as_i64),
+            Some(50)
+        );
+    }
+}

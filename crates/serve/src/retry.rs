@@ -19,7 +19,6 @@
 
 use std::time::Duration;
 use wasabi_util::rng::fnv1a64;
-use wasabi_util::Rng;
 
 /// Bounded-retry configuration for `wasabi submit`.
 #[derive(Debug, Clone)]
@@ -63,16 +62,17 @@ pub enum Attempt<T> {
 
 /// The delay before retry number `retry` (1-based): capped exponential
 /// with equal jitter, deterministic in `(config.jitter_seed, retry)`.
+///
+/// The math is the workspace-shared formula, which carries the exponent
+/// clamp, the non-negative guard, and the zero-base early return this
+/// copy used to lack — extreme `retry`/`multiplier` values fed a wrapped
+/// or NaN/negative value into `Duration::from_secs_f64`, which panics.
 pub fn backoff_delay(config: &RetryConfig, retry: u32) -> Duration {
-    let exponent = retry.saturating_sub(1);
-    let raw = config.base.as_secs_f64() * config.multiplier.powi(exponent as i32);
-    let capped = raw.min(config.cap.as_secs_f64());
     let seed = fnv1a64([
         &config.jitter_seed.to_le_bytes()[..],
         &retry.to_le_bytes()[..],
     ]);
-    let mut rng = Rng::new(seed);
-    Duration::from_secs_f64(capped * 0.5 * (1.0 + rng.unit()))
+    wasabi_util::equal_jitter_backoff(config.base, config.multiplier, config.cap, retry, seed)
 }
 
 /// Drives `operation` up to `config.attempts` times, sleeping the
@@ -129,6 +129,34 @@ mod tests {
         }
         // Deep retries pin to the cap's jitter window, not the raw curve.
         assert!(backoff_delay(&config, 30) < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn extreme_retry_and_multiplier_values_never_panic() {
+        // Regression: the old copy cast the exponent `u32 as i32` without a
+        // clamp and skipped the non-negative guard, so retry counts past
+        // i32::MAX wrapped negative and hostile multipliers drove
+        // `Duration::from_secs_f64` into its panic cases.
+        for retry in [0, 1, u32::MAX] {
+            for multiplier in [0.1, 0.5, 1.0, 2.0, 1e308, -3.0, f64::NAN, f64::INFINITY] {
+                let config = RetryConfig {
+                    attempts: 3,
+                    multiplier,
+                    ..RetryConfig::default()
+                };
+                let delay = backoff_delay(&config, retry);
+                assert!(
+                    delay <= config.cap,
+                    "retry {retry} x{multiplier}: {delay:?} above cap"
+                );
+            }
+        }
+        // Zero base disables backoff outright.
+        let zero = RetryConfig {
+            base: Duration::ZERO,
+            ..RetryConfig::default()
+        };
+        assert_eq!(backoff_delay(&zero, u32::MAX), Duration::ZERO);
     }
 
     #[test]

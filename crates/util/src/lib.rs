@@ -16,10 +16,16 @@
 //!   `Duration` → ms/us conversions, and a clock abstraction for the
 //!   campaign observability layer (deterministic under test).
 
+//! - [`backoff`] — the capped-exponential-with-equal-jitter delay shared
+//!   by the campaign engine, the shard supervisor, and the submit client
+//!   (callers keep their own jitter-seed derivations).
+
+pub mod backoff;
 pub mod json;
 pub mod metrics;
 pub mod rng;
 
+pub use backoff::equal_jitter_backoff;
 pub use json::Json;
 pub use metrics::{saturating_ms, saturating_us, Histogram};
 pub use rng::Rng;

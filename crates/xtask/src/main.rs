@@ -53,6 +53,13 @@
 //!   (`--profile-cache` cold, then warm) must show the warm cache cutting
 //!   total wall time by at least 30%. Writes `BENCH_PR8.json` with the
 //!   per-app fixed-vs-adaptive run counts and the cold/warm walls.
+//! - `repair-gate` — the auto-repair gate: over all eight corpus apps
+//!   (small scale, amplification seeds included), `wasabi repair` must
+//!   fix at least 80% of the fixable seeded W001/W002/A001 bugs within
+//!   the default 3 attempts, fix at least one bug in every class that
+//!   seeds any, and emit byte-identical reports for `--jobs 1` and
+//!   `--jobs 4`. Writes `BENCH_PR9.json` with the per-app and per-class
+//!   fix rates and the attempts-vs-fix-rate curve.
 
 use std::env;
 use std::fs;
@@ -61,7 +68,7 @@ use std::process::{exit, Command};
 
 fn main() {
     let task = env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: cargo xtask <tier1|ci|smoke|bench|digest|lint|serve-smoke|chaos-shard-smoke|adaptive-gate>");
+        eprintln!("usage: cargo xtask <tier1|ci|smoke|bench|digest|lint|serve-smoke|chaos-shard-smoke|adaptive-gate|repair-gate>");
         exit(2);
     });
     let flags: Vec<String> = env::args().skip(2).collect();
@@ -118,9 +125,13 @@ fn main() {
             run_stage("build --release --bin wasabi", &["build", "--release", "--bin", "wasabi"]);
             adaptive_gate();
         }
+        "repair-gate" => {
+            run_stage("build --release --bin wasabi", &["build", "--release", "--bin", "wasabi"]);
+            repair_gate();
+        }
         other => {
             eprintln!(
-                "unknown task `{other}`; expected tier1, ci, smoke, bench, digest, lint, serve-smoke, chaos-shard-smoke, or adaptive-gate"
+                "unknown task `{other}`; expected tier1, ci, smoke, bench, digest, lint, serve-smoke, chaos-shard-smoke, adaptive-gate, or repair-gate"
             );
             exit(2);
         }
@@ -270,6 +281,9 @@ const DIGEST_PATH: &str = "scripts/seed_report_digest.txt";
 const LINT_BASELINE_PATH: &str = "scripts/lint_baseline.txt";
 const BENCH_OUT: &str = "BENCH_PR6.json";
 const ADAPTIVE_BENCH_OUT: &str = "BENCH_PR8.json";
+const REPAIR_BENCH_OUT: &str = "BENCH_PR9.json";
+/// Aggregate and per-class fix-rate floor (percent) for the repair gate.
+const REPAIR_RATE_FLOOR: u64 = 80;
 /// Apps whose `wasabi test --json` reports are digest-pinned.
 const DIGEST_APPS: &[&str] = &["HD", "MA"];
 /// Apps the adaptive gate sweeps (the full evaluated corpus).
@@ -916,6 +930,203 @@ fn adaptive_gate() {
         .unwrap_or_else(|e| fail(&format!("write {ADAPTIVE_BENCH_OUT}: {e}")));
     let _ = fs::remove_dir_all(&work);
     eprintln!("adaptive gate: OK (wrote {ADAPTIVE_BENCH_OUT})");
+}
+
+/// The auto-repair gate: `wasabi repair` over all eight corpus apps
+/// (small scale, amplification seeds included) must fix at least
+/// [`REPAIR_RATE_FLOOR`]% of the fixable seeded bugs — in aggregate and
+/// per class — within the default 3 attempts, and the report must be
+/// byte-identical between `--jobs 1` and `--jobs 4`.
+fn repair_gate() {
+    eprintln!("==> repair gate: auto-repair fix rate over the seeded corpus");
+    let wasabi = release_wasabi();
+    let work = env::temp_dir().join(format!("wasabi-repair-gate-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&work);
+    fs::create_dir_all(&work).unwrap_or_else(|e| fail(&format!("create work dir: {e}")));
+    let cache = work.join("profile-cache");
+    let cache_arg = cache.to_string_lossy().into_owned();
+
+    // Runs `wasabi repair <args>` tolerating exit 1 (unfixed targets
+    // remain — the gate scores the fix rate itself, not the exit code).
+    let run_repair = |args: &[&str]| {
+        let output = Command::new(&wasabi)
+            .arg("repair")
+            .args(args)
+            .output()
+            .unwrap_or_else(|e| fail(&format!("spawn wasabi repair: {e}")));
+        let code = output.status.code().unwrap_or(-1);
+        if !(0..=1).contains(&code) {
+            eprintln!("{}", String::from_utf8_lossy(&output.stderr));
+            fail(&format!("wasabi repair {} exited {code}", args.join(" ")));
+        }
+    };
+
+    // `(attempts, fixed)` buckets of the report's attempts histogram.
+    let histogram_entries = |report: &str| -> Vec<(u64, u64)> {
+        let start = report
+            .find("\"attempts_histogram\":")
+            .unwrap_or_else(|| fail("repair gate: report has no attempts histogram"));
+        let section = &report[start..];
+        let end = section
+            .find(']')
+            .unwrap_or_else(|| fail("repair gate: malformed attempts histogram"));
+        section[..end]
+            .split("\"attempts\":")
+            .skip(1)
+            .map(|chunk| {
+                let attempts = chunk
+                    .trim_start()
+                    .chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse::<u64>()
+                    .unwrap_or_else(|e| fail(&format!("repair gate: bad histogram bucket: {e}")));
+                (attempts, extract_number(chunk, "\"fixed\":") as u64)
+            })
+            .collect()
+    };
+
+    let mut class_agg: Vec<(&str, u64, u64)> =
+        vec![("W001", 0, 0), ("W002", 0, 0), ("A001", 0, 0)];
+    let mut histogram: Vec<(u64, u64)> = Vec::new();
+    let mut app_docs = Vec::new();
+    let (mut total_fixable, mut total_fixed) = (0u64, 0u64);
+    let (mut total_targets, mut total_targets_fixed) = (0u64, 0u64);
+    for app in ADAPTIVE_APPS {
+        let jobs1 = work.join(format!("{app}-jobs1.json"));
+        let jobs4 = work.join(format!("{app}-jobs4.json"));
+        for (jobs, path) in [("1", &jobs1), ("4", &jobs4)] {
+            run_repair(&[
+                "--corpus",
+                app,
+                "--amp",
+                "--scale",
+                "small",
+                "--jobs",
+                jobs,
+                "--profile-cache",
+                &cache_arg,
+                "--report",
+                &path.to_string_lossy(),
+            ]);
+        }
+        let one = fs::read(&jobs1).unwrap_or_else(|e| fail(&format!("read {app} report: {e}")));
+        let four = fs::read(&jobs4).unwrap_or_else(|e| fail(&format!("read {app} report: {e}")));
+        if one != four {
+            fail(&format!("repair gate: {app} report differs between --jobs 1 and --jobs 4"));
+        }
+        let report = String::from_utf8(one)
+            .unwrap_or_else(|e| fail(&format!("{app} report not utf-8: {e}")));
+
+        // Per-class `fixable`/`fixed` from the ground-truth section (the
+        // class objects directly follow their `"code"` key).
+        let truth = extract_section(&report, "truth");
+        let (mut app_fixable, mut app_fixed) = (0u64, 0u64);
+        for (code, fixable, fixed) in &mut class_agg {
+            let at = truth
+                .find(&format!("\"code\": \"{code}\""))
+                .unwrap_or_else(|| fail(&format!("repair gate: {app} truth has no {code} class")));
+            let class = &truth[at..];
+            let class_fixable = extract_number(class, "\"fixable\":") as u64;
+            let class_fixed = extract_number(class, "\"fixed\":") as u64;
+            *fixable += class_fixable;
+            *fixed += class_fixed;
+            app_fixable += class_fixable;
+            app_fixed += class_fixed;
+        }
+        // Lint reports more targets than the seeded ground truth (clean
+        // structures can still lack a delay, say); the histogram counts
+        // *targets*, so the curve is scored over that population.
+        let summary = extract_section(&report, "summary");
+        total_targets += extract_number(summary, "\"targets\":") as u64;
+        total_targets_fixed += extract_number(summary, "\"fixed\":") as u64;
+        for (attempts, fixed) in histogram_entries(&report) {
+            match histogram.iter_mut().find(|(n, _)| *n == attempts) {
+                Some((_, total)) => *total += fixed,
+                None => histogram.push((attempts, fixed)),
+            }
+        }
+        let rate = extract_number(truth, "\"fix_rate_percent\":") as u64;
+        eprintln!("    {app}: {app_fixed}/{app_fixable} fixable bugs fixed ({rate}%)");
+        total_fixable += app_fixable;
+        total_fixed += app_fixed;
+        app_docs.push(format!(
+            "{{\"app\": \"{app}\", \"fixable\": {app_fixable}, \"fixed\": {app_fixed}, \
+             \"fix_rate_percent\": {rate}}}"
+        ));
+    }
+
+    let aggregate_rate = if total_fixable == 0 {
+        fail("repair gate: corpus seeded no fixable bugs");
+    } else {
+        total_fixed * 100 / total_fixable
+    };
+    if aggregate_rate < REPAIR_RATE_FLOOR {
+        fail(&format!(
+            "repair gate: aggregate fix rate {aggregate_rate}% \
+             ({total_fixed}/{total_fixable}) is below the {REPAIR_RATE_FLOOR}% floor"
+        ));
+    }
+    for (code, fixable, fixed) in &class_agg {
+        if *fixable == 0 {
+            fail(&format!("repair gate: corpus seeded no fixable {code} bugs"));
+        }
+        let rate = fixed * 100 / fixable;
+        if rate < REPAIR_RATE_FLOOR {
+            fail(&format!(
+                "repair gate: {code} fix rate {rate}% ({fixed}/{fixable}) \
+                 is below the {REPAIR_RATE_FLOOR}% floor"
+            ));
+        }
+    }
+    eprintln!(
+        "    aggregate: {total_fixed}/{total_fixable} fixed ({aggregate_rate}%) \
+         across {} apps, reports byte-identical across --jobs",
+        ADAPTIVE_APPS.len()
+    );
+
+    // Attempts-vs-fix-rate curve: cumulative share of all lint targets
+    // fixed within <= n validated candidate patches (bucket 0 counts
+    // targets fixed as a side effect of an earlier patch).
+    histogram.sort_unstable();
+    let mut cumulative = 0u64;
+    let curve: Vec<String> = histogram
+        .iter()
+        .map(|(attempts, fixed)| {
+            cumulative += fixed;
+            format!(
+                "{{\"max_attempts\": {attempts}, \"fixed\": {cumulative}, \
+                 \"rate_percent\": {}}}",
+                cumulative * 100 / total_targets.max(1)
+            )
+        })
+        .collect();
+    let classes: Vec<String> = class_agg
+        .iter()
+        .map(|(code, fixable, fixed)| {
+            format!(
+                "{{\"code\": \"{code}\", \"fixable\": {fixable}, \"fixed\": {fixed}, \
+                 \"fix_rate_percent\": {}}}",
+                fixed * 100 / fixable
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\n  \"harness\": \"cargo xtask repair-gate (wasabi repair --corpus APP --amp \
+         --scale small over all 8 corpus apps, --jobs 1 vs --jobs 4 byte-compared, \
+         default 3 fix attempts)\",\n  \"apps\": [\n    {}\n  ],\n  \"classes\": [\n    {}\n  ],\n  \
+         \"attempts_curve\": [\n    {}\n  ],\n  \"totals\": {{\n    \"fixable\": {total_fixable},\n    \
+         \"fixed\": {total_fixed},\n    \"fix_rate_percent\": {aggregate_rate},\n    \
+         \"targets\": {total_targets},\n    \"targets_fixed\": {total_targets_fixed},\n    \
+         \"floor_percent\": {REPAIR_RATE_FLOOR}\n  }}\n}}\n",
+        app_docs.join(",\n    "),
+        classes.join(",\n    "),
+        curve.join(",\n    ")
+    );
+    fs::write(REPAIR_BENCH_OUT, doc)
+        .unwrap_or_else(|e| fail(&format!("write {REPAIR_BENCH_OUT}: {e}")));
+    let _ = fs::remove_dir_all(&work);
+    eprintln!("repair gate: OK (wrote {REPAIR_BENCH_OUT})");
 }
 
 fn release_wasabi() -> PathBuf {

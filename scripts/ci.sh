@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI entry point. Eight stages:
+# CI entry point. Nine stages:
 #
 #   1. tier-1: the gate every change must pass — release build + full test
 #      suite with default features, exactly what `cargo tier1` runs.
@@ -37,6 +37,11 @@
 #      least 40% fewer runs in aggregate, and a paper-scale bench with a
 #      warm --profile-cache must cut the cold wall by at least 30%
 #      (writes BENCH_PR8.json).
+#   9. repair gate: `wasabi repair` over all eight corpus apps (small
+#      scale, amplification seeds included) must fix at least 80% of the
+#      fixable seeded W001/W002/A001 bugs — in aggregate and per class —
+#      within the default 3 attempts, with byte-identical reports for
+#      --jobs 1 and --jobs 4 (writes BENCH_PR9.json).
 #
 # Everything resolves offline: the workspace has no registry dependencies.
 set -euo pipefail
@@ -67,5 +72,8 @@ cargo xtask chaos-shard-smoke
 
 echo "== stage 8: adaptive gate (fixed-grid recall at reduced budget, cache payoff) =="
 cargo xtask adaptive-gate
+
+echo "== stage 9: repair gate (auto-repair fix rate vs seeded ground truth) =="
+cargo xtask repair-gate
 
 echo "== ci: all stages passed =="

@@ -15,6 +15,9 @@
 //! wasabi merge   [--json] <shard-dir>              # merge shard journals into a report
 //! wasabi stats   <trace.jsonl>... [--journal PATH] # per-phase/per-run trace tables
 //! wasabi corpus  <APP> <out-dir> [--amp]           # write a synthetic app to disk
+//! wasabi repair  [--json] [--jobs N] [--max-fix-attempts N] [--report PATH]
+//!                [--out DIR] [--profile-cache DIR]
+//!                (--corpus APP [--amp] [--scale S] | <file.jav>...)
 //! wasabi bench   [--jobs N] [--iters N] [--apps HD,MA,...] [--scale tiny|small|paper]
 //! wasabi serve   [--addr HOST:PORT] [--unix PATH] [--max-queued N] [--max-inflight N]
 //!                [--cache N] [--jobs N]            # campaign-as-a-service daemon
@@ -64,6 +67,9 @@ const USAGE: &str = "usage:
   wasabi merge   [--json] <shard-dir>
   wasabi stats   <trace.jsonl>... [--journal PATH]
   wasabi corpus  <APP> <out-dir> [--amp]   (APP = HA HD MA YA HB HI CA EL)
+  wasabi repair  [--json] [--jobs N] [--max-fix-attempts N] [--report PATH]
+                 [--out DIR] [--profile-cache DIR]
+                 (--corpus APP [--amp] [--scale tiny|small|paper] | <file.jav>...)
   wasabi bench   [--jobs N] [--iters N] [--apps HD,MA,...] [--scale tiny|small|paper]
                  [--adaptive] [--profile-cache DIR] [--profile-cache-bypass]
   wasabi serve   [--addr HOST:PORT] [--unix PATH] [--max-queued N] [--max-inflight N]
@@ -140,6 +146,7 @@ fn main() -> ExitCode {
         "merge" => merge(&args, json),
         "stats" => stats(&args, &flags),
         "corpus" => corpus(&args),
+        "repair" => repair(args, json, &flags),
         "bench" => bench(args, &flags),
         "serve" => serve(args, &flags),
         "submit" => submit(args, &flags),
@@ -1321,4 +1328,169 @@ fn corpus(args: &[String]) -> ExitCode {
         generated.tests_generated
     );
     ExitCode::SUCCESS
+}
+
+/// `wasabi repair`: synthesize patches for confirmed retry diagnostics
+/// and validate each candidate with a targeted fault-injection campaign.
+/// Exit 0 when every target is fixed (or there was nothing to fix),
+/// 1 when unfixed targets remain, 2 on usage or I/O errors.
+fn repair(mut args: Vec<String>, json: bool, flags: &CampaignFlags) -> ExitCode {
+    let max_fix_attempts = match take_value_flag(&mut args, "--max-fix-attempts") {
+        Ok(Some(value)) => match value.parse::<u32>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("invalid --max-fix-attempts value `{value}`");
+                return ExitCode::from(2);
+            }
+        },
+        Ok(None) => 3,
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let (report_path, out_dir, corpus_app) = match (
+        take_value_flag(&mut args, "--report"),
+        take_value_flag(&mut args, "--out"),
+        take_value_flag(&mut args, "--corpus"),
+    ) {
+        (Ok(report), Ok(out), Ok(corpus)) => (report.map(PathBuf::from), out, corpus),
+        (Err(message), _, _) | (_, Err(message), _) | (_, _, Err(message)) => {
+            eprintln!("{message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let amp = take_flag(&mut args, "--amp");
+    let scale = match take_value_flag(&mut args, "--scale") {
+        Ok(found) => match found.as_deref() {
+            None | Some("small") => wasabi::corpus::spec::Scale::Small,
+            Some("tiny") => wasabi::corpus::spec::Scale::Tiny,
+            Some("paper") => wasabi::corpus::spec::Scale::Paper,
+            Some(other) => {
+                eprintln!("invalid --scale `{other}` (tiny|small|paper)");
+                return ExitCode::from(2);
+            }
+        },
+        Err(message) => {
+            eprintln!("{message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Corpus mode generates the app in-memory (with ground truth for
+    // scoring); file mode reads the argument paths.
+    let (name, sources, truth, llm_seed) = if let Some(app) = corpus_app {
+        if !args.is_empty() {
+            eprintln!("--corpus and explicit input files are mutually exclusive\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        let Some(spec) = wasabi::corpus::spec::paper_apps()
+            .into_iter()
+            .find(|s| s.short == app)
+        else {
+            eprintln!("unknown app `{app}` (HA HD MA YA HB HI CA EL)");
+            return ExitCode::from(2);
+        };
+        let generated = if amp {
+            wasabi::corpus::synth::generate_app_with_amp(&spec, scale)
+        } else {
+            wasabi::corpus::synth::generate_app(&spec, scale)
+        };
+        let seed = generated.spec.seed;
+        (app, generated.files, Some(generated.truth), seed)
+    } else {
+        if amp {
+            eprintln!("--amp requires --corpus\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        if args.is_empty() {
+            eprintln!("no input files\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        let mut sources = Vec::new();
+        for path in &args {
+            match std::fs::read_to_string(path) {
+                Ok(source) => sources.push((path.clone(), source)),
+                Err(err) => {
+                    eprintln!("cannot read {path}: {err}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        ("project".to_string(), sources, None, 0)
+    };
+
+    let options = wasabi::repair::RepairOptions {
+        jobs: flags.jobs,
+        max_fix_attempts,
+        llm_seed,
+        profile_cache: flags.profile_cache.clone(),
+        ..wasabi::repair::RepairOptions::default()
+    };
+    let outcome = match wasabi::repair::repair(&name, sources, &options) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("repair failed: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = wasabi::repair::render_report(&outcome, truth.as_ref());
+    if let Some(path) = &report_path {
+        if let Err(err) = std::fs::write(path, report.pretty()) {
+            eprintln!("cannot write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(dir) = &out_dir {
+        for (path, source) in &outcome.sources {
+            // Keep absolute input paths inside the output directory
+            // instead of letting `join` escape back to the originals.
+            let full = std::path::Path::new(dir).join(path.trim_start_matches('/'));
+            if let Some(parent) = full.parent() {
+                if let Err(err) = std::fs::create_dir_all(parent) {
+                    eprintln!("cannot create {}: {err}", parent.display());
+                    return ExitCode::from(2);
+                }
+            }
+            if let Err(err) = std::fs::write(&full, source) {
+                eprintln!("cannot write {}: {err}", full.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let fixed = outcome.targets.iter().filter(|t| t.fixed).count();
+    if json {
+        print!("{}", report.pretty());
+    } else {
+        for target in &outcome.targets {
+            let status = if target.fixed { "fixed" } else { "UNFIXED" };
+            let detail = if target.fixed {
+                match target.tried.iter().find(|a| a.accepted) {
+                    Some(attempt) => {
+                        format!("{} after {} attempt(s)", attempt.template, target.attempts)
+                    }
+                    None => "side effect of an earlier patch".to_string(),
+                }
+            } else {
+                target.reason.clone()
+            };
+            println!(
+                "{status} {} {} ({detail})",
+                target.code, target.coordinator
+            );
+        }
+        println!(
+            "repair: {fixed}/{} targets fixed ({} baseline + {} validation runs)",
+            outcome.targets.len(),
+            outcome.baseline_runs,
+            outcome.validation_runs
+        );
+    }
+    if fixed == outcome.targets.len() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
 }

@@ -14,6 +14,7 @@
 //! - [`engine`] — the parallel campaign engine (worker pool + deterministic merge);
 //! - [`corpus`] — the bug-study dataset and the synthetic 8-app corpus;
 //! - [`core`] — the WASABI orchestrator (dynamic + static workflows);
+//! - [`repair`] — auto-repair: patch synthesis + campaign-backed validation;
 //! - [`serve`] — the campaign-as-a-service daemon and its wire protocol;
 //! - [`util`] — seeded PRNG and the dependency-free JSON writer.
 
@@ -26,6 +27,7 @@ pub use wasabi_lang as lang;
 pub use wasabi_llm as llm;
 pub use wasabi_oracles as oracles;
 pub use wasabi_planner as planner;
+pub use wasabi_repair as repair;
 pub use wasabi_serve as serve;
 pub use wasabi_util as util;
 pub use wasabi_vm as vm;
