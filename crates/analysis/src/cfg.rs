@@ -195,10 +195,7 @@ impl Builder {
                 ..
             } = e
             {
-                let recv_this = match recv.as_deref() {
-                    None | Some(Expr::This(_)) => true,
-                    _ => false,
-                };
+                let recv_this = matches!(recv.as_deref(), None | Some(Expr::This(_)));
                 self.blocks[block.0 as usize].atoms.push(Atom::Call {
                     id: *id,
                     method: method.clone(),

@@ -17,14 +17,34 @@
 //!   reaches another retry loop (same method, helper, or another class);
 //!   attempts multiply, and the finding reports the call chain and the
 //!   worst-case attempt product.
+//! - **W004 retry on non-retriable** — a catch that reaches the loop
+//!   header retries an exception the [`lattice`](crate::lattice)
+//!   classifies fatal; retrying re-runs the same doomed operation.
+//! - **W005 unbounded backoff growth** — the
+//!   [`absint`](crate::absint) interval of a slept-on delay variable
+//!   diverges under a multiplicative self-update with no cap, or an
+//!   `i64` overflow is reachable within the attempt bound.
+//! - **W006 ineffective cap** — the interval fixpoint proves the
+//!   attempt guard cannot do its job: at most one attempt, a counter
+//!   nothing updates, or a config default that makes the guard
+//!   unreachable.
+//! - **I001 IF-ratio outlier** (info, opt-out via
+//!   [`LintOptions::ifratio`]) — the loop's retry decision for an
+//!   exception contradicts the application-wide majority policy
+//!   (§3.2.2); retried-fatal outliers already reported by W004 are
+//!   subsumed.
 //!
 //! Amplification chains only follow calls with a *unique* resolved
 //! target, so a fan-out through an ambiguous receiver cannot fabricate a
 //! chain; may-facts (throws, sleeps) use the full may-target sets.
 
+use crate::absint::{self, MethodAbs};
 use crate::callgraph::CallGraph;
 use crate::cfg::{Atom, Cfg};
 use crate::diag::{sort_diagnostics, Diagnostic, Severity};
+use crate::idx;
+use crate::ifratio::{if_ratio_reports, IfOptions, OutlierKind};
+use crate::lattice::{ExcLattice, Transience};
 use crate::loops::{find_retry_loops, LoopQueryOptions, RetryLoop};
 use crate::resolve::{LoopSite, ProjectIndex};
 use crate::summaries::{AttemptBound, MethodSummary, Summaries};
@@ -42,6 +62,9 @@ pub struct LintOptions {
     pub jobs: usize,
     /// Retry-loop query options.
     pub loops: LoopQueryOptions,
+    /// Emit `I001` IF-ratio outlier diagnostics (on by default; the
+    /// `--no-ifratio` CLI flag clears it).
+    pub ifratio: bool,
 }
 
 impl Default for LintOptions {
@@ -49,6 +72,7 @@ impl Default for LintOptions {
         LintOptions {
             jobs: 1,
             loops: LoopQueryOptions::default(),
+            ifratio: true,
         }
     }
 }
@@ -67,6 +91,9 @@ pub struct LoopFacts {
     pub has_delay: bool,
     /// The loop's own attempt bound.
     pub bound: AttemptBound,
+    /// Interval of body executions inferred by the abstract
+    /// interpretation (`None` when the coordinator was not analyzable).
+    pub attempts: Option<absint::Interval>,
 }
 
 /// The result of [`lint_project`]: sorted diagnostics plus per-loop facts.
@@ -119,17 +146,25 @@ pub fn lint_project(project: &Project, options: &LintOptions) -> LintResult {
         })
         .collect();
 
+    let lattice = ExcLattice::build(index);
     let mut diags = Vec::new();
     let mut facts = Vec::new();
+    // Retried-fatal findings, kept so I001 does not re-report them.
+    let mut w004_found: Vec<(String, String)> = Vec::new(); // (coordinator, caught type)
     let mut cfgs: HashMap<(String, String), Cfg> = HashMap::new();
+    let mut abss: HashMap<(String, String), MethodAbs> = HashMap::new();
     for &(li, midx, bound) in &loop_info {
         let rl = &retry_loops[li];
         let site = find_site(&pindex, rl).expect("site resolved above");
         let key = (site.class.to_string(), site.method.name.clone());
+        let abs = abss
+            .entry(key.clone())
+            .or_insert_with(|| absint::analyze_method(index, site.class, site.method));
+        let obs = abs.loops.get(&rl.loop_id).cloned();
         let cfg = cfgs
             .entry(key)
             .or_insert_with(|| Cfg::build(&site.method.body));
-        let site_targets: HashMap<CallSite, &[u32]> = cg.calls[midx as usize]
+        let site_targets: HashMap<CallSite, &[u32]> = cg.calls[idx(midx, "coordinator method")]
             .iter()
             .map(|c| (c.site, c.targets.as_slice()))
             .collect();
@@ -138,7 +173,7 @@ pub fn lint_project(project: &Project, options: &LintOptions) -> LintResult {
         let mut has_delay = false;
         let mut loop_calls: Vec<CallSite> = Vec::new();
         for block in cfg.blocks_in_loop(rl.loop_id) {
-            for atom in &cfg.blocks[block.0 as usize].atoms {
+            for atom in &cfg.blocks[idx(block.0, "cfg block")].atoms {
                 match atom {
                     Atom::Sleep { .. } => has_delay = true,
                     Atom::Call { id, .. } => {
@@ -149,7 +184,7 @@ pub fn lint_project(project: &Project, options: &LintOptions) -> LintResult {
                         if let Some(targets) = site_targets.get(&call_site) {
                             if targets
                                 .iter()
-                                .any(|&t| summaries.methods[t as usize].may_sleep)
+                                .any(|&t| summaries.methods[idx(t, "callee method")].may_sleep)
                             {
                                 has_delay = true;
                             }
@@ -178,6 +213,99 @@ pub fn lint_project(project: &Project, options: &LintOptions) -> LintResult {
             });
         }
 
+        // W004: a header-reaching catch retries an exception the lattice
+        // classifies fatal; a retry re-runs the same doomed operation.
+        let mut fatal_seen: BTreeSet<&str> = BTreeSet::new();
+        for caught in &rl.reaching_catches {
+            if lattice.classify_name(index, caught) == Transience::Fatal
+                && fatal_seen.insert(caught.as_str())
+            {
+                w004_found.push((rl.coordinator.to_string(), caught.clone()));
+                diags.push(Diagnostic {
+                    message: format!(
+                        "retry loop retries {caught}, which the exception lattice \
+                         classifies as fatal (non-retriable)"
+                    ),
+                    ..diag_base("W004", rl, anchor())
+                });
+            }
+        }
+
+        if let Some(obs) = &obs {
+            // W005: a slept-on delay variable diverges — multiplicative
+            // self-update with no cap, or an i64 overflow reachable
+            // within the attempt bound.
+            let mut growth_seen: BTreeSet<&str> = BTreeSet::new();
+            for sleep in &obs.sleeps {
+                for var in &sleep.vars {
+                    let Some(growth) = obs.growths.iter().find(|g| g.var == *var) else {
+                        continue;
+                    };
+                    if !obs.head_interval(var).unbounded_above() {
+                        continue; // narrowing proved a cap
+                    }
+                    let message = if obs.attempts.unbounded_above() {
+                        format!(
+                            "backoff delay `{}` grows by x{} per retry with no cap; \
+                             the delay interval diverges",
+                            var,
+                            display_endpoint(growth.factor.lo)
+                        )
+                    } else if delay_overflows(
+                        obs.entry_interval(var),
+                        growth.factor,
+                        obs.attempts.hi,
+                    ) {
+                        format!(
+                            "backoff delay `{}` grows by x{} per retry; saturating i64 \
+                             overflow is reachable within the {}-attempt bound",
+                            var,
+                            display_endpoint(growth.factor.lo),
+                            obs.attempts.hi
+                        )
+                    } else {
+                        continue;
+                    };
+                    if growth_seen.insert(var.as_str()) {
+                        diags.push(Diagnostic {
+                            message,
+                            ..diag_base("W005", rl, anchor())
+                        });
+                    }
+                }
+            }
+
+            // W006: the attempt cap cannot do its job.
+            let ineffective = if obs.guard_unreachable {
+                Some(
+                    "attempt guard is unreachable: the bound is at or below the \
+                     counter's start value (a zero config default does this), so no \
+                     attempt is ever made"
+                        .to_string(),
+                )
+            } else if obs.attempts.hi <= 1 {
+                Some(format!(
+                    "attempt cap permits at most {} attempt(s); the loop never \
+                     actually retries",
+                    obs.attempts.hi.max(0)
+                ))
+            } else {
+                match (&obs.counter, obs.counter_updated) {
+                    (Some(counter), false) => Some(format!(
+                        "attempt cap compares `{counter}`, but nothing in the loop \
+                         updates it; the bound can never trip"
+                    )),
+                    _ => None,
+                }
+            };
+            if let Some(message) = ineffective {
+                diags.push(Diagnostic {
+                    message,
+                    ..diag_base("W006", rl, anchor())
+                });
+            }
+        }
+
         // W003: retried callee may throw something no catch matches.
         let catch_ids: Vec<ExcId> = cfg
             .catches_in_loop(rl.loop_id)
@@ -190,7 +318,7 @@ pub fn lint_project(project: &Project, options: &LintOptions) -> LintResult {
                 continue;
             };
             for &t in *targets {
-                for &exc in &summaries.methods[t as usize].may_throw {
+                for &exc in &summaries.methods[idx(t, "callee method")].may_throw {
                     let covered = catch_ids.iter().any(|&c| {
                         index.is_exc_subtype(exc, c) || index.is_exc_subtype(c, exc)
                     });
@@ -199,7 +327,7 @@ pub fn lint_project(project: &Project, options: &LintOptions) -> LintResult {
                             message: format!(
                                 "retried call {} may throw {}, which no catch in the loop matches",
                                 index.method_display(t),
-                                index.exceptions[exc.0 as usize].name_str
+                                index.exceptions[idx(exc.0, "exception")].name_str
                             ),
                             ..diag_base("W003", rl, anchor())
                         });
@@ -225,7 +353,7 @@ pub fn lint_project(project: &Project, options: &LintOptions) -> LintResult {
                 if !amplified.insert(inner) {
                     continue;
                 }
-                let inner_bound = summaries.methods[inner as usize]
+                let inner_bound = summaries.methods[idx(inner, "inner retry method")]
                     .attempts
                     .unwrap_or(AttemptBound::Capped);
                 let product = bound.multiply(inner_bound);
@@ -251,6 +379,7 @@ pub fn lint_project(project: &Project, options: &LintOptions) -> LintResult {
             has_cap,
             has_delay,
             bound,
+            attempts: obs.as_ref().map(|o| o.attempts),
         });
     }
 
@@ -267,7 +396,7 @@ pub fn lint_project(project: &Project, options: &LintOptions) -> LintResult {
             let nested = cfg
                 .blocks_in_loop(inner.loop_id)
                 .iter()
-                .any(|b| cfg.blocks[b.0 as usize].loops.contains(&outer.loop_id));
+                .any(|b| cfg.blocks[idx(b.0, "cfg block")].loops.contains(&outer.loop_id));
             if !nested {
                 continue;
             }
@@ -283,11 +412,89 @@ pub fn lint_project(project: &Project, options: &LintOptions) -> LintResult {
         }
     }
 
+    // I001: application-wide IF-ratio outliers, promoted from the score
+    // path into suppressible info diagnostics.
+    if options.ifratio {
+        let if_options = IfOptions {
+            loop_options: options.loops.clone(),
+            ..IfOptions::default()
+        };
+        let symbols = &project.symbols;
+        for report in if_ratio_reports(&pindex, &if_options) {
+            for outlier in &report.outliers {
+                // A retried-fatal outlier is already W004's finding.
+                let subsumed = report.kind == OutlierKind::MostlyNotRetried
+                    && w004_found.iter().any(|(coord, caught)| {
+                        *coord == outlier.coordinator.to_string()
+                            && symbols.is_exception_subtype(&report.exception, caught)
+                    });
+                if subsumed {
+                    continue;
+                }
+                let file = &project.files[idx(outlier.file.0, "outlier file")];
+                let pos = file.line_map().line_col(outlier.span.start);
+                let policy = match report.kind {
+                    OutlierKind::MostlyRetried => format!(
+                        "retried in {}/{} retry loops project-wide but not retried here",
+                        report.r, report.n
+                    ),
+                    OutlierKind::MostlyNotRetried => format!(
+                        "retried here but in only {}/{} retry loops project-wide",
+                        report.r, report.n
+                    ),
+                };
+                diags.push(Diagnostic {
+                    code: "I001",
+                    severity: Severity::Info,
+                    file: file.path.clone(),
+                    line: pos.line,
+                    col: pos.col,
+                    coordinator: outlier.coordinator.to_string(),
+                    message: format!(
+                        "inconsistent retry policy: {} is {}",
+                        report.exception, policy
+                    ),
+                    chain: Vec::new(),
+                });
+            }
+        }
+    }
+
     sort_diagnostics(&mut diags);
     LintResult {
         diagnostics: diags,
         loops: facts,
     }
+}
+
+/// Formats an interval endpoint for messages (`?` for an infinity).
+fn display_endpoint(v: i64) -> String {
+    if v == absint::NEG_INF || v == absint::POS_INF {
+        "?".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+/// Whether `base * factor^attempts` can overflow `i64`. Uses the upper
+/// endpoints (worst case); 64 doublings always overflow, so iteration is
+/// capped there.
+fn delay_overflows(base: absint::Interval, factor: absint::Interval, attempts: i64) -> bool {
+    if factor.hi == absint::POS_INF {
+        return true;
+    }
+    let mut value = if base.hi == absint::POS_INF || base.hi < 1 {
+        1i64
+    } else {
+        base.hi
+    };
+    for _ in 0..attempts.clamp(0, 64) {
+        match value.checked_mul(factor.hi) {
+            Some(next) => value = next,
+            None => return true,
+        }
+    }
+    false
 }
 
 fn find_site<'p>(pindex: &'p ProjectIndex<'p>, rl: &RetryLoop) -> Option<&'p LoopSite<'p>> {
@@ -318,7 +525,7 @@ fn diag_base(code: &'static str, rl: &RetryLoop, anchor: (String, u32, u32)) -> 
 }
 
 fn anchor_at(project: &Project, rl: &RetryLoop) -> (String, u32, u32) {
-    let file = &project.files[rl.file.0 as usize];
+    let file = &project.files[idx(rl.file.0, "loop file")];
     let pos = file.line_map().line_col(rl.span.start);
     (file.path.clone(), pos.line, pos.col)
 }
@@ -339,12 +546,12 @@ fn reachable_retries(
     seen.insert(start);
     queue.push_back((start, vec![start]));
     while let Some((m, chain)) = queue.pop_front() {
-        if summaries[m as usize].has_retry_loop && m != origin {
+        if summaries[idx(m, "method summary")].has_retry_loop && m != origin {
             out.push((m, chain));
             // Deeper nesting is that method's own finding.
             continue;
         }
-        for &next in &precise[m as usize] {
+        for &next in &precise[idx(m, "method summary")] {
             if next == origin || !seen.insert(next) {
                 continue;
             }
@@ -385,7 +592,7 @@ fn helper_cap(
                         if let Some(targets) = site_targets.get(&call_site) {
                             if targets
                                 .iter()
-                                .any(|&t| summaries.methods[t as usize].has_comparison)
+                                .any(|&t| summaries.methods[idx(t, "callee method")].has_comparison)
                             {
                                 capped = true;
                             }
@@ -460,7 +667,7 @@ fn static_int(index: &ProgramIndex, class: &str, expr: &Expr) -> Option<i64> {
                 return None;
             };
             let id = index.config_by_name(key)?;
-            match &index.configs[id as usize].default {
+            match &index.configs[idx(id, "config")].default {
                 Literal::Int(n) => Some(*n),
                 _ => None,
             }
@@ -471,7 +678,7 @@ fn static_int(index: &ProgramIndex, class: &str, expr: &Expr) -> Option<i64> {
 
 /// The literal integer initialiser of a field, if any.
 fn field_int(index: &ProgramIndex, class: ClassId, name: &str) -> Option<i64> {
-    let def = &index.classes[class.0 as usize];
+    let def = &index.classes[idx(class.0, "class")];
     let sym = index.interner.lookup(name)?;
     let slot = def.layout.slot(sym)?;
     // Last initialiser for the slot wins (subclass overrides).
@@ -697,6 +904,285 @@ mod tests {
              }",
         );
         assert!(codes(&diags).iter().all(|&c| c != "W001"), "diags: {diags:?}");
+    }
+
+    #[test]
+    fn retry_on_fatal_exception_is_reported_with_w004() {
+        let diags = lint(
+            "exception FileExistsException;\n\
+             class C {\n\
+               method op() throws FileExistsException { return 1; }\n\
+               method run() {\n\
+                 for (var retry = 0; retry < 5; retry = retry + 1) {\n\
+                   try { return this.op(); } catch (FileExistsException e) { sleep(100); }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+             }",
+        );
+        assert_eq!(codes(&diags), vec!["W004"]);
+        assert!(diags[0].message.contains("FileExistsException"));
+    }
+
+    #[test]
+    fn retry_on_transient_exception_stays_quiet() {
+        let diags = lint(
+            "exception SocketTimeoutException;\n\
+             class C {\n\
+               method op() throws SocketTimeoutException { return 1; }\n\
+               method run() {\n\
+                 for (var retry = 0; retry < 5; retry = retry + 1) {\n\
+                   try { return this.op(); } catch (SocketTimeoutException e) { sleep(100); }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+             }",
+        );
+        assert!(diags.is_empty(), "diags: {diags:?}");
+    }
+
+    #[test]
+    fn uncapped_multiplicative_backoff_is_reported_with_w005() {
+        let diags = lint(
+            "exception E;\n\
+             class C {\n\
+               method op() throws E { return 1; }\n\
+               method run() {\n\
+                 var delay = 10;\n\
+                 var retries = 0;\n\
+                 while (retries < 1000000000) {\n\
+                   try { return this.op(); }\n\
+                   catch (E e) { sleep(delay); delay = delay * 2; retries = retries + 1; }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+             }",
+        );
+        assert_eq!(codes(&diags), vec!["W005"], "diags: {diags:?}");
+        assert!(diags[0].message.contains("delay"), "got: {}", diags[0].message);
+    }
+
+    #[test]
+    fn min_capped_backoff_is_not_w005() {
+        let diags = lint(
+            "exception E;\n\
+             class C {\n\
+               field capMs = 1000;\n\
+               method op() throws E { return 1; }\n\
+               method run() {\n\
+                 var delay = 25;\n\
+                 for (var retry = 0; retry < 16; retry = retry + 1) {\n\
+                   try { return this.op(); }\n\
+                   catch (E e) { sleep(delay); delay = min(delay * 2, this.capMs); }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+             }",
+        );
+        assert!(diags.is_empty(), "diags: {diags:?}");
+    }
+
+    #[test]
+    fn overflowing_bounded_backoff_is_reported_with_w005() {
+        let diags = lint(
+            "exception E;\n\
+             class C {\n\
+               method op() throws E { return 1; }\n\
+               method run() {\n\
+                 var delay = 10;\n\
+                 for (var retry = 0; retry < 200; retry = retry + 1) {\n\
+                   try { return this.op(); }\n\
+                   catch (E e) { sleep(delay); delay = delay * 3; }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+             }",
+        );
+        assert_eq!(codes(&diags), vec!["W005"], "diags: {diags:?}");
+        assert!(
+            diags[0].message.contains("overflow"),
+            "got: {}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn small_bounded_backoff_growth_is_clean() {
+        let diags = lint(
+            "exception E;\n\
+             class C {\n\
+               method op() throws E { return 1; }\n\
+               method run() {\n\
+                 var delay = 10;\n\
+                 for (var retry = 0; retry < 5; retry = retry + 1) {\n\
+                   try { return this.op(); }\n\
+                   catch (E e) { sleep(delay); delay = delay * 2; }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+             }",
+        );
+        assert!(diags.is_empty(), "diags: {diags:?}");
+    }
+
+    #[test]
+    fn stuck_counter_is_reported_with_w006() {
+        let diags = lint(
+            "exception E;\n\
+             class C {\n\
+               method op() throws E { return 1; }\n\
+               method run() {\n\
+                 var retries = 0;\n\
+                 while (retries < 5) {\n\
+                   try { return this.op(); } catch (E e) { sleep(10); }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+             }",
+        );
+        assert_eq!(codes(&diags), vec!["W006"], "diags: {diags:?}");
+        assert!(
+            diags[0].message.contains("retries"),
+            "got: {}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn config_default_zero_guard_is_reported_with_w006() {
+        let diags = lint(
+            "exception E;\n\
+             config \"app.retry.max\" default 0;\n\
+             class C {\n\
+               method op() throws E { return 1; }\n\
+               method run() {\n\
+                 for (var retry = 0; retry < getConfig(\"app.retry.max\"); retry = retry + 1) {\n\
+                   try { return this.op(); } catch (E e) { sleep(10); }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+             }",
+        );
+        assert_eq!(codes(&diags), vec!["W006"], "diags: {diags:?}");
+        assert!(
+            diags[0].message.contains("unreachable"),
+            "got: {}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn bound_of_one_is_reported_with_w006() {
+        let diags = lint(
+            "exception E;\n\
+             class C {\n\
+               method op() throws E { return 1; }\n\
+               method run() {\n\
+                 for (var retry = 0; retry < 1; retry = retry + 1) {\n\
+                   try { return this.op(); } catch (E e) { sleep(10); }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+             }",
+        );
+        assert_eq!(codes(&diags), vec!["W006"], "diags: {diags:?}");
+        assert!(
+            diags[0].message.contains("at most 1"),
+            "got: {}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn ifratio_outliers_become_i001_and_respect_the_opt_out() {
+        // Four loops can throw MetaException; only one retries it.
+        let mut src = String::from(
+            "exception MetaException;\n\
+             exception Transient;\n\
+             class Store { method op() throws MetaException { return 1; } }\n\
+             class R {\n\
+               method run(st) {\n\
+                 for (var retry = 0; retry < 5; retry = retry + 1) {\n\
+                   try { return st.op(); } catch (MetaException e) { sleep(10); }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+             }\n",
+        );
+        for i in 0..3 {
+            src.push_str(&format!(
+                "class N{i} {{\n\
+                   method flaky() throws Transient {{ return 1; }}\n\
+                   method run(st) {{\n\
+                     for (var retry = 0; retry < 5; retry = retry + 1) {{\n\
+                       try {{ st.op(); return this.flaky(); }}\n\
+                       catch (Transient e) {{ sleep(10); }}\n\
+                       catch (MetaException e) {{ break; }}\n\
+                     }}\n\
+                     return null;\n\
+                   }}\n\
+                 }}\n"
+            ));
+        }
+        let p = Project::compile("t", vec![("t.jav", &src)]).expect("compile");
+        let diags = lint_project(&p, &LintOptions::default()).diagnostics;
+        let i001: Vec<&Diagnostic> = diags.iter().filter(|d| d.code == "I001").collect();
+        assert_eq!(i001.len(), 1, "diags: {diags:?}");
+        assert_eq!(i001[0].coordinator, "R.run");
+        assert_eq!(i001[0].severity, Severity::Info);
+        assert!(i001[0].message.contains("1/4"), "got: {}", i001[0].message);
+
+        let mut opts = LintOptions::default();
+        opts.ifratio = false;
+        let diags = lint_project(&p, &opts).diagnostics;
+        assert!(
+            diags.iter().all(|d| d.code != "I001"),
+            "opt-out must silence I001: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn w004_subsumes_the_retried_fatal_i001_outlier() {
+        // Four loops can throw IllegalStateException (fatal); only one
+        // retries it: that loop gets W004 and must NOT also get I001.
+        // IllegalStateException is a builtin (fatal-seeded) exception.
+        let mut src = String::from(
+            "exception Transient;\n\
+             class Store { method op() throws IllegalStateException { return 1; } }\n\
+             class R {\n\
+               method run(st) {\n\
+                 for (var retry = 0; retry < 5; retry = retry + 1) {\n\
+                   try { return st.op(); } catch (IllegalStateException e) { sleep(10); }\n\
+                 }\n\
+                 return null;\n\
+               }\n\
+             }\n",
+        );
+        for i in 0..3 {
+            src.push_str(&format!(
+                "class N{i} {{\n\
+                   method flaky() throws Transient {{ return 1; }}\n\
+                   method run(st) {{\n\
+                     for (var retry = 0; retry < 5; retry = retry + 1) {{\n\
+                       try {{ st.op(); return this.flaky(); }}\n\
+                       catch (Transient e) {{ sleep(10); }}\n\
+                       catch (IllegalStateException e) {{ break; }}\n\
+                     }}\n\
+                     return null;\n\
+                   }}\n\
+                 }}\n"
+            ));
+        }
+        let p = Project::compile("t", vec![("t.jav", &src)]).expect("compile");
+        let diags = lint_project(&p, &LintOptions::default()).diagnostics;
+        assert!(
+            diags.iter().any(|d| d.code == "W004" && d.coordinator == "R.run"),
+            "diags: {diags:?}"
+        );
+        assert!(
+            diags.iter().all(|d| d.code != "I001"),
+            "W004 must subsume the retried-fatal outlier: {diags:?}"
+        );
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //! | `W001` | warning  | retry loop has no attempt cap                      |
 //! | `W002` | warning  | retry loop has no delay on the retry path          |
 //! | `W003` | warning  | retried callee may throw an exception no catch matches |
+//! | `W004` | warning  | retry on a non-retriable (lattice-fatal) exception |
+//! | `W005` | warning  | unbounded or overflowing multiplicative backoff growth |
+//! | `W006` | warning  | ineffective attempt cap (bound ≤ 1, stuck counter, or unreachable guard) |
 //! | `A001` | warning  | nested retry amplification (multiplicative attempts) |
+//! | `I001` | info     | IF-ratio outlier (condition retried against the study-wide distribution) |
 //!
 //! # Baselines
 //!

@@ -10,7 +10,8 @@ use crate::cfg::{Atom, Cfg};
 use crate::loops::{find_retry_loops, LoopQueryOptions, RetryLoop};
 use crate::resolve::ProjectIndex;
 use std::collections::BTreeMap;
-use wasabi_lang::project::MethodId;
+use wasabi_lang::project::{FileId, MethodId};
+use wasabi_lang::span::Span;
 
 /// Which side of the ratio the outliers fall on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +30,10 @@ pub struct IfOutlier {
     pub coordinator: MethodId,
     /// Whether this instance retries the exception.
     pub retried: bool,
+    /// File containing the loop (diagnostic anchor).
+    pub file: FileId,
+    /// Source span of the loop (diagnostic anchor).
+    pub span: Span,
 }
 
 /// Per-exception retry-ratio report.
@@ -85,6 +90,8 @@ impl Default for IfOptions {
 struct LoopExceptionUse {
     coordinator: MethodId,
     retried: bool,
+    file: FileId,
+    span: Span,
 }
 
 /// Runs the IF-ratio analysis across the project.
@@ -96,6 +103,8 @@ pub fn if_ratio_reports(index: &ProjectIndex<'_>, options: &IfOptions) -> Vec<If
             uses.entry(exception).or_default().push(LoopExceptionUse {
                 coordinator: retry_loop.coordinator.clone(),
                 retried,
+                file: retry_loop.file,
+                span: retry_loop.span,
             });
         }
     }
@@ -121,6 +130,8 @@ pub fn if_ratio_reports(index: &ProjectIndex<'_>, options: &IfOptions) -> Vec<If
             .map(|u| IfOutlier {
                 coordinator: u.coordinator.clone(),
                 retried: u.retried,
+                file: u.file,
+                span: u.span,
             })
             .collect();
         out.push(IfReport {

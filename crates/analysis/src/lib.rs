@@ -11,6 +11,11 @@
 //! - [`when`] — static missing-delay / missing-cap checks on retry loops;
 //! - [`ifratio`] — application-wide retry-ratio analysis flagging
 //!   inconsistent IF-retry policies;
+//! - [`absint`] — per-method interval abstract interpretation of attempt
+//!   counters and delay expressions (widening at loop heads, one
+//!   narrowing pass), feeding the `W005`/`W006` policy checkers;
+//! - [`lattice`] — the transient-vs-fatal exception classification
+//!   behind the `W004` retry-on-non-retriable checker;
 //! - [`resolve`] — dispatch-table-backed callee resolution and project
 //!   indexes;
 //! - [`callgraph`] — the deterministic interprocedural call graph
@@ -47,8 +52,18 @@
 //! assert_eq!(loops.len(), 1);
 //! ```
 
+/// Checked dense-id indexing (the journal-cast convention): converting a
+/// `u32` id for slice indexing panics with a message when the id does not
+/// fit the address space, instead of silently wrapping into a
+/// valid-looking small index.
+pub(crate) fn idx(id: u32, what: &str) -> usize {
+    usize::try_from(id).unwrap_or_else(|_| panic!("{what}: dense id {id} does not fit in usize"))
+}
+
+pub mod absint;
 pub mod callgraph;
 pub mod cfg;
+pub mod lattice;
 pub mod checkers;
 pub mod diag;
 pub mod ifratio;
@@ -58,7 +73,9 @@ pub mod resolve;
 pub mod summaries;
 pub mod when;
 
+pub use absint::{analyze_method, Interval, LoopObs, MethodAbs};
 pub use callgraph::{sccs, CallGraph, ResolvedCall, Sccs};
+pub use lattice::{ExcLattice, Transience};
 pub use checkers::{lint_project, LintOptions};
 pub use diag::{render_json, render_text, Diagnostic, Severity};
 pub use ifratio::{if_ratio_reports, IfOptions, IfReport, OutlierKind};

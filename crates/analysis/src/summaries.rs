@@ -29,6 +29,7 @@
 //! and `--jobs 4` produce byte-identical summaries.
 
 use crate::callgraph::{sccs, CallGraph, ResolvedCall};
+use crate::idx;
 use std::collections::{BTreeSet, HashMap};
 use wasabi_lang::ast::BinOp;
 use wasabi_lang::index::{ExcId, LExpr, LStmt, ProgramIndex, Slot};
@@ -110,7 +111,7 @@ impl Summaries {
         let n = index.methods.len();
         let mut retry_bounds: Vec<Option<AttemptBound>> = vec![None; n];
         for &(midx, bound) in local_retry {
-            let slot = &mut retry_bounds[midx as usize];
+            let slot = &mut retry_bounds[idx(midx, "retry method")];
             *slot = Some(match *slot {
                 // Several loops in one method: keep the worst case.
                 Some(existing) => existing.max_of(bound),
@@ -126,8 +127,8 @@ impl Summaries {
         for (ci, members) in scc.components.iter().enumerate() {
             let mut level = 0;
             for &m in members {
-                for &callee in &cg.callees[m as usize] {
-                    let cc = scc.component_of[callee as usize] as usize;
+                for &callee in &cg.callees[idx(m, "scc member")] {
+                    let cc = idx(scc.component_of[idx(callee, "callee method")], "component");
                     if cc != ci {
                         level = level.max(levels[cc] + 1);
                     }
@@ -136,9 +137,9 @@ impl Summaries {
             levels[ci] = level;
         }
         let max_level = levels.iter().copied().max().unwrap_or(0);
-        let mut by_level: Vec<Vec<usize>> = vec![Vec::new(); max_level as usize + 1];
+        let mut by_level: Vec<Vec<usize>> = vec![Vec::new(); idx(max_level, "scc level") + 1];
         for (ci, &level) in levels.iter().enumerate() {
-            by_level[level as usize].push(ci);
+            by_level[idx(level, "scc level")].push(ci);
         }
 
         let mut methods: Vec<MethodSummary> = vec![MethodSummary::default(); n];
@@ -178,7 +179,7 @@ impl Summaries {
                 })
             };
             for (midx, summary) in results {
-                methods[midx as usize] = summary;
+                methods[idx(midx, "solved method")] = summary;
             }
         }
         Summaries { methods }
@@ -188,7 +189,7 @@ impl Summaries {
     pub fn targets_may_throw(&self, call: &ResolvedCall) -> BTreeSet<ExcId> {
         let mut out = BTreeSet::new();
         for &t in &call.targets {
-            out.extend(self.methods[t as usize].may_throw.iter().copied());
+            out.extend(self.methods[idx(t, "call target")].may_throw.iter().copied());
         }
         out
     }
@@ -254,8 +255,8 @@ fn transfer(
     finalized: &[MethodSummary],
     overlay: &HashMap<u32, MethodSummary>,
 ) -> MethodSummary {
-    let method = &index.methods[midx as usize];
-    let call_targets: HashMap<CallSite, &[u32]> = cg.calls[midx as usize]
+    let method = &index.methods[idx(midx, "method")];
+    let call_targets: HashMap<CallSite, &[u32]> = cg.calls[idx(midx, "method")]
         .iter()
         .map(|c| (c.site, c.targets.as_slice()))
         .collect();
@@ -272,7 +273,7 @@ fn transfer(
         has_comparison: false,
     };
     walker.stmts(&method.body);
-    let attempts = retry_bounds[midx as usize];
+    let attempts = retry_bounds[idx(midx, "method")];
     MethodSummary {
         may_throw: walker.may_throw,
         may_sleep: walker.may_sleep,
@@ -303,7 +304,7 @@ impl<'a> BodyWalker<'a> {
     /// The current summary of method `m`: in-component overlay first,
     /// else the finalized lower-level result.
     fn summary_of(&self, m: u32) -> &MethodSummary {
-        self.overlay.get(&m).unwrap_or(&self.finalized[m as usize])
+        self.overlay.get(&m).unwrap_or(&self.finalized[idx(m, "method")])
     }
 
     /// Records that exception `exc` is raised at the current position; it
@@ -510,7 +511,7 @@ mod tests {
     fn midx(p: &Project, class: &str, name: &str) -> usize {
         let cid = p.index.class_by_name(class).expect("class");
         let sym = p.index.interner.lookup(name).expect("name");
-        p.index.resolve_dispatch(cid, sym).expect("dispatch") as usize
+        idx(p.index.resolve_dispatch(cid, sym).expect("dispatch"), "dispatch")
     }
 
     fn exc(p: &Project, name: &str) -> ExcId {

@@ -80,6 +80,13 @@ pub struct DynamicOptions {
     /// refuses the combination and this module ignores `adaptive` when a
     /// shard range is set).
     pub adaptive: bool,
+    /// Coordinator method names the static↔LLM cross-check put in a
+    /// disagreement tier (`wasabi lint --cross-check`). Retry sites
+    /// anchored in these methods get a large probe-priority boost in the
+    /// adaptive campaign (see
+    /// [`wasabi_planner::adaptive::boost_disagreement_sites`]). Pure
+    /// scheduling, never report-bearing; ignored without `adaptive`.
+    pub disagreement_hints: BTreeSet<String>,
     /// Persist the coverage profile keyed by source digest
     /// (`--profile-cache`); repeat campaigns over unchanged sources skip
     /// the profiling pass. See [`wasabi_planner::profile_cache`].
@@ -102,6 +109,7 @@ impl Default for DynamicOptions {
             stream: false,
             shard_range: None,
             adaptive: false,
+            disagreement_hints: BTreeSet::new(),
             profile_cache: None,
         }
     }
@@ -277,7 +285,7 @@ pub fn prepare_campaign(
     let all_sites: BTreeSet<_> = locations.iter().map(|l| l.site).collect();
     let test_plan = plan(&profile, &all_sites);
     let mut runs = expand_plan(&test_plan, locations, &options.ks);
-    runs.sort_by(|a, b| a.key().cmp(&b.key()));
+    runs.sort_by_key(|run| run.key());
     let runs_naive = naive_run_count(&profile, locations, &options.ks);
     close(name, observer);
 
@@ -353,6 +361,7 @@ pub fn run_dynamic_with_observer(
             &options.ks,
             &campaign_options,
             &options.resume_records,
+            &options.disagreement_hints,
             observer,
         );
         (campaign, Some(summary))
@@ -548,6 +557,7 @@ fn merge_stats(first: CampaignStats, second: &CampaignStats) -> CampaignStats {
 /// key). Since resumed records are byte-identical to the executed runs
 /// they replace, the widen selection — and therefore the report — is
 /// byte-identical across a resume split.
+#[allow(clippy::too_many_arguments)]
 fn run_adaptive_campaign(
     project: &Project,
     runs: &[InjectionRun],
@@ -555,11 +565,13 @@ fn run_adaptive_campaign(
     ks: &[u32],
     base: &CampaignOptions,
     resume: &[RunRecord],
+    hints: &BTreeSet<String>,
     observer: &mut dyn EngineObserver,
 ) -> (CampaignResult, AdaptiveSummary) {
     let kmax = adaptive::probe_k(ks);
     let plan = adaptive::split_waves(runs.to_vec(), kmax);
-    let sites = adaptive::site_priorities(locations);
+    let mut sites = adaptive::site_priorities(locations);
+    adaptive::boost_disagreement_sites(&mut sites, locations, hints);
     let structures = adaptive::site_structures(locations);
 
     let mut signals: BTreeMap<RunKey, ProbeSignal> = BTreeMap::new();

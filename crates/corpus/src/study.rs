@@ -294,7 +294,7 @@ pub fn study_issues() -> Vec<StudyIssue> {
         let severity = draw(&mut severities, step / 5);
         let trigger = draw(&mut triggers, step);
         let remaining = 70 - issues.len();
-        let regression_test = regressions >= remaining || (regressions > 0 && step % 3 != 0);
+        let regression_test = regressions >= remaining || (regressions > 0 && !step.is_multiple_of(3));
         if regression_test {
             regressions -= 1;
         }

@@ -83,6 +83,17 @@ pub fn generate_app_with_amp(spec: &AppSpec, scale: Scale) -> GeneratedApp {
     app
 }
 
+/// Appends the opt-in retry-policy seeds (six genuine W004–W006 policy
+/// bugs plus three decoys, labelled in `truth.policy_seeds`) to an
+/// already-generated app. A separate appender rather than a generator
+/// variant so it composes with the amplification extension: `--amp
+/// --policy` stacks both seed families on one app.
+pub fn append_policy_seeds(app: &mut GeneratedApp) {
+    let (files, seeds) = templates::policy_seed_files(app.spec.short);
+    app.files.extend(files);
+    app.truth.policy_seeds = seeds;
+}
+
 // ---- Slot and role machinery ------------------------------------------------
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -719,6 +730,47 @@ mod tests {
                 seed.id
             );
         }
+    }
+
+    #[test]
+    fn policy_extension_compiles_labels_and_composes_with_amp() {
+        let spec = &paper_apps()[0];
+        let plain = generate_app(spec, Scale::Tiny);
+        let mut app = generate_app(spec, Scale::Tiny);
+        append_policy_seeds(&mut app);
+        let _ = compile_app(&app);
+        assert_eq!(app.truth.policy_seeds.len(), 9);
+        let genuine = app.truth.policy_seeds.iter().filter(|s| s.genuine).count();
+        assert_eq!(genuine, 6);
+        for code in ["W004", "W005", "W006"] {
+            assert!(
+                app.truth.policy_seeds.iter().any(|s| s.code == code && s.genuine),
+                "at least one genuine {code} seed"
+            );
+            assert!(
+                app.truth.policy_seeds.iter().any(|s| s.code == code && !s.genuine),
+                "at least one {code} decoy"
+            );
+        }
+        assert_eq!(app.files.len(), plain.files.len() + 9);
+        assert_eq!(app.truth.structures.len(), plain.truth.structures.len());
+        assert!(plain.truth.policy_seeds.is_empty());
+        for seed in &app.truth.policy_seeds {
+            assert!(
+                app.files.iter().any(|(p, _)| p == &seed.file_path),
+                "seed {} points at a generated file",
+                seed.id
+            );
+        }
+
+        // Composes with the amplification extension: both seed families
+        // stack on one app.
+        let mut both = generate_app_with_amp(spec, Scale::Tiny);
+        append_policy_seeds(&mut both);
+        let _ = compile_app(&both);
+        assert_eq!(both.truth.amp_seeds.len(), 6);
+        assert_eq!(both.truth.policy_seeds.len(), 9);
+        assert_eq!(both.files.len(), plain.files.len() + 6 + 9);
     }
 
     #[test]

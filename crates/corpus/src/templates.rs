@@ -114,6 +114,7 @@ pub fn large_file_padding(lines: usize) -> String {
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finish(
     ctx: &Ctx,
     kind: StructureKind,
@@ -849,12 +850,12 @@ pub fn queue_structure(ctx: &Ctx, bug: Option<SeededBug>) -> StructureBuild {
     let exc = &ctx.exception;
     let (requeue, cap_check, bugs) = match bug {
         Some(SeededBug::MissingCap) => (
-            format!("this.workQueue.putDelayed(item, 40);"),
+            "this.workQueue.putDelayed(item, 40);".to_string(),
             String::new(),
             vec![SeededBug::MissingCap],
         ),
         Some(SeededBug::MissingDelay) => (
-            format!("this.workQueue.put(item);"),
+            "this.workQueue.put(item);".to_string(),
             format!(
                 "                item.attempts = item.attempts + 1;\n\
                  \x20               if (item.attempts >= this.maxAttempts) {{ throw new {exc}(\"item failed permanently\"); }}\n"
@@ -862,7 +863,7 @@ pub fn queue_structure(ctx: &Ctx, bug: Option<SeededBug>) -> StructureBuild {
             vec![SeededBug::MissingDelay],
         ),
         _ => (
-            format!("this.workQueue.putDelayed(item, 40);"),
+            "this.workQueue.putDelayed(item, 40);".to_string(),
             format!(
                 "                item.attempts = item.attempts + 1;\n\
                  \x20               if (item.attempts >= this.maxAttempts) {{ throw new {exc}(\"item failed permanently\"); }}\n"
@@ -1344,6 +1345,264 @@ pub fn amp_seed_files(short: &str) -> (Vec<(String, String)>, Vec<crate::truth::
              \x20       for (var retry = 0; retry < 3; retry = retry + 1) {{\n\
              \x20           try {{ return this.fetch(); }}\n\
              \x20           catch (ConnectException e) {{ sleep(25); }}\n\
+             \x20       }}\n\
+             \x20       return null;\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    );
+
+    (files, seeds)
+}
+
+// ---- Retry-policy seeds for the abstract-interpretation checkers (opt-in) ---
+
+/// Opt-in retry-policy seed files for the `W004`/`W005`/`W006` checkers:
+/// six genuine policy bugs (a fatal-exception retry, two runaway backoff
+/// shapes, and three ineffective-cap shapes) plus three decoys per
+/// checker family that look similar but are correct and must stay quiet.
+/// Returned alongside ground-truth labels so the lint gate can score
+/// per-code precision and recall mechanically.
+///
+/// Like the amplification seeds, these files are never part of the
+/// default corpus — extra retry loops would shift the pinned
+/// identification totals — and are appended only by
+/// [`crate::synth::append_policy_seeds`].
+pub fn policy_seed_files(short: &str) -> (Vec<(String, String)>, Vec<crate::truth::PolicySeed>) {
+    use crate::truth::PolicySeed;
+    let mut files = Vec::new();
+    let mut seeds = Vec::new();
+    let lower = short.to_lowercase();
+    let mut add = |stem: &str,
+                   code: &'static str,
+                   class: String,
+                   genuine: bool,
+                   source: String| {
+        let path = format!("src/policy_{lower}_{stem}.jav");
+        seeds.push(PolicySeed {
+            id: format!("{short}-policy-{stem}"),
+            code,
+            coordinator: MethodId::new(class, "run"),
+            file_path: path.clone(),
+            genuine,
+        });
+        files.push((path, source));
+    };
+
+    // W004 genuine: the loop retries FileExistsException, which the
+    // exception lattice classifies fatal — retrying cannot help.
+    let fatal = format!("PolFatal{short}");
+    add(
+        "fatal",
+        "W004",
+        fatal.clone(),
+        true,
+        format!(
+            "// Retry the layout creation until it sticks.\n\
+             class {fatal} {{\n\
+             \x20   method mkdir() throws FileExistsException {{ return 1; }}\n\
+             \x20   method run() {{\n\
+             \x20       for (var retry = 0; retry < 5; retry = retry + 1) {{\n\
+             \x20           try {{ return this.mkdir(); }}\n\
+             \x20           catch (FileExistsException e) {{ sleep(100); }}\n\
+             \x20       }}\n\
+             \x20       return null;\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    );
+
+    // W004 decoy: same shape, but the retried exception is transient
+    // (ConnectException) — retrying is exactly right.
+    let fataldecoy = format!("PolTransient{short}");
+    add(
+        "fataldecoy",
+        "W004",
+        fataldecoy.clone(),
+        false,
+        format!(
+            "// Retry the registration over a flaky link.\n\
+             class {fataldecoy} {{\n\
+             \x20   method register() throws ConnectException {{ return 1; }}\n\
+             \x20   method run() {{\n\
+             \x20       for (var retry = 0; retry < 5; retry = retry + 1) {{\n\
+             \x20           try {{ return this.register(); }}\n\
+             \x20           catch (ConnectException e) {{ sleep(100); }}\n\
+             \x20       }}\n\
+             \x20       return null;\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    );
+
+    // W005 genuine: multiplicative backoff with no cap; within the huge
+    // attempt bound the delay interval saturates i64 overflow.
+    let grow = format!("PolGrow{short}");
+    add(
+        "grow",
+        "W005",
+        grow.clone(),
+        true,
+        format!(
+            "// Back off between fetch attempts, doubling each time.\n\
+             class {grow} {{\n\
+             \x20   method fetch() throws TimeoutException {{ return 1; }}\n\
+             \x20   method run() {{\n\
+             \x20       var delay = 10;\n\
+             \x20       var retries = 0;\n\
+             \x20       while (retries < 1000000000) {{\n\
+             \x20           try {{ return this.fetch(); }}\n\
+             \x20           catch (TimeoutException e) {{\n\
+             \x20               sleep(delay);\n\
+             \x20               delay = delay * 2;\n\
+             \x20               retries = retries + 1;\n\
+             \x20           }}\n\
+             \x20       }}\n\
+             \x20       return null;\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    );
+
+    // W005 genuine: tripling backoff whose bounded loop still reaches a
+    // saturating overflow long before the attempt cap trips.
+    let overflow = format!("PolOverflow{short}");
+    add(
+        "overflow",
+        "W005",
+        overflow.clone(),
+        true,
+        format!(
+            "// Back off between store writes, tripling each time.\n\
+             class {overflow} {{\n\
+             \x20   method write() throws StoreException {{ return 1; }}\n\
+             \x20   method run() {{\n\
+             \x20       var delay = 10;\n\
+             \x20       for (var retry = 0; retry < 200; retry = retry + 1) {{\n\
+             \x20           try {{ return this.write(); }}\n\
+             \x20           catch (StoreException e) {{ sleep(delay); delay = delay * 3; }}\n\
+             \x20       }}\n\
+             \x20       return null;\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    );
+
+    // W005 decoy: the same doubling, but min-capped — the interval
+    // narrows back to the cap, so the delay cannot run away.
+    let growdecoy = format!("PolCapped{short}");
+    add(
+        "growdecoy",
+        "W005",
+        growdecoy.clone(),
+        false,
+        format!(
+            "// Back off between poll attempts, doubling up to a cap.\n\
+             class {growdecoy} {{\n\
+             \x20   field capMs = 1000;\n\
+             \x20   method poll() throws TimeoutException {{ return 1; }}\n\
+             \x20   method run() {{\n\
+             \x20       var delay = 25;\n\
+             \x20       for (var retry = 0; retry < 16; retry = retry + 1) {{\n\
+             \x20           try {{ return this.poll(); }}\n\
+             \x20           catch (TimeoutException e) {{\n\
+             \x20               sleep(delay);\n\
+             \x20               delay = min(delay * 2, this.capMs);\n\
+             \x20           }}\n\
+             \x20       }}\n\
+             \x20       return null;\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    );
+
+    // W006 genuine: the guard compares a counter nothing updates — the
+    // bound can never trip.
+    let stuck = format!("PolStuck{short}");
+    add(
+        "stuck",
+        "W006",
+        stuck.clone(),
+        true,
+        format!(
+            "// Retry the meta lookup a bounded number of times.\n\
+             class {stuck} {{\n\
+             \x20   method lookup() throws MetaException {{ return 1; }}\n\
+             \x20   method run() {{\n\
+             \x20       var retries = 0;\n\
+             \x20       while (retries < 5) {{\n\
+             \x20           try {{ return this.lookup(); }}\n\
+             \x20           catch (MetaException e) {{ sleep(10); }}\n\
+             \x20       }}\n\
+             \x20       return null;\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    );
+
+    // W006 genuine: the attempt bound comes from a config whose default
+    // is 0, making the guard unreachable out of the box.
+    let confzero = format!("PolConfZero{short}");
+    add(
+        "confzero",
+        "W006",
+        confzero.clone(),
+        true,
+        format!(
+            "// Retry the task submission up to the configured budget.\n\
+             config \"{lower}.policy.retries\" default 0;\n\
+             class {confzero} {{\n\
+             \x20   method submit() throws TaskException {{ return 1; }}\n\
+             \x20   method run() {{\n\
+             \x20       for (var retry = 0; retry < getConfig(\"{lower}.policy.retries\"); retry = retry + 1) {{\n\
+             \x20           try {{ return this.submit(); }}\n\
+             \x20           catch (TaskException e) {{ sleep(10); }}\n\
+             \x20       }}\n\
+             \x20       return null;\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    );
+
+    // W006 genuine: a literal bound of one — the loop never actually
+    // retries.
+    let one = format!("PolOne{short}");
+    add(
+        "one",
+        "W006",
+        one.clone(),
+        true,
+        format!(
+            "// Retry the socket open (the budget was tuned down to one).\n\
+             class {one} {{\n\
+             \x20   method open() throws SocketException {{ return 1; }}\n\
+             \x20   method run() {{\n\
+             \x20       for (var retry = 0; retry < 1; retry = retry + 1) {{\n\
+             \x20           try {{ return this.open(); }}\n\
+             \x20           catch (SocketException e) {{ sleep(10); }}\n\
+             \x20       }}\n\
+             \x20       return null;\n\
+             \x20   }}\n\
+             }}\n"
+        ),
+    );
+
+    // W006 decoy: an ordinary well-formed cap; the interval proves five
+    // attempts and the counter advances every iteration.
+    let capok = format!("PolCapOk{short}");
+    add(
+        "capok",
+        "W006",
+        capok.clone(),
+        false,
+        format!(
+            "// Retry the metadata refresh with a sane budget.\n\
+             class {capok} {{\n\
+             \x20   method refresh() throws MetaException {{ return 1; }}\n\
+             \x20   method run() {{\n\
+             \x20       for (var retry = 0; retry < 5; retry = retry + 1) {{\n\
+             \x20           try {{ return this.refresh(); }}\n\
+             \x20           catch (MetaException e) {{ sleep(10); }}\n\
              \x20       }}\n\
              \x20       return null;\n\
              \x20   }}\n\

@@ -206,6 +206,24 @@ pub struct AmpSeed {
     pub genuine: bool,
 }
 
+/// Ground truth for one seeded retry-policy site (or decoy) exercising
+/// the abstract-interpretation checkers. Decoys carry `genuine: false`
+/// and are correct code shaped to tempt the checker the seed names —
+/// they give the per-code precision measurement teeth.
+#[derive(Debug, Clone)]
+pub struct PolicySeed {
+    /// Stable id, e.g. `"HB-policy-grow"`.
+    pub id: String,
+    /// The checker under test: `"W004"`, `"W005"`, or `"W006"`.
+    pub code: &'static str,
+    /// Coordinator method containing the seeded loop.
+    pub coordinator: MethodId,
+    /// Path of the file the seed lives in.
+    pub file_path: String,
+    /// Whether a finding of `code` here is correct.
+    pub genuine: bool,
+}
+
 /// Complete ground truth for one generated application.
 #[derive(Debug, Clone, Default)]
 pub struct AppTruth {
@@ -220,6 +238,9 @@ pub struct AppTruth {
     /// Seeded nested-retry amplification sites (opt-in; empty unless the
     /// app was generated with the amplification extension).
     pub amp_seeds: Vec<AmpSeed>,
+    /// Seeded retry-policy sites for the W004–W006 checkers (opt-in;
+    /// empty unless the app was generated with the policy extension).
+    pub policy_seeds: Vec<PolicySeed>,
 }
 
 impl AppTruth {
@@ -287,6 +308,7 @@ mod tests {
             file_traps: vec![],
             if_seeds: vec![],
             amp_seeds: vec![],
+            policy_seeds: vec![],
         };
         assert!(truth.by_coordinator(&MethodId::new("Retry0", "run")).is_some());
         assert!(truth.by_coordinator(&MethodId::new("X", "y")).is_none());

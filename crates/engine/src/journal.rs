@@ -74,6 +74,7 @@ impl Journal {
         };
         let mut file = OpenOptions::new()
             .create(true)
+            .truncate(false)
             .read(true)
             .write(true)
             .open(path)

@@ -238,7 +238,7 @@ impl EngineObserver for StderrProgress {
             EngineEvent::RunFinished { key, reports, .. } => {
                 self.completed += 1;
                 self.reports += reports;
-                if self.completed % self.every.max(1) == 0 {
+                if self.completed.is_multiple_of(self.every.max(1)) {
                     let mut notes = String::new();
                     if self.crashed > 0 {
                         notes.push_str(&format!(", {} crashed", self.crashed));

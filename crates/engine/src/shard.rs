@@ -82,7 +82,7 @@ impl Default for SupervisorPolicy {
             multiplier: 2.0,
             cap: Duration::from_secs(1),
             // "SHARD" in ASCII.
-            jitter_seed: 0x5348_4152_44,
+            jitter_seed: 0x53_4841_5244,
         }
     }
 }

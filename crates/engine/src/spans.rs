@@ -132,12 +132,12 @@ pub fn render_trace(app: &str, phases: &[PhaseSpan], runs: &[RunSpan]) -> String
         ("schema_version", Json::from(TRACE_SCHEMA_VERSION)),
         ("app", Json::from(app)),
     ]);
-    let _ = writeln!(text, "{}", header.to_string());
+    let _ = writeln!(text, "{header}");
     for span in phases {
-        let _ = writeln!(text, "{}", phase_to_json(span).to_string());
+        let _ = writeln!(text, "{}", phase_to_json(span));
     }
     for span in runs {
-        let _ = writeln!(text, "{}", run_to_json(span).to_string());
+        let _ = writeln!(text, "{}", run_to_json(span));
     }
     text
 }

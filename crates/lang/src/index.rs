@@ -837,11 +837,13 @@ impl<'b, 'a> Lowerer<'b, 'a> {
             Stmt::Var { name, .. } => {
                 self.slot_for(name);
             }
-            Stmt::Assign { target, .. } => {
-                if let LValue::Var(name, _) = target {
-                    self.slot_for(name);
-                }
+            Stmt::Assign {
+                target: LValue::Var(name, _),
+                ..
+            } => {
+                self.slot_for(name);
             }
+            Stmt::Assign { .. } => {}
             Stmt::If {
                 then_blk, else_blk, ..
             } => {

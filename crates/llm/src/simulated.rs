@@ -316,14 +316,18 @@ impl SimulatedLlm {
         }
         // False-positive modes: poll/spin loops and retry-named parameter
         // parsing sometimes read like retry.
-        if signals.has_poll && signals.has_loop {
-            if self.chance(&prompt.file_path, "poll-fp", self.profile.poll_fp_rate) {
-                return Answer::Yes;
-            }
-        } else if signals.retry_keyword && !signals.has_catch {
-            if self.chance(&prompt.file_path, "param-fp", self.profile.param_fp_rate) {
-                return Answer::Yes;
-            }
+        if signals.has_poll
+            && signals.has_loop
+            && self.chance(&prompt.file_path, "poll-fp", self.profile.poll_fp_rate)
+        {
+            return Answer::Yes;
+        }
+        if !(signals.has_poll && signals.has_loop)
+            && signals.retry_keyword
+            && !signals.has_catch
+            && self.chance(&prompt.file_path, "param-fp", self.profile.param_fp_rate)
+        {
+            return Answer::Yes;
         }
         Answer::No
     }

@@ -88,6 +88,35 @@ pub fn run_priorities(
         .collect()
 }
 
+/// Priority boost applied per disagreement-tier catch-path. Far above any
+/// realistic catch-path count, so disagreement sites always dispatch
+/// before unanimous ones while preserving the catch-path order *within*
+/// each band.
+pub const DISAGREEMENT_BOOST: u64 = 1 << 20;
+
+/// CERBERUS-style arbitration hint (`wasabi lint --cross-check`): sites
+/// whose coordinator method landed in a disagreement tier (static-only or
+/// llm-only — exactly one detector flagged it) get a large priority boost,
+/// so the probe wave spends its earliest runs where the two detectors
+/// contradict each other. Pure scheduling, never report-bearing: the
+/// executed run *set* is unchanged, only its dispatch order moves.
+pub fn boost_disagreement_sites(
+    sites: &mut BTreeMap<CallSite, u64>,
+    locations: &[RetryLocation],
+    methods: &BTreeSet<String>,
+) {
+    if methods.is_empty() {
+        return;
+    }
+    for location in locations {
+        if methods.contains(&location.coordinator.name) {
+            if let Some(priority) = sites.get_mut(&location.site) {
+                *priority += DISAGREEMENT_BOOST;
+            }
+        }
+    }
+}
+
 /// The structure key of each site, for equivalence-class bucketing. When
 /// several locations share a site they share a structure, so the first
 /// wins.
@@ -404,6 +433,30 @@ mod tests {
         let widen = vec![run("t1", 1, "E", 1)];
         let sel = select_widen_runs(widen, 100, &BTreeMap::new(), &BTreeMap::new());
         assert_eq!(sel.runs.len(), 1);
+    }
+
+    #[test]
+    fn disagreement_hints_boost_matching_sites_only() {
+        let locations = vec![location(1, "E"), location(2, "E")];
+        let mut sites = site_priorities(&locations);
+        let baseline = sites.clone();
+
+        // No hints: nothing moves.
+        boost_disagreement_sites(&mut sites, &locations, &BTreeSet::new());
+        assert_eq!(sites, baseline);
+
+        // A hint naming the coordinator method boosts every site it
+        // anchors; "run" covers both locations here.
+        let hints: BTreeSet<String> = ["run".to_string()].into_iter().collect();
+        boost_disagreement_sites(&mut sites, &locations, &hints);
+        assert_eq!(sites[&site(1)], baseline[&site(1)] + DISAGREEMENT_BOOST);
+        assert_eq!(sites[&site(2)], baseline[&site(2)] + DISAGREEMENT_BOOST);
+
+        // A hint naming no coordinator leaves priorities alone.
+        let mut fresh = site_priorities(&locations);
+        let miss: BTreeSet<String> = ["nothing".to_string()].into_iter().collect();
+        boost_disagreement_sites(&mut fresh, &locations, &miss);
+        assert_eq!(fresh, baseline);
     }
 
     #[test]

@@ -196,7 +196,7 @@ fn dynamic_options(job: &AppJob, options: &RepairOptions) -> DynamicOptions {
     DynamicOptions {
         ks: options.ks.clone(),
         jobs: options.jobs,
-        oracle: options.oracle.clone(),
+        oracle: options.oracle,
         capture_timing: false,
         profile_cache: options.profile_cache.as_ref().map(|dir| ProfileCacheOptions {
             dir: dir.clone(),
@@ -211,7 +211,7 @@ fn campaign_options(prepared: &PreparedCampaign, options: &RepairOptions) -> Cam
     CampaignOptions {
         jobs: options.jobs,
         run_options: prepared.run_options.clone(),
-        oracle: options.oracle.clone(),
+        oracle: options.oracle,
         capture_timing: false,
         ..CampaignOptions::default()
     }
@@ -396,6 +396,9 @@ pub fn repair(
     let lint_opts = LintOptions {
         jobs: options.jobs,
         loops: options.loops.clone(),
+        // Repair only targets retry codes; IF-ratio info findings would
+        // just be recomputed on every candidate for nothing.
+        ifratio: false,
     };
     let mut current = sources;
     let mut compiled = compile_and_lint(name, &current, options, &lint_opts)

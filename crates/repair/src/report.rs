@@ -171,11 +171,9 @@ pub fn score_against_truth(outcome: &RepairOutcome, truth: &AppTruth) -> Json {
         ("fixed", Json::Int(amp_fixed as i64)),
     ]));
 
-    let rate = if total_fixable == 0 {
-        100
-    } else {
-        (total_fixed * 100) / total_fixable
-    };
+    let rate = (total_fixed * 100)
+        .checked_div(total_fixable)
+        .unwrap_or(100);
     Json::obj([
         ("classes", Json::arr(classes)),
         ("fixable", Json::Int(total_fixable as i64)),

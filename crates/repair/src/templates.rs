@@ -416,25 +416,21 @@ fn has_loop_control(block: &Block) -> bool {
             Stmt::Break { .. } | Stmt::Continue { .. } => return true,
             Stmt::If {
                 then_blk, else_blk, ..
-            } => {
-                if has_loop_control(then_blk)
-                    || else_blk.as_ref().map(has_loop_control).unwrap_or(false)
-                {
-                    return true;
-                }
+            } if has_loop_control(then_blk)
+                || else_blk.as_ref().map(has_loop_control).unwrap_or(false) =>
+            {
+                return true;
             }
             Stmt::Try {
                 body,
                 catches,
                 finally,
                 ..
-            } => {
-                if has_loop_control(body)
-                    || catches.iter().any(|c| has_loop_control(&c.body))
-                    || finally.as_ref().map(has_loop_control).unwrap_or(false)
-                {
-                    return true;
-                }
+            } if has_loop_control(body)
+                || catches.iter().any(|c| has_loop_control(&c.body))
+                || finally.as_ref().map(has_loop_control).unwrap_or(false) =>
+            {
+                return true;
             }
             // A nested loop or switch re-binds break/continue; stop.
             Stmt::While { .. } | Stmt::For { .. } | Stmt::Switch { .. } => {}

@@ -37,13 +37,6 @@ impl Json {
         Json::Arr(items.into_iter().collect())
     }
 
-    /// Compact rendering (no whitespace).
-    pub fn to_string(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, None, 0);
-        out
-    }
-
     /// Pretty rendering with two-space indentation and a trailing newline,
     /// matching the house style of the repo's golden outputs.
     pub fn pretty(&self) -> String {
@@ -114,6 +107,15 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Compact rendering (no whitespace); `to_string()` goes through this.
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
     }
 }
 

@@ -247,7 +247,7 @@ impl<'p, 'i> Interp<'p, 'i> {
         if self.fuel_used > self.limits.fuel {
             return Err(Control::Err(VmError::FuelExhausted));
         }
-        if self.fuel_used % WALL_CHECK_INTERVAL == 0 {
+        if self.fuel_used.is_multiple_of(WALL_CHECK_INTERVAL) {
             if let Some(deadline) = self.limits.wall_deadline {
                 if Instant::now() >= deadline {
                     return Err(Control::Err(VmError::WallClockExceeded));

@@ -167,7 +167,7 @@ impl Value {
             Value::Map(m) => format!("<map:{}>", m.borrow().len()),
             Value::Exception(e) => {
                 if e.message.is_empty() {
-                    format!("{}", e.ty)
+                    e.ty.to_string()
                 } else {
                     format!("{}: {}", e.ty, e.message)
                 }

@@ -60,6 +60,14 @@
 //!   seeds any, and emit byte-identical reports for `--jobs 1` and
 //!   `--jobs 4`. Writes `BENCH_PR9.json` with the per-app and per-class
 //!   fix rates and the attempts-vs-fix-rate curve.
+//! - `lint-gate` — the retry-policy abstract-interpretation gate: over
+//!   all eight corpus apps (small scale, amplification AND policy seeds
+//!   included), `wasabi lint --json --cross-check` must be
+//!   byte-identical between `--jobs 1` and `--jobs 4`, and the
+//!   W004/W005/W006 findings must score at least 0.9 precision and
+//!   recall per code against the `policy_truth.json` sidecars. Writes
+//!   `BENCH_PR10.json` with per-app static-sweep wall times and the
+//!   per-code score table.
 
 use std::env;
 use std::fs;
@@ -68,7 +76,7 @@ use std::process::{exit, Command};
 
 fn main() {
     let task = env::args().nth(1).unwrap_or_else(|| {
-        eprintln!("usage: cargo xtask <tier1|ci|smoke|bench|digest|lint|serve-smoke|chaos-shard-smoke|adaptive-gate|repair-gate>");
+        eprintln!("usage: cargo xtask <tier1|ci|smoke|bench|digest|lint|serve-smoke|chaos-shard-smoke|adaptive-gate|repair-gate|lint-gate>");
         exit(2);
     });
     let flags: Vec<String> = env::args().skip(2).collect();
@@ -129,9 +137,13 @@ fn main() {
             run_stage("build --release --bin wasabi", &["build", "--release", "--bin", "wasabi"]);
             repair_gate();
         }
+        "lint-gate" => {
+            run_stage("build --release --bin wasabi", &["build", "--release", "--bin", "wasabi"]);
+            policy_lint_gate();
+        }
         other => {
             eprintln!(
-                "unknown task `{other}`; expected tier1, ci, smoke, bench, digest, lint, serve-smoke, chaos-shard-smoke, adaptive-gate, or repair-gate"
+                "unknown task `{other}`; expected tier1, ci, smoke, bench, digest, lint, serve-smoke, chaos-shard-smoke, adaptive-gate, repair-gate, or lint-gate"
             );
             exit(2);
         }
@@ -282,6 +294,7 @@ const LINT_BASELINE_PATH: &str = "scripts/lint_baseline.txt";
 const BENCH_OUT: &str = "BENCH_PR6.json";
 const ADAPTIVE_BENCH_OUT: &str = "BENCH_PR8.json";
 const REPAIR_BENCH_OUT: &str = "BENCH_PR9.json";
+const POLICY_BENCH_OUT: &str = "BENCH_PR10.json";
 /// Aggregate and per-class fix-rate floor (percent) for the repair gate.
 const REPAIR_RATE_FLOOR: u64 = 80;
 /// Apps whose `wasabi test --json` reports are digest-pinned.
@@ -1127,6 +1140,185 @@ fn repair_gate() {
         .unwrap_or_else(|e| fail(&format!("write {REPAIR_BENCH_OUT}: {e}")));
     let _ = fs::remove_dir_all(&work);
     eprintln!("repair gate: OK (wrote {REPAIR_BENCH_OUT})");
+}
+
+/// The retry-policy abstract-interpretation gate (CI stage 10):
+/// regenerate all eight corpus apps with the amplification *and* policy
+/// seeds, require the `wasabi lint --json --cross-check` report to be
+/// byte-identical between `--jobs 1` and `--jobs 4`, and score the
+/// W004/W005/W006 diagnostics against the `policy_truth.json` sidecars —
+/// at least 0.9 precision and recall per code, the same bar the A001
+/// test gate sets. Writes `BENCH_PR10.json` with per-app static-sweep
+/// wall times and the per-code score table.
+fn policy_lint_gate() {
+    eprintln!("==> lint gate: W004-W006 precision/recall over the policy-seeded corpus");
+    let wasabi = release_wasabi()
+        .canonicalize()
+        .unwrap_or_else(|e| fail(&format!("canonicalize wasabi path: {e}")));
+    let work = env::temp_dir().join(format!("wasabi-lint-gate-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&work);
+
+    // `(code, true_positives, genuine, reported)` per new checker.
+    let mut scores: Vec<(&str, u64, u64, u64)> =
+        vec![("W004", 0, 0, 0), ("W005", 0, 0, 0), ("W006", 0, 0, 0)];
+    let mut app_rows = Vec::new();
+    for app in ADAPTIVE_APPS {
+        let app_dir = work.join(app);
+        let status = Command::new(&wasabi)
+            .args(["corpus", app, "--amp", "--policy"])
+            .arg(&app_dir)
+            .status()
+            .unwrap_or_else(|e| fail(&format!("spawn wasabi corpus: {e}")));
+        if !status.success() {
+            fail(&format!("wasabi corpus {app} --amp --policy failed"));
+        }
+        let mut files = Vec::new();
+        collect_jav(&app_dir, &mut files);
+        files.sort();
+        let rel: Vec<PathBuf> = files
+            .iter()
+            .map(|f| f.strip_prefix(&work).expect("file under work dir").to_path_buf())
+            .collect();
+
+        let start = std::time::Instant::now();
+        let serial =
+            run_wasabi_lint_in(&wasabi, &work, &["--json", "--cross-check", "--jobs", "1"], &rel);
+        let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+        let parallel =
+            run_wasabi_lint_in(&wasabi, &work, &["--json", "--cross-check", "--jobs", "4"], &rel);
+        if serial.1 != parallel.1 {
+            fail(&format!(
+                "lint gate: {app} cross-check report differs between --jobs 1 and --jobs 4"
+            ));
+        }
+        let report = serial.1;
+        if !report.contains("\"cross_check\"") || !report.contains("static-only") {
+            fail(&format!("lint gate: {app} report is missing the agreement matrix"));
+        }
+
+        // The diagnostics array ends at the "suppressed" counter that
+        // follows it; the cross_check section repeats codes and files and
+        // must not leak into the scoring.
+        let diag_end = report
+            .find("\"suppressed\"")
+            .unwrap_or_else(|| fail(&format!("lint gate: {app} report has no diagnostics")));
+        let diags: Vec<(String, String, String)> = report[..diag_end]
+            .split("\"code\":")
+            .skip(1)
+            .map(|chunk| {
+                (
+                    extract_string(chunk, ""),
+                    extract_string(chunk, "\"file\":"),
+                    extract_string(chunk, "\"coordinator\":"),
+                )
+            })
+            .collect();
+
+        let truth = fs::read_to_string(app_dir.join("policy_truth.json"))
+            .unwrap_or_else(|e| fail(&format!("read {app} policy_truth.json: {e}")));
+        let mut seeded = 0usize;
+        let mut policy_files = Vec::new();
+        let mut seeds = Vec::new();
+        for chunk in truth.split("\"id\":").skip(1) {
+            let code = extract_string(chunk, "\"code\":");
+            // Diagnostics anchor on the CLI-relative path `<APP>/<file>`.
+            let file = format!("{app}/{}", extract_string(chunk, "\"file\":"));
+            let coordinator = extract_string(chunk, "\"coordinator\":");
+            let genuine = chunk
+                .find("\"genuine\":")
+                .map(|at| chunk[at..].contains("true"))
+                .unwrap_or_else(|| fail(&format!("lint gate: {app} seed lacks genuine flag")));
+            seeded += 1;
+            policy_files.push(file.clone());
+            seeds.push((code, file, coordinator, genuine));
+        }
+        if seeded == 0 {
+            fail(&format!("lint gate: {app} policy_truth.json seeded nothing"));
+        }
+
+        let mut app_diags = 0u64;
+        for (code, tp, genuine_total, reported) in &mut scores {
+            let found: Vec<_> = diags
+                .iter()
+                .filter(|(c, f, _)| c == code && policy_files.contains(f))
+                .collect();
+            *reported += found.len() as u64;
+            app_diags += found.len() as u64;
+            for (_, file, coordinator, genuine) in seeds.iter().filter(|(c, ..)| c == code) {
+                let matched = found.iter().any(|(_, f, m)| f == file && m == coordinator);
+                if *genuine {
+                    *genuine_total += 1;
+                    *tp += matched as u64;
+                } else if matched {
+                    fail(&format!("lint gate: {app} decoy {coordinator} was reported as {code}"));
+                }
+            }
+        }
+        eprintln!(
+            "    {app}: {} files, {app_diags} policy diagnostics, identical across jobs=1/4, {wall_ms:.1} ms",
+            rel.len()
+        );
+        app_rows.push(format!(
+            "{{\"app\": \"{app}\", \"files\": {}, \"policy_diagnostics\": {app_diags}, \
+             \"wall_ms\": {wall_ms:.1}}}",
+            rel.len()
+        ));
+    }
+    let _ = fs::remove_dir_all(&work);
+
+    let mut code_rows = Vec::new();
+    for (code, tp, genuine, reported) in &scores {
+        if *genuine == 0 || *reported == 0 {
+            fail(&format!("lint gate: {code} has an empty measurement"));
+        }
+        let precision = *tp as f64 / *reported as f64;
+        let recall = *tp as f64 / *genuine as f64;
+        if precision < 0.9 {
+            fail(&format!(
+                "lint gate: {code} precision {precision:.2} ({tp}/{reported}) is below 0.9"
+            ));
+        }
+        if recall < 0.9 {
+            fail(&format!(
+                "lint gate: {code} recall {recall:.2} ({tp}/{genuine}) is below 0.9"
+            ));
+        }
+        eprintln!(
+            "    {code}: precision {precision:.2} ({tp}/{reported}), recall {recall:.2} ({tp}/{genuine})"
+        );
+        code_rows.push(format!(
+            "{{\"code\": \"{code}\", \"true_positives\": {tp}, \"genuine\": {genuine}, \
+             \"reported\": {reported}, \"precision\": {precision:.2}, \"recall\": {recall:.2}}}"
+        ));
+    }
+    let doc = format!(
+        "{{\n  \"harness\": \"cargo xtask lint-gate (wasabi lint --json --cross-check over all \
+         8 corpus apps with --amp --policy seeds, --jobs 1 vs --jobs 4 byte-compared, scored \
+         against policy_truth.json)\",\n  \"apps\": [\n    {}\n  ],\n  \"codes\": [\n    {}\n  ],\n  \
+         \"floor\": {{\"precision\": 0.9, \"recall\": 0.9}}\n}}\n",
+        app_rows.join(",\n    "),
+        code_rows.join(",\n    ")
+    );
+    fs::write(POLICY_BENCH_OUT, doc)
+        .unwrap_or_else(|e| fail(&format!("write {POLICY_BENCH_OUT}: {e}")));
+    eprintln!("lint gate: OK (wrote {POLICY_BENCH_OUT})");
+}
+
+/// Parses the first `<key> "<string>"` after `doc`'s start (an empty key
+/// reads the first quoted string).
+fn extract_string(doc: &str, key: &str) -> String {
+    let start = doc
+        .find(key)
+        .unwrap_or_else(|| fail(&format!("lint gate: no {key} in report")));
+    let rest = &doc[start + key.len()..];
+    let open = rest
+        .find('"')
+        .unwrap_or_else(|| fail(&format!("lint gate: malformed {key} value")));
+    rest[open + 1..]
+        .split('"')
+        .next()
+        .unwrap_or_default()
+        .to_string()
 }
 
 fn release_wasabi() -> PathBuf {

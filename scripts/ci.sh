@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# CI entry point. Nine stages:
+# CI entry point. Ten stages:
 #
 #   1. tier-1: the gate every change must pass — release build + full test
-#      suite with default features, exactly what `cargo tier1` runs.
+#      suite with default features, exactly what `cargo tier1` runs. Also
+#      runs `cargo clippy --all-targets -- -D warnings`: the workspace is
+#      lint-clean and stays that way.
 #   2. all-features: compile check with every optional feature enabled
 #      (json-reports, proptest-suite, bench-criterion) plus the
 #      feature-gated test suites, so gated code can never rot.
@@ -42,14 +44,21 @@
 #      fixable seeded W001/W002/A001 bugs — in aggregate and per class —
 #      within the default 3 attempts, with byte-identical reports for
 #      --jobs 1 and --jobs 4 (writes BENCH_PR9.json).
+#  10. lint gate (retry-policy abstract interpretation): `wasabi lint
+#      --json --cross-check` over all eight corpus apps (small scale,
+#      amplification and policy seeds included) must be byte-identical
+#      between --jobs 1 and --jobs 4, and the W004/W005/W006 findings
+#      must score at least 0.9 precision and recall per code against the
+#      policy_truth.json sidecars (writes BENCH_PR10.json).
 #
 # Everything resolves offline: the workspace has no registry dependencies.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== stage 1: tier-1 (default features) =="
+echo "== stage 1: tier-1 (default features + clippy) =="
 cargo build --release
 cargo test -q --workspace
+cargo clippy --all-targets -- -D warnings
 
 echo "== stage 2: all features =="
 cargo build --all-features
@@ -75,5 +84,8 @@ cargo xtask adaptive-gate
 
 echo "== stage 9: repair gate (auto-repair fix rate vs seeded ground truth) =="
 cargo xtask repair-gate
+
+echo "== stage 10: lint gate (W004-W006 precision/recall, cross-check matrix) =="
+cargo xtask lint-gate
 
 echo "== ci: all stages passed =="

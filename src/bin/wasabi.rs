@@ -5,7 +5,8 @@
 //! wasabi analyze [--json] <file.jav>...            # retry loops, locations, IF outliers
 //! wasabi sweep   [--json] <file.jav>...            # LLM static sweep (WHEN findings)
 //! wasabi lint    [--json] [--jobs N] [--baseline PATH] [--write-baseline PATH]
-//!                <file.jav>...                     # interprocedural retry diagnostics
+//!                [--cross-check] [--no-ifratio]    # interprocedural retry diagnostics
+//!                <file.jav>...                     # (+ static↔LLM agreement matrix)
 
 //! wasabi test    [--json] [--jobs N] [--max-attempts N] [--journal PATH]
 //!                [--resume PATH] [--quiet] [--chaos-panic RATE]
@@ -29,6 +30,7 @@
 //! (retry bugs, lint diagnostics, trace mismatches), 2 = usage, input,
 //! or I/O errors.
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use wasabi::analysis::checkers::LintOptions;
@@ -37,7 +39,7 @@ use wasabi::analysis::loops::{all_retry_locations, LoopQueryOptions};
 use wasabi::analysis::resolve::ProjectIndex;
 use wasabi::core::dynamic::{run_dynamic_with_observer, DynamicOptions};
 use wasabi::core::identify::identify;
-use wasabi::core::lint::lint_with_overlap;
+use wasabi::core::lint::{cross_check, lint_with_overlap};
 use wasabi::core::{report_json, source_digest, ProfileCacheOptions};
 use wasabi::engine::campaign::{ChaosConfig, RetryPolicy};
 use wasabi::engine::{
@@ -57,7 +59,7 @@ const USAGE: &str = "usage:
   wasabi analyze [--json] <file.jav>...
   wasabi sweep   [--json] <file.jav>...
   wasabi lint    [--json] [--jobs N] [--baseline PATH] [--write-baseline PATH]
-                 <file.jav>...
+                 [--cross-check] [--no-ifratio] <file.jav>...
   wasabi test    [--json] [--jobs N] [--max-attempts N] [--journal PATH]
                  [--resume PATH] [--quiet] [--chaos-panic RATE]
                  [--trace-out PATH] [--adaptive] [--profile-cache DIR]
@@ -66,7 +68,7 @@ const USAGE: &str = "usage:
                  [--chaos-exit-after N] <file.jav>...
   wasabi merge   [--json] <shard-dir>
   wasabi stats   <trace.jsonl>... [--journal PATH]
-  wasabi corpus  <APP> <out-dir> [--amp]   (APP = HA HD MA YA HB HI CA EL)
+  wasabi corpus  <APP> <out-dir> [--amp] [--policy]   (APP = HA HD MA YA HB HI CA EL)
   wasabi repair  [--json] [--jobs N] [--max-fix-attempts N] [--report PATH]
                  [--out DIR] [--profile-cache DIR]
                  (--corpus APP [--amp] [--scale tiny|small|paper] | <file.jav>...)
@@ -462,14 +464,21 @@ fn lint(args: &mut Vec<String>, json: bool, flags: &CampaignFlags) -> ExitCode {
         },
         None => None,
     };
+    let want_cross = take_flag(args, "--cross-check");
+    let no_ifratio = take_flag(args, "--no-ifratio");
     let jobs = flags.jobs;
     with_project(args, move |project| {
         let mut llm = SimulatedLlm::with_seed(0);
         let options = LintOptions {
             jobs,
+            ifratio: !no_ifratio,
             ..LintOptions::default()
         };
         let report = lint_with_overlap(project, &mut llm, &options);
+        // Arbitrate before baseline suppression: the matrix is about what
+        // each detector *finds*, and a suppressed diagnostic was still
+        // found.
+        let cross = want_cross.then(|| cross_check(&report.lint, &report.sweep));
         if let Some(path) = &write_baseline {
             let rendered = wasabi::analysis::diag::render_baseline(&report.lint.diagnostics);
             if let Err(err) = std::fs::write(path, rendered) {
@@ -489,7 +498,7 @@ fn lint(args: &mut Vec<String>, json: bool, flags: &CampaignFlags) -> ExitCode {
             None => (report.lint.diagnostics, 0),
         };
         if json {
-            let value = Json::obj([
+            let mut fields = vec![
                 (
                     "diagnostics",
                     Json::arr(diags.iter().map(|d| {
@@ -518,8 +527,29 @@ fn lint(args: &mut Vec<String>, json: bool, flags: &CampaignFlags) -> ExitCode {
                         ("total", Json::from(report.overlap.total() as i64)),
                     ]),
                 ),
-            ]);
-            print!("{}", value.pretty());
+            ];
+            if let Some(cross) = &cross {
+                fields.push((
+                    "cross_check",
+                    Json::obj([
+                        (
+                            "cells",
+                            Json::arr(cross.cells.iter().map(|cell| {
+                                Json::obj([
+                                    ("tier", Json::from(cell.tier.label())),
+                                    ("code", Json::from(cell.code.as_str())),
+                                    ("file", Json::from(cell.file.as_str())),
+                                    ("method", Json::from(cell.method.as_str())),
+                                ])
+                            })),
+                        ),
+                        ("both", Json::from(cross.both as i64)),
+                        ("static_only", Json::from(cross.static_only as i64)),
+                        ("llm_only", Json::from(cross.llm_only as i64)),
+                    ]),
+                ));
+            }
+            print!("{}", Json::obj(fields).pretty());
         } else {
             print!("{}", wasabi::analysis::diag::render_text(&diags));
             println!(
@@ -530,6 +560,9 @@ fn lint(args: &mut Vec<String>, json: bool, flags: &CampaignFlags) -> ExitCode {
                 report.overlap.llm_only,
                 report.overlap.both
             );
+            if let Some(cross) = &cross {
+                print!("{}", cross.render_text());
+            }
         }
         if diags.is_empty() {
             ExitCode::SUCCESS
@@ -588,6 +621,20 @@ fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
         config.exit_after_appends = Some(appends);
         chaos = Some(config);
     }
+    // CERBERUS-style arbitration hints: under --adaptive, arbitrate the
+    // static checkers against the LLM sweep and let disagreement-tier
+    // methods probe first. Pure scheduling — the executed run set and the
+    // report bytes are unchanged.
+    let disagreement_hints = if flags.adaptive {
+        let lint_report = lint_with_overlap(
+            project,
+            &mut SimulatedLlm::with_seed(0),
+            &LintOptions::default(),
+        );
+        cross_check(&lint_report.lint, &lint_report.sweep).disagreement_methods()
+    } else {
+        BTreeSet::new()
+    };
     let options = DynamicOptions {
         jobs: flags.jobs,
         retry: match flags.max_attempts {
@@ -606,6 +653,7 @@ fn test(project: &Project, json: bool, flags: &CampaignFlags) -> ExitCode {
         // carries timing, so output bytes cannot change).
         capture_timing: flags.trace_out.is_some(),
         adaptive: flags.adaptive,
+        disagreement_hints,
         profile_cache: profile_cache_options(flags, project),
         ..DynamicOptions::default()
     };
@@ -857,7 +905,7 @@ fn bench(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
         .filter(|spec| {
             apps_filter
                 .as_ref()
-                .map_or(true, |wanted| wanted.iter().any(|w| w == spec.short))
+                .is_none_or(|wanted| wanted.iter().any(|w| w == spec.short))
         })
         .collect();
     if specs.is_empty() {
@@ -876,7 +924,9 @@ fn bench(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
         let project = wasabi::corpus::synth::compile_app(&app);
         let mut llm = SimulatedLlm::with_seed(app.spec.seed);
         let identified = identify(&project, &mut llm);
-        let mut best: Option<(u128, u64, u64, u64, Vec<(String, u64)>)> = None;
+        // (wall_us, runs, steps, virtual_ms, per-phase wall times).
+        type BenchSample = (u128, u64, u64, u64, Vec<(String, u64)>);
+        let mut best: Option<BenchSample> = None;
         for _ in 0..iters {
             let options = DynamicOptions {
                 jobs: flags.jobs,
@@ -907,7 +957,7 @@ fn bench(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
                 result.campaign.virtual_ms,
                 phases,
             );
-            if best.as_ref().map_or(true, |b| sample.0 < b.0) {
+            if best.as_ref().is_none_or(|b| sample.0 < b.0) {
                 best = Some(sample);
             }
         }
@@ -936,7 +986,7 @@ fn bench(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
         ("scale", Json::from(format!("{scale:?}").to_lowercase())),
         ("jobs", Json::from(flags.jobs)),
         ("iters", Json::from(iters)),
-        ("apps", Json::arr(app_rows.into_iter())),
+        ("apps", Json::arr(app_rows)),
         (
             "totals",
             Json::obj([
@@ -1059,7 +1109,9 @@ fn submit(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
     let stats_op = take_flag(&mut args, "--stats");
     let shutdown_op = take_flag(&mut args, "--shutdown");
     let drain = take_flag(&mut args, "--drain");
-    let parsed = (|| -> Result<(String, u8, Option<u64>, Option<u64>, RetryConfig, Option<u64>), String> {
+    // (addr, priority, cancel, status, retry, drain_deadline).
+    type SubmitArgs = (String, u8, Option<u64>, Option<u64>, RetryConfig, Option<u64>);
+    let parsed = (|| -> Result<SubmitArgs, String> {
         let addr = take_value_flag(&mut args, "--addr")?
             .ok_or("submit requires --addr (from the serve banner)")?;
         let priority = match take_value_flag(&mut args, "--priority")? {
@@ -1130,10 +1182,8 @@ fn submit(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
         })
     } else if let Some(id) = cancel {
         Some(Request::Cancel { id })
-    } else if let Some(id) = status {
-        Some(Request::Status { id })
     } else {
-        None
+        status.map(|id| Request::Status { id })
     };
     if let Some(request) = control {
         let mut conn = match Connection::connect(&addr) {
@@ -1145,7 +1195,7 @@ fn submit(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
         };
         return match conn.request(&request) {
             Ok(response) => {
-                println!("{}", response.to_string());
+                println!("{response}");
                 if response.get("ok").and_then(Json::as_bool) == Some(true) {
                     ExitCode::SUCCESS
                 } else {
@@ -1232,21 +1282,18 @@ fn submit(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
         // Stream span/progress events to stderr until the terminal
         // event, then fall through to collect the report.
         match conn.request(&Request::Subscribe { id }) {
-            Ok(ack) if ack.get("ok").and_then(Json::as_bool) == Some(true) => loop {
-                match conn.read_line() {
-                    Ok(Some(line)) => {
-                        eprintln!("[event] {line}");
-                        let finished = Json::parse(&line)
-                            .ok()
-                            .and_then(|e| e.get("event").and_then(Json::as_str).map(str::to_string))
-                            .is_some_and(|kind| kind == "finished");
-                        if finished {
-                            break;
-                        }
+            Ok(ack) if ack.get("ok").and_then(Json::as_bool) == Some(true) => {
+                while let Ok(Some(line)) = conn.read_line() {
+                    eprintln!("[event] {line}");
+                    let finished = Json::parse(&line)
+                        .ok()
+                        .and_then(|e| e.get("event").and_then(Json::as_str).map(str::to_string))
+                        .is_some_and(|kind| kind == "finished");
+                    if finished {
+                        break;
                     }
-                    Ok(None) | Err(_) => break,
                 }
-            },
+            }
             Ok(ack) => {
                 eprintln!("subscribe failed: {ack:?}");
                 return ExitCode::from(2);
@@ -1291,6 +1338,7 @@ fn submit(mut args: Vec<String>, flags: &CampaignFlags) -> ExitCode {
 fn corpus(args: &[String]) -> ExitCode {
     let mut args: Vec<String> = args.to_vec();
     let amp = take_flag(&mut args, "--amp");
+    let policy = take_flag(&mut args, "--policy");
     let (Some(app), Some(out_dir)) = (args.first(), args.get(1)) else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
@@ -1303,11 +1351,14 @@ fn corpus(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     };
     let scale = wasabi::corpus::spec::Scale::Small;
-    let generated = if amp {
+    let mut generated = if amp {
         wasabi::corpus::synth::generate_app_with_amp(&spec, scale)
     } else {
         wasabi::corpus::synth::generate_app(&spec, scale)
     };
+    if policy {
+        wasabi::corpus::synth::append_policy_seeds(&mut generated);
+    }
     for (path, source) in &generated.files {
         let full = std::path::Path::new(out_dir).join(path);
         if let Some(parent) = full.parent() {
@@ -1317,6 +1368,31 @@ fn corpus(args: &[String]) -> ExitCode {
             }
         }
         if let Err(err) = std::fs::write(&full, source) {
+            eprintln!("cannot write {}: {err}", full.display());
+            return ExitCode::from(2);
+        }
+    }
+    // The policy truth labels ride along as a sidecar so external
+    // harnesses (and the lint gate) can score W004–W006 findings without
+    // linking the corpus crate.
+    if policy {
+        let sidecar = Json::arr(generated.truth.policy_seeds.iter().map(|seed| {
+            Json::obj([
+                ("id", Json::from(seed.id.as_str())),
+                ("code", Json::from(seed.code)),
+                (
+                    "coordinator",
+                    Json::from(format!(
+                        "{}.{}",
+                        seed.coordinator.class, seed.coordinator.name
+                    )),
+                ),
+                ("file", Json::from(seed.file_path.as_str())),
+                ("genuine", Json::from(seed.genuine)),
+            ])
+        }));
+        let full = std::path::Path::new(out_dir).join("policy_truth.json");
+        if let Err(err) = std::fs::write(&full, sidecar.pretty()) {
             eprintln!("cannot write {}: {err}", full.display());
             return ExitCode::from(2);
         }

@@ -6,9 +6,13 @@
 use wasabi::analysis::cfg::{BlockId, Cfg};
 use wasabi::analysis::checkers::{lint_project, LintOptions};
 use wasabi::analysis::diag::render_text;
+use wasabi::core::lint::{cross_check, lint_with_overlap};
 use wasabi::corpus::spec::{paper_apps, Scale};
-use wasabi::corpus::synth::{compile_app, generate_app_with_amp, GeneratedApp};
+use wasabi::corpus::synth::{
+    append_policy_seeds, compile_app, generate_app, generate_app_with_amp, GeneratedApp,
+};
 use wasabi::lang::project::Project;
+use wasabi::llm::simulated::SimulatedLlm;
 
 fn amp_app(short: &str) -> (GeneratedApp, Project) {
     let spec = paper_apps()
@@ -16,6 +20,17 @@ fn amp_app(short: &str) -> (GeneratedApp, Project) {
         .find(|s| s.short == short)
         .expect("known app");
     let app = generate_app_with_amp(&spec, Scale::Small);
+    let project = compile_app(&app);
+    (app, project)
+}
+
+fn policy_app(short: &str) -> (GeneratedApp, Project) {
+    let spec = paper_apps()
+        .into_iter()
+        .find(|s| s.short == short)
+        .expect("known app");
+    let mut app = generate_app(&spec, Scale::Small);
+    append_policy_seeds(&mut app);
     let project = compile_app(&app);
     (app, project)
 }
@@ -118,6 +133,88 @@ fn amplification_precision_and_recall_meet_the_bar() {
         recall >= 0.9,
         "recall {recall:.2} below 0.9 ({true_positives}/{genuine_total})"
     );
+}
+
+/// The W004/W005/W006 abstract-interpretation checkers score at least 0.9
+/// precision AND recall *per code* against the seeded policy ground
+/// truth, across all eight applications — the same bar the A001 gate
+/// sets.
+#[test]
+fn policy_checkers_meet_the_precision_recall_bar_per_code() {
+    let mut true_positives = std::collections::BTreeMap::new();
+    let mut genuine_total = std::collections::BTreeMap::new();
+    let mut reported = std::collections::BTreeMap::new();
+
+    for spec in paper_apps() {
+        let (app, project) = policy_app(spec.short);
+        let result = lint_project(&project, &LintOptions::default());
+        let policy_files: std::collections::BTreeSet<&str> = app
+            .truth
+            .policy_seeds
+            .iter()
+            .map(|s| s.file_path.as_str())
+            .collect();
+        for code in ["W004", "W005", "W006"] {
+            let found: Vec<_> = result
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == code && policy_files.contains(d.file.as_str()))
+                .collect();
+            *reported.entry(code).or_insert(0usize) += found.len();
+            for seed in app.truth.policy_seeds.iter().filter(|s| s.code == code) {
+                let matched = found.iter().any(|d| {
+                    d.file == seed.file_path && d.coordinator == seed.coordinator.to_string()
+                });
+                if seed.genuine {
+                    *genuine_total.entry(code).or_insert(0usize) += 1;
+                    if matched {
+                        *true_positives.entry(code).or_insert(0usize) += 1;
+                    }
+                } else {
+                    assert!(!matched, "{}: decoy was reported", seed.id);
+                }
+            }
+        }
+    }
+
+    for code in ["W004", "W005", "W006"] {
+        let tp = true_positives.get(code).copied().unwrap_or(0);
+        let genuine = genuine_total.get(code).copied().unwrap_or(0);
+        let found = reported.get(code).copied().unwrap_or(0);
+        assert!(genuine > 0 && found > 0, "{code}: empty measurement");
+        let precision = tp as f64 / found as f64;
+        let recall = tp as f64 / genuine as f64;
+        assert!(
+            precision >= 0.9,
+            "{code}: precision {precision:.2} below 0.9 ({tp}/{found})"
+        );
+        assert!(
+            recall >= 0.9,
+            "{code}: recall {recall:.2} below 0.9 ({tp}/{genuine})"
+        );
+    }
+}
+
+/// The cross-check agreement matrix is byte-identical across worker
+/// counts: both detectors are deterministic and the cells are sorted.
+#[test]
+fn cross_check_matrix_is_byte_identical_across_jobs() {
+    let (_, project) = policy_app("HB");
+    let render = |jobs: usize| {
+        let options = LintOptions {
+            jobs,
+            ..LintOptions::default()
+        };
+        let report = lint_with_overlap(&project, &mut SimulatedLlm::with_seed(0), &options);
+        cross_check(&report.lint, &report.sweep).render_text()
+    };
+    let serial = render(1);
+    assert!(
+        serial.contains("static-only"),
+        "policy seeds must surface static-only tiers:\n{serial}"
+    );
+    assert_eq!(serial, render(4), "jobs 1 vs 4");
+    assert_eq!(serial, render(1), "consecutive runs");
 }
 
 /// Exceptional-edge invariants hold for every method of a generated

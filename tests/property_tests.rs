@@ -119,7 +119,7 @@ fn gen_garbage(rng: &mut Rng, max_len: usize) -> String {
 fn lexer_total_on_arbitrary_input() {
     use wasabi::lang::lexer::Lexer;
     for case in 0..128u64 {
-        let mut rng = Rng::new(0x1e7e5_0000 + case);
+        let mut rng = Rng::new(0x1_e7e5_0000 + case);
         let input = gen_garbage(&mut rng, 200);
         let _ = Lexer::tokenize(&input);
     }
@@ -130,7 +130,7 @@ fn lexer_total_on_arbitrary_input() {
 fn parser_total_on_arbitrary_input() {
     use wasabi::lang::parser::parse_file;
     for case in 0..128u64 {
-        let mut rng = Rng::new(0x9a25e_0000 + case);
+        let mut rng = Rng::new(0x9_a25e_0000 + case);
         let input = gen_garbage(&mut rng, 300);
         let _ = parse_file(&input);
     }
@@ -206,8 +206,10 @@ fn keyword_filter_is_monotone() {
         };
         let index = ProjectIndex::build(&project);
         let with = find_retry_loops(&index, &LoopQueryOptions::default());
-        let mut options = LoopQueryOptions::default();
-        options.keyword_filter = false;
+        let options = LoopQueryOptions {
+            keyword_filter: false,
+            ..LoopQueryOptions::default()
+        };
         let without = find_retry_loops(&index, &options);
         assert!(with.len() <= without.len(), "[case {case}] filter added loops");
         let unfiltered: std::collections::HashSet<_> =
@@ -241,7 +243,7 @@ fn interner_roundtrip_and_idempotence() {
     use std::collections::HashMap;
     use wasabi::lang::intern::Interner;
     for case in 0..64u64 {
-        let mut rng = Rng::new(0x1274e_0000 + case);
+        let mut rng = Rng::new(0x1_274e_0000 + case);
         let mut interner = Interner::new();
         let mut expected: HashMap<String, wasabi::lang::intern::Symbol> = HashMap::new();
         for _ in 0..rng.range(1, 300) {
@@ -511,8 +513,10 @@ fn plan_covers_each_site_exactly_once() {
             })
             .collect();
 
-        let mut profile = CoverageProfile::default();
-        profile.tests_total = coverage.len();
+        let mut profile = CoverageProfile {
+            tests_total: coverage.len(),
+            ..CoverageProfile::default()
+        };
         for (i, sites) in coverage.iter().enumerate() {
             if sites.is_empty() {
                 continue;
@@ -545,6 +549,141 @@ fn plan_covers_each_site_exactly_once() {
             "[case {case}]"
         );
     }
+}
+
+// ---- Abstract-interpretation properties --------------------------------------
+
+/// The statically inferred attempt-bound interval over-approximates what
+/// the VM actually does: on random bounded retry loops (random
+/// init/bound/step, failures injected through an argument, optionally
+/// exiting early on success), the attempt count the interpreter observes
+/// always falls inside the loop's static interval.
+#[test]
+fn attempt_interval_over_approximates_vm_attempts() {
+    use wasabi::analysis::absint::analyze_method;
+    use wasabi::lang::ast::Item;
+    use wasabi::lang::project::Project;
+    use wasabi::vm::interceptor::NoopInterceptor;
+    use wasabi::vm::interp::{Interp, InvokeResult, RunLimits};
+    use wasabi::vm::Value;
+
+    for case in 0..96u64 {
+        let mut rng = Rng::new(0xab51_0000 + case);
+        let init = rng.below(4) as i64;
+        let bound = rng.below(12) as i64;
+        let step = rng.range(1, 4);
+        // Half the cases return out of the loop on success (observing
+        // fewer attempts than the bound permits), half run to the bound.
+        let call = if rng.below(2) == 0 {
+            "if ((fail - attempts) <= 0) { return attempts; }\n        this.op((fail - attempts));"
+        } else {
+            "this.op((fail - attempts));"
+        };
+        let source = format!(
+            "exception E;\n\
+             class C {{\n\
+               method op(f) throws E {{\n\
+                 if (f > 0) {{ throw new E(\"transient\"); }}\n\
+                 return 1;\n\
+               }}\n\
+               method run(fail) {{\n\
+                 var attempts = 0;\n\
+                 for (var retry = {init}; retry < {bound}; retry = retry + {step}) {{\n\
+                   attempts = attempts + 1;\n\
+                   try {{\n\
+                     {call}\n\
+                   }} catch (E e) {{ sleep(1); }}\n\
+                 }}\n\
+                 return attempts;\n\
+               }}\n\
+             }}\n"
+        );
+        let project = Project::compile("prop", vec![("c.jav", source.clone())])
+            .unwrap_or_else(|e| panic!("[case {case}] compile failed: {e:?}\n{source}"));
+
+        let Item::Class(class) = &project.files[0].items[1] else {
+            panic!("[case {case}] expected the class item");
+        };
+        let method = class
+            .methods
+            .iter()
+            .find(|m| m.name == "run")
+            .unwrap_or_else(|| panic!("[case {case}] C.run missing"));
+        let abs = analyze_method(&project.index, "C", method);
+        let obs = abs
+            .loops
+            .values()
+            .next()
+            .unwrap_or_else(|| panic!("[case {case}] no loop observation"));
+
+        for fail in [0i64, 2, 5, 40] {
+            let mut noop = NoopInterceptor;
+            let mut interp = Interp::new(&project, &mut noop, RunLimits::default());
+            let observed = match interp.invoke("C", "run", vec![Value::Int(fail)]) {
+                InvokeResult::Ok(Value::Int(n)) => n,
+                other => panic!("[case {case}] unexpected result {other:?}\n{source}"),
+            };
+            assert!(
+                obs.attempts.lo <= observed && observed <= obs.attempts.hi,
+                "[case {case}] fail={fail}: observed {observed} attempts outside \
+                 static interval {}\n{source}",
+                obs.attempts,
+            );
+        }
+    }
+}
+
+/// Abstract interpretation is total and well-formed across every corpus
+/// app (amplification and policy seeds included): every method analyses
+/// without panicking, every loop observation carries a well-formed
+/// attempts interval, and the sweep sees real finite attempt bounds.
+#[test]
+fn absint_is_total_and_well_formed_corpus_wide() {
+    use wasabi::analysis::absint::{analyze_method, POS_INF};
+    use wasabi::corpus::spec::{paper_apps, Scale};
+    use wasabi::corpus::synth::{append_policy_seeds, compile_app, generate_app_with_amp};
+    use wasabi::lang::ast::Item;
+
+    let mut loops_seen = 0usize;
+    let mut finite_bounds = 0usize;
+    for spec in paper_apps() {
+        let mut app = generate_app_with_amp(&spec, Scale::Tiny);
+        append_policy_seeds(&mut app);
+        let project = compile_app(&app);
+        for file in &project.files {
+            for item in &file.items {
+                let Item::Class(class) = item else { continue };
+                for method in &class.methods {
+                    let abs = analyze_method(&project.index, &class.name, method);
+                    for obs in abs.loops.values() {
+                        loops_seen += 1;
+                        assert!(
+                            obs.attempts.lo <= obs.attempts.hi,
+                            "{}.{}: malformed attempts interval {}",
+                            class.name,
+                            method.name,
+                            obs.attempts
+                        );
+                        if obs.attempts.hi < POS_INF {
+                            finite_bounds += 1;
+                            assert!(
+                                obs.attempts.lo >= 0,
+                                "{}.{}: negative attempt bound {}",
+                                class.name,
+                                method.name,
+                                obs.attempts
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    assert!(loops_seen > 100, "sweep covered real loops ({loops_seen})");
+    assert!(
+        finite_bounds > 50,
+        "sweep inferred finite attempt bounds ({finite_bounds})"
+    );
 }
 
 // ---- Interprocedural summary properties -------------------------------------
